@@ -1,0 +1,71 @@
+// EXP-11 — §1.2 Adversarial model: with a system-load cap B and O(T)
+// per-window self-generation, the maximum load is O(B/n + (log log n)^2)
+// w.h.p.; the §4.3 one-shot pre-round keeps the collision games small.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace clb;
+  util::Cli cli("EXP-11: adversarial tree-spawn model");
+  const auto n = cli.flag_u64("n", 1 << 13, "processors");
+  const auto steps = cli.flag_u64("steps", 1500, "steps per run");
+  const auto seed = cli.flag_u64("seed", 1, "seed");
+  cli.parse(argc, argv);
+
+  util::print_banner("EXP-11  adversarial model: max load vs cap B (§1.2)");
+  util::print_note("expect: balanced max ~ O(B/n + T) for every B; "
+                   "unbalanced grows with B unboundedly");
+
+  const auto params = core::PhaseParams::from_n(*n);
+  util::Table table({"B/n", "policy", "max load", "O(B/n + T) scale",
+                     "mean load", "msgs/phase", "preround matched %"});
+  for (const std::uint64_t cap_per_proc : {2, 4, 8, 16}) {
+    // A supercritical adversary (E[children per performed task] = 1.5) so
+    // the system presses against the cap B — the regime the bound is about.
+    models::AdversarialConfig ac;
+    ac.window = params.T;
+    ac.per_window_budget = params.T;
+    ac.branch = 3;
+    ac.p_spawn = 0.5;
+    ac.p_seed = 0.1;
+    ac.cap = cap_per_proc * *n;
+
+    for (const int policy : {0, 1, 2}) {  // 0 none, 1 threshold, 2 +preround
+      models::AdversarialModel model(ac, *n);
+      std::unique_ptr<core::ThresholdBalancer> balancer;
+      if (policy > 0) {
+        balancer = std::make_unique<core::ThresholdBalancer>(
+            core::ThresholdBalancerConfig{
+                .params = params, .one_shot_preround = policy == 2});
+      }
+      sim::Engine eng({.n = *n, .seed = *seed}, &model, balancer.get());
+      eng.run(*steps);
+      double preround_pct = 0;
+      if (balancer) {
+        const auto& agg = balancer->aggregate();
+        if (agg.total_matched > 0) {
+          preround_pct = 100.0 *
+                         static_cast<double>(agg.total_preround_matched) /
+                         static_cast<double>(agg.total_matched);
+        }
+      }
+      table.row()
+          .cell(cap_per_proc)
+          .cell(policy == 0 ? "none"
+                            : (policy == 1 ? "threshold"
+                                           : "threshold+preround"))
+          .cell(eng.running_max_load())
+          .cell(static_cast<double>(cap_per_proc + params.T), 0)
+          .cell(static_cast<double>(eng.total_load()) /
+                    static_cast<double>(*n),
+                2)
+          .cell(balancer ? util::format_double(
+                               balancer->aggregate().messages_per_phase.mean(),
+                               1)
+                         : std::string("-"))
+          .cell(balancer ? util::format_double(preround_pct, 1)
+                         : std::string("-"));
+    }
+  }
+  clb::bench::emit(table, "adversarial_1");
+  return 0;
+}

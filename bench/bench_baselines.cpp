@@ -1,0 +1,88 @@
+// EXP-13 — head-to-head comparison against every related scheme the paper
+// discusses: none, RSU91, LM93, Lauer95, random seeking (MD96), all-in-air
+// (Concluding Remarks), and the supermarket model (Mit96) as a
+// continuous-time reference. Metrics: max load, mean load, messages per
+// consumed task, locality, p99 sojourn.
+#include <memory>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace clb;
+  util::Cli cli("EXP-13: baseline comparison under the Single model");
+  const auto n = cli.flag_u64("n", 1 << 13, "processors");
+  const auto steps = cli.flag_u64("steps", 4000, "steps per run");
+  const auto seed = cli.flag_u64("seed", 1, "seed");
+  cli.parse(argc, argv);
+
+  util::print_banner("EXP-13  all policies under Single(0.4, 0.1)");
+  util::print_note("expect: threshold ~ all-in-air on max load, but with "
+                   "orders-of-magnitude fewer messages and ~1.0 locality; "
+                   "none drifts to Theta(log n)");
+
+  util::Table table({"policy", "max load", "mean load", "msgs/task",
+                     "moved/task", "locality", "p99 sojourn"});
+
+  auto report = [&](const std::string& name, sim::Engine& eng) {
+    const auto tasks = eng.total_generated();
+    table.row()
+        .cell(name)
+        .cell(eng.running_max_load())
+        .cell(static_cast<double>(eng.total_load()) /
+                  static_cast<double>(*n),
+              2)
+        .cell(static_cast<double>(eng.messages().protocol_total()) /
+                  static_cast<double>(tasks),
+              4)
+        .cell(static_cast<double>(eng.messages().tasks_moved) /
+                  static_cast<double>(tasks),
+              4)
+        .cell(eng.locality_fraction(), 3)
+        .cell(eng.sojourn_histogram().quantile(0.99));
+  };
+
+  auto run_with = [&](const std::string& name,
+                      std::unique_ptr<sim::Balancer> balancer) {
+    models::SingleModel model(0.4, 0.1);
+    sim::Engine eng({.n = *n, .seed = *seed, .track_sojourn = true}, &model,
+                    balancer.get());
+    eng.run(*steps);
+    report(name, eng);
+  };
+
+  run_with("none", nullptr);
+  run_with("threshold (ours)",
+           std::make_unique<core::ThresholdBalancer>(
+               core::ThresholdBalancerConfig{
+                   .params = core::PhaseParams::from_n(*n)}));
+  run_with("rsu91", std::make_unique<baselines::RsuBalancer>());
+  run_with("lm93", std::make_unique<baselines::LmBalancer>());
+  run_with("lauer95", std::make_unique<baselines::LauerBalancer>());
+  run_with("lauer95(est. avg)",
+           std::make_unique<baselines::LauerBalancer>(
+               baselines::LauerConfig{.estimate_average = true}));
+  run_with("random-seeking",
+           std::make_unique<baselines::RandomSeekingBalancer>());
+  run_with("all-in-air", std::make_unique<baselines::AllInAirBalancer>());
+  run_with("all-in-air(2-choice)",
+           std::make_unique<baselines::AllInAirBalancer>(
+               baselines::AllInAirConfig{.two_choice = true}));
+  clb::bench::emit(table, "baselines_1");
+
+  // Supermarket reference (different machine model: continuous time,
+  // sequential placement) for the max-queue shape only.
+  queueing::SupermarketConfig sc;
+  sc.n = *n;
+  sc.lambda = 0.8;
+  sc.d = 2;
+  sc.horizon = 60.0;
+  sc.warmup = 20.0;
+  sc.seed = *seed;
+  const auto sm = run_supermarket(sc);
+  std::printf("\n  supermarket reference (Mit96, lambda=0.8, d=2): max queue "
+              "%llu, mean sojourn %.2f, %.1f msgs/customer\n",
+              static_cast<unsigned long long>(sm.max_queue), sm.mean_sojourn,
+              static_cast<double>(sm.messages) /
+                  static_cast<double>(sm.arrivals));
+  return 0;
+}

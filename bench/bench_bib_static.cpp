@@ -1,0 +1,131 @@
+// EXP-12 — §1.1 known results, m = n balls into n bins:
+//   single choice   Theta(log n / log log n)
+//   ABKU greedy-d   log log n / log d + Theta(1)
+//   ACMR parallel   r rounds, max load <= r * T
+//   Stemann         collision-based, O(sqrt[r]{log n / log log n}) per round
+//   BMS weighted    weighted greedy-d
+//   ABKU infinite   stationary max < log log n / log d + O(1)
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace clb;
+  util::Cli cli("EXP-12: static balls-into-bins reference table");
+  const auto trials = cli.flag_u64("trials", 5, "independent trials");
+  const auto seed = cli.flag_u64("seed", 1, "base seed");
+  cli.parse(argc, argv);
+
+  util::print_banner("EXP-12  known results: m = n balls into n bins (§1.1)");
+  util::print_note("expect: single-choice ~ log n/log log n; greedy-2 ~ "
+                   "log log n; parallel games match with few rounds");
+
+  util::Table table({"n", "single (worst)", "pred", "greedy-2 (worst)",
+                     "pred", "greedy-4", "ACMR r=2 max", "ACMR rank-2r",
+                     "Stemann max/rounds", "infinite-2 max"});
+  for (const std::uint64_t n : bench::default_sizes()) {
+    std::uint64_t single = 0, g2 = 0, g4 = 0, acmr = 0, acmr_rank = 0,
+                  stem = 0, stem_rounds = 0, inf2 = 0;
+    bench::for_trials(*trials, *seed, [&](std::uint64_t s) {
+      single = std::max(single, bib::single_choice(n, n, s).max_load);
+      g2 = std::max(g2, bib::greedy_d(n, n, 2, s).max_load);
+      g4 = std::max(g4, bib::greedy_d(n, n, 4, s).max_load);
+      acmr = std::max(acmr, bib::acmr_parallel(n, n, {.rounds = 2}, s).max_load);
+      acmr_rank = std::max(acmr_rank,
+                           bib::acmr_greedy_2round(n, n, 2, s).max_load);
+      const auto st = bib::stemann_collision(n, n, 32, s);
+      stem = std::max(stem, st.max_load);
+      stem_rounds = std::max<std::uint64_t>(stem_rounds, st.rounds);
+      inf2 = std::max(inf2, bib::infinite_greedy_d(n, 2, 5 * n, s).max_load);
+    });
+    table.row()
+        .cell(n)
+        .cell(single)
+        .cell(analysis::expected_max_single_choice(n, n), 1)
+        .cell(g2)
+        .cell(analysis::bib_greedy_d_max(n, 2), 1)
+        .cell(g4)
+        .cell(acmr)
+        .cell(acmr_rank)
+        .cell(std::to_string(stem) + "/" + std::to_string(stem_rounds))
+        .cell(inf2);
+  }
+  clb::bench::emit(table, "bib_static_1");
+
+  // Communication/ max-load trade-off across rounds (the ACMR lower bound's
+  // shape: more rounds buy a lower max load).
+  util::print_banner("EXP-12c  rounds vs max load trade-off, n = 2^16");
+  {
+    const std::uint64_t n = 1 << 16;
+    util::Table t({"r", "ACMR max (worst)", "ACMR unallocated",
+                   "ACMR msgs/ball", "Stemann max", "lower-bound shape"});
+    for (const std::uint32_t r : {1u, 2u, 3u, 4u, 5u}) {
+      std::uint64_t acmr_max = 0, acmr_left = 0, acmr_msgs = 0;
+      std::uint64_t stem_max = 0;
+      bench::for_trials(*trials, *seed, [&](std::uint64_t s) {
+        const auto ar = bib::acmr_parallel(n, n, {.rounds = r}, s);
+        acmr_max = std::max(acmr_max, ar.max_load);
+        acmr_left = std::max(acmr_left, ar.unallocated);
+        acmr_msgs = std::max(acmr_msgs, ar.messages);
+        const auto st = bib::stemann_collision(n, n, r, s);
+        stem_max = std::max(stem_max, st.max_load + st.unallocated / n);
+      });
+      const double lg = std::log2(static_cast<double>(n));
+      const double shape = std::pow(lg / std::log2(lg), 1.0 / r);
+      t.row()
+          .cell(static_cast<std::uint64_t>(r))
+          .cell(acmr_max)
+          .cell(acmr_left)
+          .cell(static_cast<double>(acmr_msgs) / static_cast<double>(n), 2)
+          .cell(stem_max)
+          .cell(shape, 2);
+    }
+    clb::bench::emit(t, "bib_static_2");
+    util::print_note("ACMR's threshold shrinks as the r-th root; Stemann "
+                     "trades leftover balls for flat per-round acceptance.");
+  }
+
+  // Weighted balls (BMS97): uniformity ratio sweep.
+  util::print_banner("EXP-12b  weighted greedy-2 (BMS97), n = 2^14 balls");
+  const std::uint64_t n = 1 << 14;
+  util::Table wtable({"weight distribution", "avg W", "max W",
+                      "max bin weight", "bound-ish m/n*WA + WM"});
+  auto run_weighted = [&](const std::string& label,
+                          std::vector<double> weights) {
+    double wa = 0, wm = 0;
+    for (const double w : weights) {
+      wa += w;
+      wm = std::max(wm, w);
+    }
+    wa /= static_cast<double>(weights.size());
+    std::uint64_t worst = 0;
+    bench::for_trials(*trials, *seed, [&](std::uint64_t s) {
+      worst = std::max(worst,
+                       bib::weighted_greedy_d(weights, n, 2, s).max_load);
+    });
+    wtable.row()
+        .cell(label)
+        .cell(wa, 2)
+        .cell(wm, 2)
+        .cell(worst)
+        .cell(wa + wm, 2);
+  };
+  {
+    std::vector<double> uniform(n, 1.0);
+    run_weighted("uniform 1.0", uniform);
+  }
+  {
+    rng::Xoshiro256 r(*seed);
+    std::vector<double> skew(n);
+    for (auto& w : skew) w = rng::exponential(r, 1.0);
+    run_weighted("Exp(1)", skew);
+  }
+  {
+    rng::Xoshiro256 r(*seed + 1);
+    std::vector<double> heavy(n, 0.5);
+    for (std::size_t i = 0; i < n / 100; ++i) {
+      heavy[rng::bounded(r, n)] = 20.0;
+    }
+    run_weighted("0.5 + 1% x20.0", heavy);
+  }
+  clb::bench::emit(wtable, "bib_static_3");
+  return 0;
+}

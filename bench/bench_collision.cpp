@@ -1,0 +1,102 @@
+// EXP-01 — Lemma 1 / Figure 1: the (n, beta, a, b, c)-collision protocol.
+//
+// Reproduces: with (a, b, c) = (5, 2, 1) the protocol terminates with a
+// valid assignment within log log n / log 3 + 3 rounds (<= 5 log log n
+// steps), every processor answers at most c queries, every request gets
+// >= b accepts, and the total message count is O(a * m) = O(n).
+//
+//   ./bench_collision [--trials 10] [--beta 0.01]
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace clb;
+  util::Cli cli("EXP-01: collision protocol (Lemma 1, Figure 1)");
+  const auto trials = cli.flag_u64("trials", 10, "independent trials");
+  const auto beta = cli.flag_f64("beta", 0.01, "request fraction m/n");
+  const auto seed = cli.flag_u64("seed", 1, "base seed");
+  cli.parse(argc, argv);
+
+  util::print_banner(
+      "EXP-01  collision protocol: rounds, validity, messages (Lemma 1)");
+  util::print_note("expect: rounds <= bound, valid = trials, accepts/proc <= c,"
+                   " queries/request ~ a = 5");
+
+  util::Table table({"n", "requests", "round_bound", "rounds(max)",
+                     "mf rounds", "valid", "steps(5*rounds)", "step_bound",
+                     "queries/request", "mf q/req", "max_accepts/proc"});
+  for (const std::uint64_t n : bench::default_sizes()) {
+    collision::CollisionGame game(n, {.a = 5, .b = 2, .c = 1});
+    const auto m = static_cast<std::uint64_t>(
+        *beta * static_cast<double>(n));
+    std::vector<std::uint32_t> requesters;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      requesters.push_back(static_cast<std::uint32_t>(i * (n / m)));
+    }
+    std::uint64_t valid = 0, worst_rounds = 0;
+    std::uint32_t worst_accepts = 0;
+    stats::OnlineMoments queries_per_request;
+    bench::for_trials(*trials, *seed, [&](std::uint64_t s) {
+      const auto out = game.run(requesters, s);
+      valid += out.valid ? 1 : 0;
+      worst_rounds = std::max<std::uint64_t>(worst_rounds, out.rounds_used);
+      queries_per_request.add(static_cast<double>(out.query_messages) /
+                              static_cast<double>(m));
+      for (const auto& [proc, count] : out.per_proc_accepts) {
+        worst_accepts = std::max(worst_accepts, count);
+      }
+    });
+    const auto mf = analysis::collision_meanfield(
+        n, m, 5, 2, 16, 0.5 / static_cast<double>(m));
+    table.row()
+        .cell(n)
+        .cell(m)
+        .cell(static_cast<std::uint64_t>(game.paper_round_bound()))
+        .cell(worst_rounds)
+        .cell(static_cast<std::uint64_t>(mf.rounds_to_finish))
+        .cell(std::to_string(valid) + "/" + std::to_string(*trials))
+        .cell(5 * worst_rounds)
+        .cell(analysis::collision_step_bound_lemma1(n), 1)
+        .cell(queries_per_request.mean(), 2)
+        .cell(mf.queries_per_request, 2)
+        .cell(static_cast<std::uint64_t>(worst_accepts));
+  }
+  clb::bench::emit(table, "collision_1");
+
+  // Second table: (a, b, c) sweep at fixed n, showing the c(a-b) >= 2
+  // applicability frontier the paper states.
+  util::print_banner("EXP-01b  (a,b,c) sweep at n = 2^16, beta = 0.01");
+  util::Table sweep({"a", "b", "c", "conditions", "valid", "rounds(max)",
+                     "queries/request"});
+  const std::uint64_t n = 1 << 16;
+  const auto m = static_cast<std::uint64_t>(*beta * static_cast<double>(n));
+  std::vector<std::uint32_t> requesters;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    requesters.push_back(static_cast<std::uint32_t>(i * (n / m)));
+  }
+  for (const auto& [a, b, c] :
+       std::initializer_list<std::tuple<std::uint32_t, std::uint32_t,
+                                        std::uint32_t>>{
+           {5, 2, 1}, {4, 2, 1}, {6, 3, 1}, {5, 2, 2}, {3, 2, 1}, {4, 1, 1}}) {
+    collision::CollisionGame game(n, {.a = a, .b = b, .c = c,
+                                      .max_rounds = 24});
+    std::uint64_t valid = 0, worst_rounds = 0;
+    stats::OnlineMoments qpr;
+    bench::for_trials(*trials, *seed, [&](std::uint64_t s) {
+      const auto out = game.run(requesters, s);
+      valid += out.valid ? 1 : 0;
+      worst_rounds = std::max<std::uint64_t>(worst_rounds, out.rounds_used);
+      qpr.add(static_cast<double>(out.query_messages) /
+              static_cast<double>(m));
+    });
+    sweep.row()
+        .cell(static_cast<std::uint64_t>(a))
+        .cell(static_cast<std::uint64_t>(b))
+        .cell(static_cast<std::uint64_t>(c))
+        .cell(game.conditions_hold(*beta) ? "hold" : "violated")
+        .cell(std::to_string(valid) + "/" + std::to_string(*trials))
+        .cell(worst_rounds)
+        .cell(qpr.mean(), 2);
+  }
+  clb::bench::emit(sweep, "collision_2");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// EXP-15 — google-benchmark microbenchmarks: engine step throughput, RNG
+// throughput, collision-round cost, FIFO queue ops. These guard the
+// simulator's performance envelope (everything else runs on top of it).
+#include <benchmark/benchmark.h>
+
+#include "clb.hpp"
+
+namespace {
+
+using namespace clb;
+
+void BM_PhiloxU64(benchmark::State& state) {
+  rng::CounterRng rng(1, 2, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_PhiloxU64);
+
+void BM_XoshiroU64(benchmark::State& state) {
+  rng::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_XoshiroU64);
+
+void BM_BoundedDraw(benchmark::State& state) {
+  rng::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::bounded(rng, 12345));
+  }
+}
+BENCHMARK(BM_BoundedDraw);
+
+void BM_FifoPushPop(benchmark::State& state) {
+  sim::FifoQueue q;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    q.push_back(sim::Task{i++, 0});
+    if (q.size() > 64) benchmark::DoNotOptimize(q.pop_front());
+  }
+}
+BENCHMARK(BM_FifoPushPop);
+
+void BM_EngineStepUnbalanced(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  models::SingleModel model(0.4, 0.1);
+  sim::Engine eng({.n = n, .seed = 1}, &model, nullptr);
+  eng.run(100);  // reach steady state
+  for (auto _ : state) {
+    eng.step_once();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineStepUnbalanced)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_EngineStepBalanced(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  models::SingleModel model(0.4, 0.1);
+  core::ThresholdBalancer balancer({.params = core::PhaseParams::from_n(n)});
+  sim::Engine eng({.n = n, .seed = 1}, &model, &balancer);
+  eng.run(100);
+  for (auto _ : state) {
+    eng.step_once();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineStepBalanced)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_CollisionGame(benchmark::State& state) {
+  const std::uint64_t n = 1 << 14;
+  const auto m = static_cast<std::uint64_t>(state.range(0));
+  collision::CollisionGame game(n, {.a = 5, .b = 2, .c = 1});
+  std::vector<std::uint32_t> requesters;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    requesters.push_back(static_cast<std::uint32_t>(i * (n / m)));
+  }
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game.run(requesters, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_CollisionGame)->Arg(64)->Arg(512);
+
+void BM_SupermarketHorizon(benchmark::State& state) {
+  queueing::SupermarketConfig cfg;
+  cfg.n = 1024;
+  cfg.lambda = 0.9;
+  cfg.horizon = 10.0;
+  cfg.warmup = 2.0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(queueing::run_supermarket(cfg));
+  }
+}
+BENCHMARK(BM_SupermarketHorizon);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// EXP-06 — Lemmas 5 and 6: each heavy processor finds a light balancing
+// partner within the phase, w.h.p., building query trees of depth
+// o(log log n).
+//
+// Measures: match rate, tree levels actually used, collision rounds per
+// phase, and the phase step budget (the paper charges 5 log log n steps per
+// level, total <= (1/16)(log log n)^2).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace clb;
+  util::Cli cli("EXP-06: partner search success and tree depth (Lemmas 5-6)");
+  const auto steps = cli.flag_u64("steps", 3000, "steps per run");
+  const auto trials = cli.flag_u64("trials", 2, "independent trials");
+  const auto seed = cli.flag_u64("seed", 1, "base seed");
+  cli.parse(argc, argv);
+
+  util::print_banner("EXP-06  every heavy finds a light (Lemmas 5-6)");
+  util::print_note("expect: match rate ~1.0, unmatched ~0, levels used well "
+                   "below the depth budget, rounds <= Lemma 1 bound per level");
+
+  util::Table table({"n", "depth budget", "levels used (mean/max)",
+                     "match rate", "unmatched total", "heavy total",
+                     "rounds/level", "lemma1 round bound"});
+  for (const std::uint64_t n : bench::default_sizes()) {
+    const auto params = core::PhaseParams::from_n(n);
+    stats::OnlineMoments levels, match_rate;
+    std::uint64_t unmatched = 0, heavy_total = 0, max_levels = 0;
+    bench::for_trials(*trials, *seed, [&](std::uint64_t s) {
+      bench::ThresholdRun run(n, s);
+      run.engine.run(*steps);
+      const auto& agg = run.balancer.aggregate();
+      if (agg.phases_with_heavy > 0) {
+        levels.add(agg.levels_per_phase.mean());
+        match_rate.add(agg.match_rate.mean());
+      }
+      max_levels = std::max(max_levels, agg.max_levels_used);
+      unmatched += agg.total_unmatched;
+      heavy_total += static_cast<std::uint64_t>(
+          agg.heavy_per_phase.mean() * static_cast<double>(agg.phases));
+    });
+    // Rounds per level measured directly from one instrumented run.
+    bench::ThresholdRun probe(n, rng::hash_combine(*seed, 777));
+    std::uint64_t rounds_sum = 0, levels_sum = 0;
+    for (std::uint64_t s = 0; s < *steps; ++s) {
+      probe.engine.step_once();
+      const auto& ps = probe.balancer.last_phase();
+      if (ps.start_step == s && ps.levels_used > 0) {
+        rounds_sum += ps.collision_rounds;
+        levels_sum += ps.levels_used;
+      }
+    }
+    table.row()
+        .cell(n)
+        .cell(static_cast<std::uint64_t>(params.tree_depth))
+        .cell(util::format_double(levels.mean(), 2) + " / " +
+              std::to_string(max_levels))
+        .cell(match_rate.mean(), 5)
+        .cell(unmatched)
+        .cell(heavy_total)
+        .cell(levels_sum ? static_cast<double>(rounds_sum) /
+                               static_cast<double>(levels_sum)
+                         : 0.0,
+              2)
+        .cell(analysis::collision_round_bound(n, 5, 2, 1), 2);
+  }
+  clb::bench::emit(table, "partner_search_1");
+
+  // Lemma 5 directly: probability that a batch of k random processors
+  // contains no light one, as a function of k (the paper needs
+  // k = Theta(log n / log log n) for w.h.p. success).
+  util::print_banner("EXP-06b  P[no light among k random procs] (Lemma 5)");
+  const std::uint64_t n = 1 << 14;
+  bench::ThresholdRun run(n, *seed);
+  run.engine.run(*steps);
+  const auto light_threshold = run.balancer.params().light_threshold;
+  std::uint64_t lights = 0;
+  for (std::uint64_t p = 0; p < n; ++p) {
+    if (run.engine.load(p) <= light_threshold) ++lights;
+  }
+  const double p_not_light =
+      1.0 - static_cast<double>(lights) / static_cast<double>(n);
+  util::Table lemma5({"k asked", "P[all non-light] = (1-frac)^k"});
+  for (const std::uint64_t k : {1, 2, 4, 6, 8, 12, 16}) {
+    lemma5.row()
+        .cell(k)
+        .cell(std::pow(p_not_light, static_cast<double>(k)), 6);
+  }
+  std::printf("  light fraction at n=%llu: %.3f\n",
+              static_cast<unsigned long long>(n),
+              static_cast<double>(lights) / static_cast<double>(n));
+  clb::bench::emit(lemma5, "partner_search_2");
+  return 0;
+}

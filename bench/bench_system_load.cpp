@@ -1,0 +1,58 @@
+// EXP-04 — Lemma 3: the balanced system's total load stays O(n) w.h.p.
+// (balancing does not destabilise the system; Section 4.2's coupling
+// argument says it consumes at least as fast as the unbalanced system).
+//
+// Tracks total load over time for balanced vs unbalanced runs, and prints
+// the worst per-processor average over checkpoints.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace clb;
+  util::Cli cli("EXP-04: total system load over time (Lemma 3)");
+  const auto n = cli.flag_u64("n", 1 << 14, "processors");
+  const auto steps = cli.flag_u64("steps", 6000, "steps");
+  const auto checkpoints = cli.flag_u64("checkpoints", 12, "rows printed");
+  const auto seed = cli.flag_u64("seed", 1, "seed");
+  cli.parse(argc, argv);
+
+  util::print_banner("EXP-04  system load stays O(n) (Lemma 3)");
+  util::print_note("expect: both columns hover near E[load]*n = 2n; the "
+                   "balanced one never exceeds the unbalanced trend");
+
+  models::SingleModel bm(0.4, 0.1);
+  core::ThresholdBalancer balancer(
+      {.params = core::PhaseParams::from_n(*n)});
+  sim::Engine balanced({.n = *n, .seed = *seed}, &bm, &balancer);
+  models::SingleModel um(0.4, 0.1);
+  sim::Engine unbalanced({.n = *n, .seed = *seed}, &um, nullptr);
+
+  util::Table table({"step", "balanced load/n", "unbalanced load/n",
+                     "balanced max", "unbalanced max"});
+  const std::uint64_t stride = *steps / *checkpoints;
+  std::uint64_t worst_bal = 0;
+  for (std::uint64_t c = 1; c <= *checkpoints; ++c) {
+    balanced.run(stride);
+    unbalanced.run(stride);
+    worst_bal = std::max(worst_bal, balanced.total_load());
+    table.row()
+        .cell(balanced.step())
+        .cell(static_cast<double>(balanced.total_load()) /
+                  static_cast<double>(*n),
+              3)
+        .cell(static_cast<double>(unbalanced.total_load()) /
+                  static_cast<double>(*n),
+              3)
+        .cell(balanced.step_max_load())
+        .cell(unbalanced.step_max_load());
+  }
+  clb::bench::emit(table, "system_load_1");
+  std::printf("\n  worst balanced load/n over run: %.3f (prediction %.3f)\n",
+              static_cast<double>(worst_bal) / static_cast<double>(*n),
+              bm.expected_load_per_processor());
+  std::printf("  conservation check: generated %llu = consumed %llu + "
+              "in-system %llu\n",
+              static_cast<unsigned long long>(balanced.total_generated()),
+              static_cast<unsigned long long>(balanced.total_consumed()),
+              static_cast<unsigned long long>(balanced.total_load()));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// EXP-16 (extension) — hop-weighted communication cost on real machine
+// graphs. The paper charges one unit per message (complete graph); on a
+// ring / torus / hypercube each message to an i.u.a.r. partner costs
+// mean_hops() links in expectation, so the link-level gap between the
+// threshold algorithm and balls-into-bins allocation widens by exactly that
+// factor. (Every partner choice in both schemes is i.u.a.r., making the
+// re-weighting exact, not an approximation.)
+#include <memory>
+
+#include "common.hpp"
+#include "net/topology.hpp"
+
+int main(int argc, char** argv) {
+  using namespace clb;
+  util::Cli cli("EXP-16: hop-weighted communication on machine graphs");
+  const auto n = cli.flag_u64("n", 1 << 14, "processors (power of two)");
+  const auto steps = cli.flag_u64("steps", 3000, "steps per run");
+  const auto seed = cli.flag_u64("seed", 1, "seed");
+  cli.parse(argc, argv);
+  CLB_CHECK(util::is_pow2(*n), "n must be a power of two (hypercube)");
+
+  util::print_banner("EXP-16  link traffic: threshold vs balls-into-bins");
+  util::print_note("expect: per-link-hop costs scale with mean hops; the "
+                   "threshold scheme's advantage is preserved (or widened) "
+                   "on sparse graphs");
+
+  // One threshold run provides the message counts; the greedy-2 comparator
+  // ships every task (3 messages + 1 payload per task).
+  bench::ThresholdRun run(*n, *seed);
+  run.engine.run(*steps);
+  const auto generated = run.engine.total_generated();
+  const double ours_msgs =
+      static_cast<double>(run.engine.messages().protocol_total());
+  const double ours_payload =
+      static_cast<double>(run.engine.messages().tasks_moved);
+  const double bib_msgs = 3.0 * static_cast<double>(generated);
+  const double bib_payload = static_cast<double>(generated);
+
+  const std::uint64_t side = 1ULL << (util::ilog2(*n) / 2);
+  std::unique_ptr<net::Topology> tops[] = {
+      std::make_unique<net::CompleteTopology>(*n),
+      std::make_unique<net::HypercubeTopology>(*n),
+      std::make_unique<net::Torus2D>(side, *n / side),
+      std::make_unique<net::RingTopology>(*n),
+  };
+  util::Table table({"topology", "degree", "mean hops",
+                     "ours link-units/task", "bib link-units/task",
+                     "advantage x"});
+  for (const auto& t : tops) {
+    const double h = t->mean_hops();
+    const double ours =
+        h * (ours_msgs + ours_payload) / static_cast<double>(generated);
+    const double bib =
+        h * (bib_msgs + bib_payload) / static_cast<double>(generated);
+    table.row()
+        .cell(t->name())
+        .cell(static_cast<std::uint64_t>(t->degree()))
+        .cell(h, 2)
+        .cell(ours, 3)
+        .cell(bib, 3)
+        .cell(bib / ours, 1);
+  }
+  clb::bench::emit(table, "topology_1");
+  util::print_note("the advantage factor is hop-independent for uniform "
+                   "partners; what changes is the absolute link budget a "
+                   "machine must provision — tiny for the threshold scheme "
+                   "even on a ring.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// EXP-02 — Lemma 2: in the unbalanced system, a processor's stationary load
+// is geometric, P[load = k] = (1-rho) rho^k, and the total system load is
+// O(n) w.h.p.
+//
+// Prints the empirical load pmf/tail next to the closed-form Markov-chain
+// prediction, plus the measured max load vs the Theta(log n) prediction
+// (expected_max_load), across machine sizes.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace clb;
+  util::Cli cli("EXP-02: unbalanced stationary load (Lemma 2)");
+  const auto steps = cli.flag_u64("steps", 3000, "steps (must pass mixing)");
+  const auto p = cli.flag_f64("p", 0.4, "generation probability");
+  const auto eps = cli.flag_f64("eps", 0.1, "consumption surplus");
+  const auto seed = cli.flag_u64("seed", 1, "seed");
+  cli.parse(argc, argv);
+
+  analysis::SingleModelChain chain(*p, *eps);
+  util::print_banner("EXP-02  unbalanced system: load distribution (Lemma 2)");
+  std::printf("  Single(p=%.2f, eps=%.2f): rho = %.4f, E[load] = %.3f\n",
+              *p, *eps, chain.rho(), chain.expected_load());
+  util::print_note("expect: empirical tail ~ rho^k; max load ~ log n shape; "
+                   "system load ~ E[load] * n");
+
+  // Tail table at the largest default size.
+  const std::uint64_t n_tail = 1 << 15;
+  models::SingleModel model(*p, *eps);
+  sim::Engine eng({.n = n_tail, .seed = *seed}, &model, nullptr);
+  eng.run(*steps);
+  const auto h = eng.load_histogram();
+  util::Table tail({"k", "P[load=k] measured", "predicted (1-rho)rho^k",
+                    "P[load>=k] measured", "predicted rho^k"});
+  for (std::uint64_t k = 0; k <= 12; ++k) {
+    tail.row()
+        .cell(k)
+        .cell(static_cast<double>(h.count_at(k)) /
+                  static_cast<double>(h.total()),
+              4)
+        .cell(chain.stationary(k), 4)
+        .cell(h.tail_at_least(k), 4)
+        .cell(chain.tail_at_least(k), 4);
+  }
+  std::printf("\n  load pmf/tail at n = %llu after %llu steps:\n",
+              static_cast<unsigned long long>(n_tail),
+              static_cast<unsigned long long>(*steps));
+  clb::bench::emit(tail, "unbalanced_tail_1");
+
+  // Max-load and system-load scaling across n (mean over trials so the
+  // log n growth reads through single-seed outliers).
+  const std::uint64_t kScaleTrials = 3;
+  util::Table scale({"n", "max_load (mean over trials)",
+                     "predicted E[max] (log n)", "system_load/n",
+                     "predicted E[load]"});
+  for (const std::uint64_t n : bench::default_sizes()) {
+    stats::OnlineMoments max_load, sys_load;
+    bench::for_trials(kScaleTrials, rng::hash_combine(*seed, n),
+                      [&](std::uint64_t s) {
+      models::SingleModel m(*p, *eps);
+      sim::Engine e({.n = n, .seed = s}, &m, nullptr);
+      e.run(*steps);
+      max_load.add(static_cast<double>(e.step_max_load()));
+      sys_load.add(static_cast<double>(e.total_load()) /
+                   static_cast<double>(n));
+    });
+    scale.row()
+        .cell(n)
+        .cell(max_load.mean(), 1)
+        .cell(chain.expected_max_load(n), 2)
+        .cell(sys_load.mean(), 3)
+        .cell(chain.expected_load(), 3);
+  }
+  std::printf("\n  scaling across machine sizes:\n");
+  clb::bench::emit(scale, "unbalanced_tail_2");
+  return 0;
+}

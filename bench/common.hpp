@@ -1,0 +1,67 @@
+// Shared helpers for the experiment harnesses (bench_*).
+//
+// Every bench prints: a banner naming the paper statement it reproduces, the
+// realised parameters, a results table with measured and predicted columns,
+// and a SHAPE note saying what to look for. Defaults are sized to finish in
+// seconds on one laptop core; --n/--steps/--trials scale up.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "clb.hpp"
+
+namespace clb::bench {
+
+/// Prints the table to stdout and, when the CLB_BENCH_CSV_DIR environment
+/// variable names a directory, also writes `<dir>/<id>.csv` so plots and
+/// regression dashboards can consume the raw numbers.
+inline void emit(const util::Table& table, const std::string& id) {
+  std::fputs(table.str().c_str(), stdout);
+  if (const char* dir = std::getenv("CLB_BENCH_CSV_DIR")) {
+    const std::string path = std::string(dir) + "/" + id + ".csv";
+    if (FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fputs(table.csv().c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    }
+  }
+}
+
+/// Standard sweep of machine sizes (powers of two).
+inline std::vector<std::uint64_t> default_sizes() {
+  return {1u << 10, 1u << 12, 1u << 14, 1u << 16};
+}
+
+/// Formats "mean +- ci" from an OnlineMoments.
+inline std::string mean_ci(const stats::OnlineMoments& m, int precision = 2) {
+  return util::format_double(m.mean(), precision) + " +- " +
+         util::format_double(m.ci95_half_width(), precision);
+}
+
+/// Runs `fn(seed)` for `trials` distinct seeds derived from `base_seed`.
+template <typename Fn>
+void for_trials(std::uint64_t trials, std::uint64_t base_seed, Fn&& fn) {
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    fn(rng::hash_combine(base_seed, t + 1));
+  }
+}
+
+/// Builds a Single-model engine + threshold balancer pair for one run.
+struct ThresholdRun {
+  models::SingleModel model;
+  core::ThresholdBalancer balancer;
+  sim::Engine engine;
+
+  ThresholdRun(std::uint64_t n, std::uint64_t seed, double p = 0.4,
+               double eps = 0.1, core::Fractions fractions = {},
+               bool track_sojourn = false)
+      : model(p, eps),
+        balancer({.params = core::PhaseParams::from_n(n, fractions)}),
+        engine({.n = n, .seed = seed, .track_sojourn = track_sojourn},
+               &model, &balancer) {}
+};
+
+}  // namespace clb::bench

@@ -1,0 +1,76 @@
+// Scenario: tree-structured parallel computation (branch-and-bound /
+// divide-and-conquer), the paper's Adversarial model: every task being
+// performed may spawn a constant number of children, the total system load
+// is capped by B, and each processor may change its own load by O(T) per
+// window. Shows the O(B + (log log n)^2) bound and the §4.3 one-shot
+// pre-round variant.
+//
+//   ./adversarial_tree [--n 4096] [--steps 20000] [--cap-per-proc 4]
+#include <cstdio>
+
+#include "clb.hpp"
+
+int main(int argc, char** argv) {
+  clb::util::Cli cli("adversarial_tree: tree-structured task spawning");
+  const auto n = cli.flag_u64("n", 4096, "number of processors");
+  const auto steps = cli.flag_u64("steps", 20000, "simulation steps");
+  const auto cap_per_proc =
+      cli.flag_u64("cap-per-proc", 4, "system load cap B as multiple of n");
+  const auto branch = cli.flag_u64("branch", 3, "children per spawning task");
+  const auto seed = cli.flag_u64("seed", 11, "random seed");
+  cli.parse(argc, argv);
+
+  const auto params = clb::core::PhaseParams::from_n(*n);
+  clb::models::AdversarialConfig ac;
+  ac.window = params.T;
+  ac.per_window_budget = params.T;
+  ac.branch = static_cast<std::uint32_t>(*branch);
+  ac.p_spawn = 0.35;
+  ac.p_seed = 0.05;
+  ac.cap = *cap_per_proc * *n;
+
+  clb::util::print_banner("adversarial tree-spawn workload");
+  std::printf("parameters: %s, B = %llu (%llu per proc)\n",
+              params.describe().c_str(),
+              static_cast<unsigned long long>(ac.cap),
+              static_cast<unsigned long long>(*cap_per_proc));
+
+  clb::util::Table table({"policy", "max_load", "bound B/n + T", "mean_load",
+                          "msgs/phase", "unmatched"});
+  for (const bool preround : {false, true}) {
+    clb::models::AdversarialModel model(ac, *n);
+    clb::core::ThresholdBalancer balancer(
+        {.params = params, .one_shot_preround = preround});
+    clb::sim::Engine eng({.n = *n, .seed = *seed}, &model, &balancer);
+    eng.run(*steps);
+    table.row()
+        .cell(preround ? "threshold+preround (§4.3)" : "threshold")
+        .cell(eng.running_max_load())
+        .cell(*cap_per_proc + params.T)
+        .cell(static_cast<double>(eng.total_load()) /
+                  static_cast<double>(*n),
+              2)
+        .cell(balancer.aggregate().messages_per_phase.mean(), 1)
+        .cell(balancer.aggregate().total_unmatched);
+  }
+  // Unbalanced reference.
+  {
+    clb::models::AdversarialModel model(ac, *n);
+    clb::sim::Engine eng({.n = *n, .seed = *seed}, &model, nullptr);
+    eng.run(*steps);
+    table.row()
+        .cell("none")
+        .cell(eng.running_max_load())
+        .cell("-")
+        .cell(static_cast<double>(eng.total_load()) /
+                  static_cast<double>(*n),
+              2)
+        .cell("-")
+        .cell("-");
+  }
+  std::fputs(table.str().c_str(), stdout);
+  clb::util::print_note(
+      "max load stays O(B/n + T) with balancing; the one-shot pre-round "
+      "drains most heavies with a single message each.");
+  return 0;
+}

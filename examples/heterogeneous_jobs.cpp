@@ -1,0 +1,50 @@
+// Scenario: a render farm with heterogeneous job sizes — most frames are
+// cheap, some are huge. Demonstrates the weighted extension (EXP-17): the
+// same threshold algorithm, but classifying and shipping load by total job
+// *weight* rather than job count.
+//
+//   ./heterogeneous_jobs [--n 4096] [--steps 15000]
+#include <cstdio>
+
+#include "clb.hpp"
+
+int main(int argc, char** argv) {
+  clb::util::Cli cli("heterogeneous_jobs: weighted threshold balancing");
+  const auto n = cli.flag_u64("n", 4096, "number of workers");
+  const auto steps = cli.flag_u64("steps", 15000, "simulation steps");
+  const auto seed = cli.flag_u64("seed", 9, "random seed");
+  cli.parse(argc, argv);
+
+  // 90% weight-1 frames, 10% weight-10 "hero" frames.
+  std::vector<double> pmf(10, 0.0);
+  pmf[0] = 0.9;
+  pmf[9] = 0.1;
+
+  clb::util::print_banner("render farm with mixed job sizes");
+  clb::util::Table table({"classification", "max weight on a worker",
+                          "max job count", "p99 sojourn", "msgs/job"});
+  for (const bool by_weight : {false, true}) {
+    clb::models::WeightedSingleModel model(0.4, 0.1, pmf);
+    const auto params = clb::core::PhaseParams::from_n(
+        *n, clb::core::Fractions{.scale = model.mean_weight()});
+    clb::core::ThresholdBalancer balancer(
+        {.params = params, .weight_based = by_weight});
+    clb::sim::Engine eng({.n = *n, .seed = *seed, .track_sojourn = true},
+                         &model, &balancer);
+    eng.run(*steps);
+    table.row()
+        .cell(by_weight ? "by weight (extension)" : "by count (paper)")
+        .cell(eng.running_max_weight())
+        .cell(eng.running_max_load())
+        .cell(eng.sojourn_histogram().quantile(0.99))
+        .cell(static_cast<double>(eng.messages().protocol_total()) /
+                  static_cast<double>(eng.total_generated()),
+              4);
+  }
+  std::fputs(table.str().c_str(), stdout);
+  clb::util::print_note(
+      "counting jobs hides the hero frames: a worker with three weight-10 "
+      "jobs looks light. Weight-based thresholds keep the per-worker "
+      "backlog (and hence the tail latency) bounded.");
+  return 0;
+}

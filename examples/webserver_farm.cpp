@@ -1,0 +1,90 @@
+// Scenario: a server farm with rotating hot spots — the workload the
+// paper's introduction motivates (load generated "in place", correlated,
+// with related tasks that should stay together).
+//
+// A fraction of the farm periodically receives request bursts. We compare
+// three policies side by side:
+//   * none        — requests queue up where they land,
+//   * threshold   — the paper's algorithm,
+//   * all-in-air  — global rescatter (flat load, no locality, huge traffic).
+//
+//   ./webserver_farm [--n 8192] [--steps 20000]
+#include <cstdio>
+#include <memory>
+
+#include "clb.hpp"
+
+namespace {
+
+struct Row {
+  std::string policy;
+  std::uint64_t max_load;
+  double mean_load;
+  double sojourn_p99;
+  double locality_pct;
+  double msgs_per_task;
+};
+
+Row run_policy(const std::string& policy, std::uint64_t n,
+               std::uint64_t steps, std::uint64_t seed) {
+  clb::models::BurstConfig bc;
+  bc.p_base = 0.25;
+  bc.p_consume = 0.6;
+  bc.period = 128;
+  bc.burst_len = 8;
+  bc.hot_fraction = 0.03;
+  bc.burst_rate = 4;
+  clb::models::BurstModel model(bc, n);
+
+  std::unique_ptr<clb::sim::Balancer> balancer;
+  if (policy == "threshold") {
+    balancer = std::make_unique<clb::core::ThresholdBalancer>(
+        clb::core::ThresholdBalancerConfig{
+            .params = clb::core::PhaseParams::from_n(n)});
+  } else if (policy == "all-in-air") {
+    balancer = std::make_unique<clb::baselines::AllInAirBalancer>(
+        clb::baselines::AllInAirConfig{});
+  }
+
+  clb::sim::Engine eng({.n = n, .seed = seed, .track_sojourn = true}, &model,
+                       balancer.get());
+  eng.run(steps);
+  const auto& soj = eng.sojourn_histogram();
+  return Row{policy,
+             eng.running_max_load(),
+             static_cast<double>(eng.total_load()) / static_cast<double>(n),
+             static_cast<double>(soj.quantile(0.99)),
+             100.0 * eng.locality_fraction(),
+             static_cast<double>(eng.messages().protocol_total() +
+                                 eng.messages().control) /
+                 static_cast<double>(eng.total_generated())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  clb::util::Cli cli("webserver_farm: bursty hot spots, three policies");
+  const auto n = cli.flag_u64("n", 8192, "number of servers");
+  const auto steps = cli.flag_u64("steps", 20000, "simulation steps");
+  const auto seed = cli.flag_u64("seed", 7, "random seed");
+  cli.parse(argc, argv);
+
+  clb::util::print_banner("server farm with rotating hot spots");
+  clb::util::Table table({"policy", "max_load", "mean_load", "p99_sojourn",
+                          "locality_%", "msgs/task"});
+  for (const char* policy : {"none", "threshold", "all-in-air"}) {
+    const Row r = run_policy(policy, *n, *steps, *seed);
+    table.row()
+        .cell(r.policy)
+        .cell(r.max_load)
+        .cell(r.mean_load, 2)
+        .cell(r.sojourn_p99, 0)
+        .cell(r.locality_pct, 1)
+        .cell(r.msgs_per_task, 3);
+  }
+  std::fputs(table.str().c_str(), stdout);
+  clb::util::print_note(
+      "threshold keeps bursts bounded at a tiny message cost and high "
+      "locality; all-in-air flattens harder but ships every task around.");
+  return 0;
+}

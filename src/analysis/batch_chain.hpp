@@ -1,0 +1,94 @@
+// Stationary analysis of batch-arrival load chains — Lemma 2 generalised to
+// the Geometric / Multi / Poisson-batch models.
+//
+// Engine step semantics: generation lands first, then up to `consume` tasks
+// are consumed, so the per-processor load chain is
+//   L' = max(0, L + G - consume),   G ~ gen_pmf (i.i.d. per step).
+// This module computes the stationary distribution of that chain on a
+// truncated state space by power iteration (the truncation error is
+// negligible once the tail has decayed below ~1e-12, which the geometric
+// tail guarantees for subcritical models).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace clb::analysis {
+
+/// Stationary pmf of L' = max(0, L + G - consume) with G ~ gen_pmf.
+/// Requires E[G] < consume (subcritical). States 0..max_load (reflecting
+/// truncation at the top).
+inline std::vector<double> batch_chain_stationary(
+    const std::vector<double>& gen_pmf, std::uint32_t consume,
+    std::size_t max_load, double tol = 1e-12,
+    std::uint64_t max_iters = 500000) {
+  CLB_CHECK(!gen_pmf.empty(), "generation pmf must be non-empty");
+  CLB_CHECK(consume >= 1, "consume >= 1");
+  double mass = 0, mean = 0;
+  for (std::size_t g = 0; g < gen_pmf.size(); ++g) {
+    CLB_CHECK(gen_pmf[g] >= 0.0, "pmf entries non-negative");
+    mass += gen_pmf[g];
+    mean += static_cast<double>(g) * gen_pmf[g];
+  }
+  CLB_CHECK(mass > 0.999 && mass < 1.001, "generation pmf must sum to 1");
+  CLB_CHECK(mean < consume, "chain must be subcritical (E[G] < consume)");
+
+  const std::size_t m = max_load + 1;
+  std::vector<double> v(m, 1.0 / static_cast<double>(m));
+  std::vector<double> next(m);
+  for (std::uint64_t iter = 0; iter < max_iters; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t l = 0; l < m; ++l) {
+      if (v[l] == 0) continue;
+      for (std::size_t g = 0; g < gen_pmf.size(); ++g) {
+        if (gen_pmf[g] == 0) continue;
+        const std::size_t raw = l + g;
+        std::size_t dst = raw > consume ? raw - consume : 0;
+        if (dst >= m) dst = m - 1;  // reflect at the truncation boundary
+        next[dst] += v[l] * gen_pmf[g];
+      }
+    }
+    double diff = 0;
+    for (std::size_t l = 0; l < m; ++l) diff += std::abs(next[l] - v[l]);
+    v.swap(next);
+    if (diff < tol) break;
+  }
+  return v;
+}
+
+/// Mean of a pmf vector.
+inline double pmf_mean(const std::vector<double>& pmf) {
+  double mean = 0;
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    mean += static_cast<double>(i) * pmf[i];
+  }
+  return mean;
+}
+
+/// P[X >= k] of a pmf vector.
+inline double pmf_tail_at_least(const std::vector<double>& pmf,
+                                std::size_t k) {
+  double tail = 0;
+  for (std::size_t i = k; i < pmf.size(); ++i) tail += pmf[i];
+  return tail;
+}
+
+/// The Geometric(k) model's generation pmf: P[i] = 2^-(i+1) for i in 1..k,
+/// remainder on 0.
+inline std::vector<double> geometric_model_pmf(std::uint32_t k) {
+  std::vector<double> pmf(k + 1, 0.0);
+  double rest = 1.0;
+  double p = 0.25;
+  for (std::uint32_t i = 1; i <= k; ++i, p /= 2.0) {
+    pmf[i] = p;
+    rest -= p;
+  }
+  pmf[0] = rest;
+  return pmf;
+}
+
+}  // namespace clb::analysis

@@ -1,0 +1,113 @@
+// The paper's asymptotic bounds as callable functions.
+//
+// Benches print these next to the measured quantities so the tables carry a
+// "predicted shape" column. All logs are base 2 (the paper leaves the base
+// unspecified; asymptotics are base-independent, see DESIGN.md §2).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/math.hpp"
+
+namespace clb::analysis {
+
+/// The paper's T = (log log n)^2 (real-valued, base-2 logs).
+inline double paper_T(std::uint64_t n) {
+  const double ll = clb::util::log2log2(n);
+  return ll * ll;
+}
+
+/// Theorem 1: maximum balanced load bound (log log n)^2.
+inline double max_load_bound_single(std::uint64_t n) { return paper_T(n); }
+
+/// §1.2: Geometric model bound k (log log n)^2, Multi model bound c T.
+inline double max_load_bound_scaled(std::uint64_t n, double factor) {
+  return factor * paper_T(n);
+}
+
+/// Unbalanced expected maximum load Theta(log n): log n / log(1/rho).
+inline double unbalanced_max_load(std::uint64_t n, double rho) {
+  return std::log2(static_cast<double>(n)) / std::log2(1.0 / rho);
+}
+
+/// Lemma 4 heavy-processor bound n / (log n)^{log log n} (base-2 logs).
+/// Vanishes super-polynomially; returned as a fraction of n.
+inline double heavy_fraction_bound(std::uint64_t n) {
+  const double lg = std::log2(static_cast<double>(n));
+  const double ll = clb::util::log2log2(n);
+  return std::pow(lg, -ll);
+}
+
+/// Lemma 4 light-processor lower bound fraction 1 - 16c/T, with c the
+/// system-load constant (expected load per processor).
+inline double light_fraction_bound(std::uint64_t n, double load_per_proc) {
+  return 1.0 - 16.0 * load_per_proc / paper_T(n);
+}
+
+/// Figure 1 round bound: log log n / log(c (a-b)) + 3. Requires c(a-b) >= 2
+/// (otherwise the denominator is 0 and the protocol analysis does not apply).
+inline double collision_round_bound(std::uint64_t n, std::uint32_t a,
+                                    std::uint32_t b, std::uint32_t c) {
+  const double denom = std::log2(static_cast<double>(c) * (a - b));
+  return clb::util::log2log2(n) / denom + 3.0;
+}
+
+/// Lemma 1 step bound for (a,b,c) = (5,2,1): 5 log log n.
+inline double collision_step_bound_lemma1(std::uint64_t n) {
+  return 5.0 * clb::util::log2log2(n);
+}
+
+/// Lemma 7's geometric-series bound on the expected number of balancing
+/// requests per heavy processor, for non-applicative probability `p_na`
+/// (the paper uses p_na <= 1/4): sum over levels i of 2^{i+2} * (2 p_na^2)^{i-1}
+/// ... evaluated numerically with the paper's structure
+/// p(active node at level i) <= 2^{i-1} p_na^{2(i-1)}; requests at level i
+/// cost 2^{i+2} in the paper's accounting.
+inline double expected_requests_bound(std::uint64_t n, double p_na = 0.25) {
+  const auto levels = static_cast<std::uint64_t>(
+      std::ceil(clb::util::log2log2(n))) + 1;
+  double total = 0;
+  for (std::uint64_t i = 1; i <= levels; ++i) {
+    const double p_active =
+        std::pow(2.0, static_cast<double>(i - 1)) *
+        std::pow(p_na, 2.0 * static_cast<double>(i - 1));
+    total += std::pow(2.0, static_cast<double>(i) + 2.0) *
+             std::min(1.0, p_active);
+  }
+  return total;
+}
+
+/// §1.2 communication claim: messages per phase O(n / (log n)^{log log n - 1}).
+inline double messages_per_phase_bound(std::uint64_t n) {
+  const double lg = std::log2(static_cast<double>(n));
+  const double ll = clb::util::log2log2(n);
+  return static_cast<double>(n) * std::pow(lg, -(ll - 1.0));
+}
+
+/// Known results (§1.1), m = n balls into n bins:
+/// single choice Theta(log n / log log n).
+inline double bib_single_choice_max(std::uint64_t n) {
+  const double lg = std::log2(static_cast<double>(n));
+  return lg / std::log2(lg);
+}
+
+/// ABKU greedy-d: log log n / log d + Theta(1).
+inline double bib_greedy_d_max(std::uint64_t n, std::uint32_t d) {
+  return clb::util::log2log2(n) / std::log2(static_cast<double>(d));
+}
+
+/// Chernoff–Hoeffding multiplicative upper tail for Binomial(n, p):
+/// P[X >= (1+delta) np] <= exp(-np delta^2 / (2 + delta)).
+inline double chernoff_upper(std::uint64_t n, double p, double delta) {
+  const double mu = static_cast<double>(n) * p;
+  return std::exp(-mu * delta * delta / (2.0 + delta));
+}
+
+/// Hoeffding two-sided bound for the mean of n [0,1] variables deviating by
+/// t from its expectation: 2 exp(-2 n t^2).
+inline double hoeffding(std::uint64_t n, double t) {
+  return 2.0 * std::exp(-2.0 * static_cast<double>(n) * t * t);
+}
+
+}  // namespace clb::analysis

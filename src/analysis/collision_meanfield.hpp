@@ -1,0 +1,105 @@
+// Mean-field analysis of the (n, beta, a, b, c)-collision protocol.
+//
+// Tracks, round by round, the distribution of per-request state
+// (pending queries, accepts collected) under the mean-field approximation
+// that each pending query is accepted independently with probability
+//   p_accept(lambda) = P[the target received no other query this round
+//                        and still has capacity]
+//                   ~= exp(-lambda) * survive,
+// where lambda is the density of *other* pending queries per processor.
+// For c = 1 a processor that ever accepted is consumed; the `occupied`
+// fraction carries that depletion across rounds. Exact for n -> infinity at
+// fixed beta; tests compare against the simulated protocol at n = 2^14.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace clb::analysis {
+
+struct CollisionMeanField {
+  /// fraction of requests still unfinished after each round (index 0 = after
+  /// round 1).
+  std::vector<double> unfinished;
+  /// expected query messages per request, cumulative.
+  double queries_per_request = 0;
+  /// rounds needed to drop below `target_unfinished` (0 if never).
+  std::uint32_t rounds_to_finish = 0;
+};
+
+/// Runs the mean-field recurrence for m requests over n processors with
+/// parameters (a, b, c = 1), for `max_rounds` rounds.
+inline CollisionMeanField collision_meanfield(
+    std::uint64_t n, std::uint64_t m, std::uint32_t a, std::uint32_t b,
+    std::uint32_t max_rounds, double target_unfinished = 1e-3) {
+  CLB_CHECK(n >= 2 && m >= 1 && a >= 2 && b >= 1 && b < a, "bad parameters");
+  // State distribution over (pending, accepts): requests start with
+  // `a` pending queries and 0 accepts; finished requests leave the game.
+  // Index: state[pending][accepts], accepts < b.
+  std::vector<std::vector<double>> state(
+      a + 1, std::vector<double>(b, 0.0));
+  state[a][0] = 1.0;
+  double active = 1.0;     // fraction of requests unfinished
+  double occupied = 0.0;   // fraction of processors that already accepted
+
+  CollisionMeanField out;
+  const double density = static_cast<double>(m) / static_cast<double>(n);
+
+  for (std::uint32_t round = 1; round <= max_rounds && active > 0; ++round) {
+    // Pending queries per processor this round.
+    double mean_pending = 0;
+    for (std::uint32_t p = 0; p <= a; ++p) {
+      for (std::uint32_t acc = 0; acc < b; ++acc) {
+        mean_pending += state[p][acc] * p;
+      }
+    }
+    const double lambda = density * mean_pending;
+    out.queries_per_request += mean_pending;
+    // A query is accepted iff its target is unoccupied and receives no
+    // other query this round (c = 1).
+    const double p_accept =
+        (1.0 - occupied) * std::exp(-lambda);
+
+    std::vector<std::vector<double>> next(
+        a + 1, std::vector<double>(b, 0.0));
+    double newly_finished = 0;
+    double accepted_mass = 0;  // expected accepts per request this round
+    for (std::uint32_t p = 0; p <= a; ++p) {
+      for (std::uint32_t acc = 0; acc < b; ++acc) {
+        const double mass = state[p][acc];
+        if (mass == 0) continue;
+        // Binomial(p, p_accept) accepts this round.
+        double binom = std::pow(1.0 - p_accept, p);  // k = 0 term
+        double coeff = 1.0;
+        for (std::uint32_t k = 0; k <= p; ++k) {
+          if (k > 0) {
+            coeff *= static_cast<double>(p - k + 1) / static_cast<double>(k);
+            binom = coeff * std::pow(p_accept, k) *
+                    std::pow(1.0 - p_accept, p - k);
+          }
+          accepted_mass += mass * binom * k;
+          if (acc + k >= b) {
+            newly_finished += mass * binom;
+          } else {
+            next[p - k][acc + k] += mass * binom;
+          }
+        }
+      }
+    }
+    occupied += density * accepted_mass;
+    if (occupied > 1.0) occupied = 1.0;
+    active -= newly_finished;
+    if (active < 0) active = 0;
+    state.swap(next);
+    out.unfinished.push_back(active);
+    if (out.rounds_to_finish == 0 && active <= target_unfinished) {
+      out.rounds_to_finish = round;
+    }
+  }
+  return out;
+}
+
+}  // namespace clb::analysis

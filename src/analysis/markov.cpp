@@ -1,0 +1,65 @@
+#include "analysis/markov.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace clb::analysis {
+
+SingleModelChain::SingleModelChain(double p, double eps) : p_(p), q_(p + eps) {
+  CLB_CHECK(p > 0.0, "Single model needs p > 0");
+  CLB_CHECK(eps > 0.0, "Single model needs eps > 0 for a steady state");
+  CLB_CHECK(q_ <= 1.0, "Single model needs p + eps <= 1");
+  p_gain_ = p_ * (1.0 - q_);
+  p_lose_ = q_ * (1.0 - p_);
+  rho_ = p_gain_ / p_lose_;
+  CLB_CHECK(rho_ < 1.0, "rho must be < 1 (guaranteed by eps > 0)");
+}
+
+double SingleModelChain::stationary(std::uint64_t i) const {
+  return (1.0 - rho_) * std::pow(rho_, static_cast<double>(i));
+}
+
+double SingleModelChain::tail_at_least(std::uint64_t k) const {
+  return std::pow(rho_, static_cast<double>(k));
+}
+
+double SingleModelChain::expected_load() const { return rho_ / (1.0 - rho_); }
+
+double SingleModelChain::expected_max_load(std::uint64_t n) const {
+  // Solve n * rho^L = 1  =>  L = ln n / ln(1/rho).
+  return std::log(static_cast<double>(n)) / std::log(1.0 / rho_);
+}
+
+std::vector<double> SingleModelChain::stationary_numeric(
+    std::uint64_t max_load, double tol, std::uint64_t max_iters) const {
+  CLB_CHECK(max_load >= 1, "need at least two states");
+  const std::size_t m = max_load + 1;
+  std::vector<double> v(m, 1.0 / static_cast<double>(m));
+  std::vector<double> next(m, 0.0);
+  // Transition structure: state 0 has no consumption (p_lose applies only
+  // when a task is present); the top state reflects gains (truncation).
+  for (std::uint64_t iter = 0; iter < max_iters; ++iter) {
+    next.assign(m, 0.0);
+    // From state 0: gain with probability p (generation, no consumption
+    // possible before the task exists within the same step? The paper's
+    // one-step net change at load 0 is +1 with probability p*(1-q) when
+    // generated tasks can be consumed in the same step, which matches the
+    // chain used in Lemma 2; we keep that convention).
+    next[0] += v[0] * (1.0 - p_gain_);
+    next[1] += v[0] * p_gain_;
+    for (std::size_t i = 1; i < m; ++i) {
+      const double up = (i + 1 < m) ? p_gain_ : 0.0;  // reflect at the top
+      next[i - 1] += v[i] * p_lose_;
+      next[i] += v[i] * (1.0 - up - p_lose_);
+      if (i + 1 < m) next[i + 1] += v[i] * up;
+    }
+    double diff = 0;
+    for (std::size_t i = 0; i < m; ++i) diff += std::abs(next[i] - v[i]);
+    v.swap(next);
+    if (diff < tol) break;
+  }
+  return v;
+}
+
+}  // namespace clb::analysis

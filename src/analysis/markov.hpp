@@ -1,0 +1,55 @@
+// Birth–death Markov chain analysis of the Single generation model (Lemma 2).
+//
+// In the unbalanced system a processor's load is a birth–death chain with
+//   p_gain = p(1-q),  p_lose = q(1-p)   (q = p + eps, only when load > 0),
+// whose stationary distribution is geometric: v_i = (1-rho) rho^i with
+// rho = p_gain / p_lose < 1. This module provides both the closed form and a
+// numerical power-iteration solver on the truncated chain so the two can be
+// cross-checked in tests and printed next to empirical data in the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clb::analysis {
+
+/// Closed-form and numeric stationary analysis for the Single(p, eps) model.
+class SingleModelChain {
+ public:
+  /// Requires 0 < p, 0 < eps, and p + eps <= 1.
+  SingleModelChain(double p, double eps);
+
+  [[nodiscard]] double p_gain() const { return p_gain_; }
+  [[nodiscard]] double p_lose() const { return p_lose_; }
+  /// rho = p_gain / p_lose; stationary load is Geometric(1 - rho).
+  [[nodiscard]] double rho() const { return rho_; }
+
+  /// Closed-form stationary probability v_i = (1-rho) rho^i.
+  [[nodiscard]] double stationary(std::uint64_t i) const;
+
+  /// Closed-form stationary tail P[load >= k] = rho^k.
+  [[nodiscard]] double tail_at_least(std::uint64_t k) const;
+
+  /// Expected stationary load rho / (1-rho).
+  [[nodiscard]] double expected_load() const;
+
+  /// Load value L with n * P[load >= L] = 1: the expected max over n
+  /// independent processors, i.e. the Theta(log n) unbalanced max load.
+  [[nodiscard]] double expected_max_load(std::uint64_t n) const;
+
+  /// Numerical stationary distribution of the chain truncated at `max_load`
+  /// states, via power iteration to tolerance `tol`. Cross-checks the closed
+  /// form; also usable for perturbed chains in tests.
+  [[nodiscard]] std::vector<double> stationary_numeric(
+      std::uint64_t max_load, double tol = 1e-12,
+      std::uint64_t max_iters = 2'000'000) const;
+
+ private:
+  double p_;
+  double q_;
+  double p_gain_;
+  double p_lose_;
+  double rho_;
+};
+
+}  // namespace clb::analysis

@@ -1,0 +1,60 @@
+// Occupancy (balls-into-bins) predictions via Poissonization.
+//
+// The asymptotic Theta(log n / log log n) formula is off by a sizable
+// constant at machine sizes; the Poisson heuristic
+//   P[max load < k]  ~=  exp(-n * P[Poisson(m/n) >= k])
+// is accurate to a fraction of a ball and gives the EXP-12 tables an honest
+// "predicted" column.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace clb::analysis {
+
+/// P[Poisson(lambda) >= k], computed by stable forward recursion.
+inline double poisson_tail_at_least(double lambda, std::uint64_t k) {
+  CLB_CHECK(lambda > 0.0, "poisson tail needs lambda > 0");
+  if (k == 0) return 1.0;
+  // Sum pmf terms 0..k-1 with the recurrence p_{i+1} = p_i * lambda/(i+1).
+  double p = std::exp(-lambda);
+  double cdf = p;
+  for (std::uint64_t i = 0; i + 1 < k; ++i) {
+    p *= lambda / static_cast<double>(i + 1);
+    cdf += p;
+  }
+  return cdf >= 1.0 ? 0.0 : 1.0 - cdf;
+}
+
+/// Expected maximum bin load for m balls thrown i.u.a.r. into n bins.
+inline double expected_max_single_choice(std::uint64_t m, std::uint64_t n) {
+  CLB_CHECK(m >= 1 && n >= 1, "need m, n >= 1");
+  const double lambda = static_cast<double>(m) / static_cast<double>(n);
+  // E[max] = sum_{k >= 1} P[max >= k], with
+  // P[max >= k] ~= 1 - exp(-n * Q(k)).
+  double expectation = 0.0;
+  for (std::uint64_t k = 1; k < m + 2; ++k) {
+    const double q = poisson_tail_at_least(lambda, k);
+    const double p_ge = 1.0 - std::exp(-static_cast<double>(n) * q);
+    expectation += p_ge;
+    if (p_ge < 1e-9) break;
+  }
+  return expectation;
+}
+
+/// The k with n * P[Poisson(m/n) >= k] ~ 1 (the classic "balanced level"),
+/// i.e. the mode of the max-load distribution.
+inline std::uint64_t typical_max_single_choice(std::uint64_t m,
+                                               std::uint64_t n) {
+  const double lambda = static_cast<double>(m) / static_cast<double>(n);
+  for (std::uint64_t k = 1; k < m + 2; ++k) {
+    if (static_cast<double>(n) * poisson_tail_at_least(lambda, k) < 1.0) {
+      return k;  // first level expected to hold < 1 bin
+    }
+  }
+  return m;
+}
+
+}  // namespace clb::analysis

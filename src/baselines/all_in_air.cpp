@@ -1,0 +1,45 @@
+#include "baselines/all_in_air.hpp"
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace clb::baselines {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x616972736361ULL;  // "airsca"
+}
+
+AllInAirBalancer::AllInAirBalancer(AllInAirConfig cfg) : cfg_(cfg) {}
+
+void AllInAirBalancer::on_reset(sim::Engine& engine) {
+  interval_ = cfg_.interval;
+  if (interval_ == 0) {
+    interval_ = util::round_at_least(util::log2log2(engine.n()), 1);
+  }
+}
+
+void AllInAirBalancer::on_step(sim::Engine& engine) {
+  if (engine.step() % interval_ != 0) return;
+  const std::uint64_t n = engine.n();
+  auto& msg = engine.mutable_messages();
+  auto tasks = engine.drain_all();
+  rng::CounterRng rng(engine.seed(), kSalt, engine.step());
+  for (const sim::Task& t : tasks) {
+    auto target = static_cast<std::uint32_t>(rng::bounded(rng, n));
+    if (cfg_.two_choice) {
+      const auto alt = static_cast<std::uint32_t>(rng::bounded(rng, n));
+      if (engine.load(alt) < engine.load(target)) target = alt;
+      ++msg.control;  // the extra load query
+    }
+    engine.deposit(target, t);
+  }
+  msg.tasks_moved += tasks.size();
+  msg.transfers += tasks.empty() ? 0 : 1;
+  msg.control += tasks.size();  // one routing message per task
+}
+
+}  // namespace clb::baselines

@@ -1,0 +1,39 @@
+// The paper's Concluding Remarks thought experiment: "at the beginning of
+// each interval of length log log n one could simply throw all load into the
+// air and distribute it via the simple collision protocol. This would lead
+// to load O(log log n) for all processors but ... the load of a processor
+// would be spread among a lot of other processors."
+//
+// Realisation: every `interval` steps, every task in the system is sent to
+// an i.u.a.r. processor. Max load drops to balls-into-bins levels
+// (~ log n / log log n for load ~n, or O(log log n) with d-choice — we use
+// plain single-choice scatter, the "simple" protocol), at the price of
+// Theta(total load) messages per interval and destroyed locality.
+#pragma once
+
+#include "sim/balancer.hpp"
+
+namespace clb::baselines {
+
+struct AllInAirConfig {
+  /// Steps between global redistributions; 0 = realise log2 log2 n at bind.
+  std::uint64_t interval = 0;
+  /// Use two-choice placement (pick the less loaded of two random targets)
+  /// instead of single-choice scatter.
+  bool two_choice = false;
+};
+
+class AllInAirBalancer final : public sim::Balancer {
+ public:
+  explicit AllInAirBalancer(AllInAirConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "all-in-air"; }
+  void on_step(sim::Engine& engine) override;
+  void on_reset(sim::Engine& engine) override;
+
+ private:
+  AllInAirConfig cfg_;
+  std::uint64_t interval_ = 1;
+};
+
+}  // namespace clb::baselines

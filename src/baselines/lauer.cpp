@@ -1,0 +1,141 @@
+#include "baselines/lauer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace clb::baselines {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x6C61756572393500ULL;  // "lauer95"
+}
+
+LauerBalancer::LauerBalancer(LauerConfig cfg) : cfg_(cfg) {
+  CLB_CHECK(cfg_.c > 0.0, "lauer95: c > 0");
+  CLB_CHECK(cfg_.max_probes >= 1, "lauer95: max_probes >= 1");
+}
+
+void LauerBalancer::on_reset(sim::Engine& engine) {
+  busy_stamp_.assign(engine.n(), ~0ULL);
+  epoch_start_ = 0;
+  have_frozen_ = false;
+  if (cfg_.estimate_average) {
+    estimator_ = std::make_unique<gossip::PushSumEstimator>(engine.n());
+    last_load_.assign(engine.n(), 0.0);
+    frozen_.assign(engine.n(), 0.0);
+  }
+}
+
+double LauerBalancer::operative_estimate(std::uint64_t p,
+                                         std::uint64_t) const {
+  // Processors act on the previous epoch's *converged* estimate: the live
+  // estimator is still mixing (and mid-epoch drift injection makes
+  // low-weight nodes spike), whereas the system average drifts slowly in
+  // steady state, so an epoch-old snapshot is accurate.
+  return frozen_[p];
+}
+
+double LauerBalancer::estimation_error(const sim::Engine& engine) const {
+  if (!estimator_) return std::numeric_limits<double>::quiet_NaN();
+  const double truth = static_cast<double>(engine.total_load()) /
+                       static_cast<double>(engine.n());
+  const double denom = std::max(1.0, truth);
+  double worst = 0;
+  for (std::uint64_t p = 0; p < engine.n(); ++p) {
+    worst = std::max(worst, std::abs(operative_estimate(p, engine.step()) -
+                                     truth) /
+                                denom);
+  }
+  return worst;
+}
+
+void LauerBalancer::on_step(sim::Engine& engine) {
+  const std::uint64_t n = engine.n();
+  if (busy_stamp_.size() != n) busy_stamp_.assign(n, ~0ULL);
+  const std::uint64_t step = engine.step();
+  auto busy = [&](std::uint64_t x) { return busy_stamp_[x] == step; };
+  auto& msg = engine.mutable_messages();
+
+  // The algorithm assumes av is known. By default the simulator grants it
+  // for free; in estimate_average mode each processor instead tracks its
+  // own push-sum estimate (one gossip message per processor per step).
+  const double av_oracle =
+      static_cast<double>(engine.total_load()) / static_cast<double>(n);
+  if (estimator_) {
+    const bool epoch_boundary =
+        step == 0 || step - epoch_start_ >= cfg_.restart_every;
+    if (epoch_boundary) {
+      if (step != 0) {
+        for (std::uint64_t p = 0; p < n; ++p) {
+          frozen_[p] = std::max(0.0, estimator_->estimate(p));
+        }
+        have_frozen_ = true;
+      }
+      epoch_start_ = step;
+      for (std::uint64_t p = 0; p < n; ++p) {
+        last_load_[p] = static_cast<double>(engine.load(p));
+      }
+      estimator_->restart(last_load_);
+    } else {
+      estimator_->round(engine.seed(), step);
+    }
+    msg.control += n;  // one gossip push per processor
+    if (!have_frozen_) return;  // first epoch still mixing
+  }
+  auto local_average = [&](std::uint64_t p) {
+    if (!estimator_) return av_oracle;
+    return operative_estimate(p, step);
+  };
+
+  for (std::uint64_t p = 0; p < n; ++p) {
+    if (busy(p)) continue;
+    // Each processor judges activity against its own view of the average
+    // (oracle-global, or its push-sum estimate).
+    const double av = local_average(p);
+    const double band = std::max(cfg_.min_band, cfg_.c * av);
+    auto active_with = [&](double load) { return std::abs(load - av) > band; };
+    const auto lp = static_cast<double>(engine.load(p));
+    if (!active_with(lp)) continue;
+    rng::CounterRng rng(engine.seed(), rng::hash_combine(p, kSalt),
+                        engine.step());
+    for (std::uint32_t probe = 0; probe < cfg_.max_probes; ++probe) {
+      auto q = static_cast<std::uint64_t>(rng::bounded(rng, n));
+      if (q == p) q = (q + 1) % n;
+      msg.control += 2;  // probe + reply
+      if (busy(q)) continue;  // already paired this step
+      const auto lq = static_cast<double>(engine.load(q));
+      const double half = (lp + lq) / 2.0;
+      // Applicative: after equalizing, neither side remains active.
+      if (active_with(std::floor(half)) && active_with(std::ceil(half))) {
+        continue;
+      }
+      const auto lpi = engine.load(p);
+      const auto lqi = engine.load(q);
+      if (lpi == lqi) break;
+      const std::uint64_t hi = std::max(lpi, lqi);
+      const std::uint64_t lo = std::min(lpi, lqi);
+      const auto amount = static_cast<std::uint32_t>((hi - lo) / 2);
+      if (amount > 0) {
+        if (lpi > lqi) {
+          engine.schedule_transfer(static_cast<std::uint32_t>(p),
+                                   static_cast<std::uint32_t>(q), amount);
+        } else {
+          engine.schedule_transfer(static_cast<std::uint32_t>(q),
+                                   static_cast<std::uint32_t>(p), amount);
+        }
+      }
+      busy_stamp_[p] = step;
+      busy_stamp_[q] = step;
+      engine.note_balance_initiation(p);
+      break;
+    }
+  }
+}
+
+}  // namespace clb::baselines

@@ -1,0 +1,58 @@
+// Lauer95 baseline: assumes the system's average load `av` is known. A
+// processor becomes active as soon as its load differs from av by c * av;
+// an active processor repeatedly picks random partners until it finds an
+// "applicative" one — a partner such that after equalizing *both* are no
+// longer active — and then equalizes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gossip/push_sum.hpp"
+#include "sim/balancer.hpp"
+
+namespace clb::baselines {
+
+struct LauerConfig {
+  double c = 0.5;                ///< activity band half-width as fraction of av
+  std::uint32_t max_probes = 8;  ///< random partners tried per step per active
+  double min_band = 2.0;         ///< absolute floor for the band (small av)
+  /// Estimate the average with push-sum gossip (Lauer's thesis extension)
+  /// instead of reading it from the oracle. Costs one gossip message per
+  /// processor per step. Estimation runs in epochs: restart from live
+  /// loads, mix for `restart_every` rounds, freeze; decisions always use
+  /// the latest frozen snapshot (no balancing during the first epoch).
+  bool estimate_average = false;
+  /// Epoch length: the estimator restarts from live loads every this many
+  /// steps; decisions use the previous epoch's converged snapshot.
+  std::uint64_t restart_every = 64;
+};
+
+class LauerBalancer final : public sim::Balancer {
+ public:
+  explicit LauerBalancer(LauerConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "lauer95"; }
+  void on_step(sim::Engine& engine) override;
+  void on_reset(sim::Engine& engine) override;
+
+  /// Worst current relative estimation error vs the true average (NaN when
+  /// estimation is off); exposed for tests and benches.
+  [[nodiscard]] double estimation_error(const sim::Engine& engine) const;
+
+ private:
+  LauerConfig cfg_;
+  // Per-step pairing reservation (a processor takes part in at most one
+  // equalization per step — the handshake Lauer's protocol implies).
+  std::vector<std::uint64_t> busy_stamp_;
+  // Push-sum state (estimate_average mode).
+  [[nodiscard]] double operative_estimate(std::uint64_t p,
+                                          std::uint64_t step) const;
+  std::unique_ptr<gossip::PushSumEstimator> estimator_;
+  std::vector<double> last_load_;
+  std::vector<double> frozen_;   // previous epoch's converged estimates
+  std::uint64_t epoch_start_ = 0;
+  bool have_frozen_ = false;
+};
+
+}  // namespace clb::baselines

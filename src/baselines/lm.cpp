@@ -1,0 +1,67 @@
+#include "baselines/lm.hpp"
+
+#include <algorithm>
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace clb::baselines {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x6C6D393300000ULL;  // "lm93"
+}
+
+LmBalancer::LmBalancer(LmConfig cfg) : cfg_(cfg) {
+  CLB_CHECK(cfg_.partners >= 1 && cfg_.partners <= 16,
+            "lm93: partners in [1,16]");
+  CLB_CHECK(cfg_.min_trigger >= 2, "lm93: min_trigger >= 2");
+}
+
+void LmBalancer::on_reset(sim::Engine& engine) {
+  anchor_.assign(engine.n(), 0);
+}
+
+void LmBalancer::on_step(sim::Engine& engine) {
+  const std::uint64_t n = engine.n();
+  auto& msg = engine.mutable_messages();
+  for (std::uint64_t p = 0; p < n; ++p) {
+    const std::uint64_t load = engine.load(p);
+    const std::uint64_t trigger =
+        std::max(cfg_.min_trigger, 2 * anchor_[p]);
+    if (load < trigger) continue;
+
+    rng::CounterRng rng(engine.seed(), rng::hash_combine(p, kSalt),
+                        engine.step());
+    // Probe `partners` random processors, learn their loads.
+    std::uint64_t group_load = load;
+    std::uint32_t chosen[16];
+    std::uint64_t chosen_load[16];
+    for (std::uint32_t j = 0; j < cfg_.partners; ++j) {
+      auto q = static_cast<std::uint64_t>(rng::bounded(rng, n));
+      if (q == p) q = (q + 1) % n;
+      chosen[j] = static_cast<std::uint32_t>(q);
+      chosen_load[j] = engine.load(q);
+      group_load += chosen_load[j];
+      msg.control += 2;  // probe + reply
+    }
+    const std::uint64_t avg = group_load / (cfg_.partners + 1);
+    // Push our excess above the group average down to partners below it.
+    std::uint64_t excess = load > avg ? load - avg : 0;
+    for (std::uint32_t j = 0; j < cfg_.partners && excess > 0; ++j) {
+      if (chosen_load[j] >= avg) continue;
+      const std::uint64_t want = avg - chosen_load[j];
+      const auto amount = static_cast<std::uint32_t>(std::min(excess, want));
+      if (amount == 0) continue;
+      engine.schedule_transfer(static_cast<std::uint32_t>(p), chosen[j],
+                               amount);
+      excess -= amount;
+    }
+    anchor_[p] = avg;  // load right after the action
+    engine.note_balance_initiation(p);
+  }
+}
+
+}  // namespace clb::baselines

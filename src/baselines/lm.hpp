@@ -1,0 +1,32 @@
+// LM93 baseline (Lüling & Monien, SPAA'93): a processor initiates a
+// balancing action when its load has doubled since its last balancing
+// action; it then chooses a constant number of processors at random and
+// equalizes load with them.
+#pragma once
+
+#include <vector>
+
+#include "sim/balancer.hpp"
+
+namespace clb::baselines {
+
+struct LmConfig {
+  std::uint32_t partners = 2;      ///< random processors contacted per action
+  std::uint64_t min_trigger = 4;   ///< ignore doubling below this load
+};
+
+class LmBalancer final : public sim::Balancer {
+ public:
+  explicit LmBalancer(LmConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "lm93"; }
+  void on_step(sim::Engine& engine) override;
+  void on_reset(sim::Engine& engine) override;
+
+ private:
+  LmConfig cfg_;
+  /// Load each processor had right after its last balancing action.
+  std::vector<std::uint64_t> anchor_;
+};
+
+}  // namespace clb::baselines

@@ -1,0 +1,61 @@
+#include "baselines/random_seeking.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace clb::baselines {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x7365656B657273ULL;  // "seekers"
+}
+
+RandomSeekingBalancer::RandomSeekingBalancer(RandomSeekingConfig cfg)
+    : cfg_(cfg) {
+  CLB_CHECK(cfg_.lo_watermark < cfg_.hi_watermark,
+            "random-seeking: lo < hi watermark");
+  CLB_CHECK(cfg_.hop_limit >= 1, "random-seeking: hop_limit >= 1");
+}
+
+void RandomSeekingBalancer::on_step(sim::Engine& engine) {
+  const std::uint64_t n = engine.n();
+  auto& msg = engine.mutable_messages();
+  for (std::uint64_t p = 0; p < n; ++p) {
+    const std::uint64_t load = engine.load(p);
+    if (load < cfg_.hi_watermark) continue;
+    rng::CounterRng rng(engine.seed(), rng::hash_combine(p, kSalt),
+                        engine.step());
+    for (std::uint32_t hop = 1; hop <= cfg_.hop_limit; ++hop) {
+      auto q = static_cast<std::uint64_t>(rng::bounded(rng, n));
+      if (q == p) q = (q + 1) % n;
+      ++msg.control;  // one probe hop
+      if (engine.load(q) <= cfg_.lo_watermark) {
+        const auto excess = load - cfg_.lo_watermark;
+        const auto amount = static_cast<std::uint32_t>(excess / 2);
+        if (amount > 0) {
+          engine.schedule_transfer(static_cast<std::uint32_t>(p),
+                                   static_cast<std::uint32_t>(q), amount);
+          engine.note_balance_initiation(p);
+        }
+        ++successful_probes_;
+        visits_on_success_ += hop;
+        break;
+      }
+    }
+  }
+}
+
+double RandomSeekingBalancer::mean_visits_to_sink() const {
+  if (successful_probes_ == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return static_cast<double>(visits_on_success_) /
+         static_cast<double>(successful_probes_);
+}
+
+}  // namespace clb::baselines

@@ -1,0 +1,34 @@
+// MD96 baseline (Mahapatra & Dutt, IPPS'96), "random seeking": source
+// (overloaded) processors seek out sink (underloaded) processors by flinging
+// probe messages; a probe walks random processors until it finds a sink (or
+// gives up), then the source ships half of its excess there.
+#pragma once
+
+#include "sim/balancer.hpp"
+
+namespace clb::baselines {
+
+struct RandomSeekingConfig {
+  std::uint64_t hi_watermark = 8;  ///< load >= this: source
+  std::uint64_t lo_watermark = 2;  ///< load <= this: sink
+  std::uint32_t hop_limit = 8;     ///< max probe visits before giving up
+};
+
+class RandomSeekingBalancer final : public sim::Balancer {
+ public:
+  explicit RandomSeekingBalancer(RandomSeekingConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "random-seeking"; }
+  void on_step(sim::Engine& engine) override;
+
+  /// Average probe visits needed to allocate a sink (the statistic MD96
+  /// bound analytically); NaN until a probe has succeeded.
+  [[nodiscard]] double mean_visits_to_sink() const;
+
+ private:
+  RandomSeekingConfig cfg_;
+  std::uint64_t successful_probes_ = 0;
+  std::uint64_t visits_on_success_ = 0;
+};
+
+}  // namespace clb::baselines

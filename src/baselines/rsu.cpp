@@ -1,0 +1,52 @@
+#include "baselines/rsu.hpp"
+
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace clb::baselines {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x72737539310000ULL;  // "rsu91"
+}
+
+RsuBalancer::RsuBalancer(RsuConfig cfg) : cfg_(cfg) {
+  CLB_CHECK(cfg_.p_attempt > 0.0 && cfg_.p_attempt <= 1.0,
+            "rsu91: p_attempt in (0,1]");
+  CLB_CHECK(cfg_.min_diff >= 2, "rsu91: min_diff >= 2");
+}
+
+void RsuBalancer::on_step(sim::Engine& engine) {
+  const std::uint64_t n = engine.n();
+  auto& msg = engine.mutable_messages();
+  for (std::uint64_t p = 0; p < n; ++p) {
+    rng::CounterRng rng(engine.seed(), rng::hash_combine(p, kSalt),
+                        engine.step());
+    double prob = cfg_.p_attempt;
+    if (cfg_.load_scaled) {
+      const auto l = static_cast<double>(engine.load(p));
+      prob *= l / (1.0 + l);  // idle processors rarely probe
+    }
+    if (!(rng::uniform01(rng) < prob)) continue;
+    auto q = static_cast<std::uint64_t>(rng::bounded(rng, n));
+    if (q == p) q = (q + 1) % n;
+    msg.control += 2;  // probe + load reply
+    const std::uint64_t lp = engine.load(p);
+    const std::uint64_t lq = engine.load(q);
+    const std::uint64_t hi = lp > lq ? lp : lq;
+    const std::uint64_t lo = lp > lq ? lq : lp;
+    if (hi - lo < cfg_.min_diff) continue;
+    const auto amount = static_cast<std::uint32_t>((hi - lo) / 2);
+    if (lp > lq) {
+      engine.schedule_transfer(static_cast<std::uint32_t>(p),
+                               static_cast<std::uint32_t>(q), amount);
+    } else {
+      engine.schedule_transfer(static_cast<std::uint32_t>(q),
+                               static_cast<std::uint32_t>(p), amount);
+    }
+    engine.note_balance_initiation(p);
+  }
+}
+
+}  // namespace clb::baselines

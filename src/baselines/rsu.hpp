@@ -1,0 +1,34 @@
+// RSU91 baseline (Rudolph, Slivkin-Allalouf, Upfal, SPAA'91): a simple
+// randomized scheme that equalizes the load of two processors in one step.
+//
+// Faithful-in-spirit realisation: at each step every processor, with
+// probability `p_attempt` (RSU use a load-dependent probability; the
+// fixed-probability variant is their simplest form), picks one partner
+// i.u.a.r. and the pair equalizes when their loads differ by at least
+// `min_diff`. Each attempt costs a probe + reply message; an equalization
+// moves floor(diff/2) tasks.
+#pragma once
+
+#include "rng/dist.hpp"
+#include "sim/balancer.hpp"
+
+namespace clb::baselines {
+
+struct RsuConfig {
+  double p_attempt = 0.05;      ///< per-processor attempt probability/step
+  std::uint64_t min_diff = 2;   ///< equalize only when |l_p - l_q| >= this
+  bool load_scaled = true;      ///< attempt prob scaled as p_attempt*load/(1+load)
+};
+
+class RsuBalancer final : public sim::Balancer {
+ public:
+  explicit RsuBalancer(RsuConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "rsu91"; }
+  void on_step(sim::Engine& engine) override;
+
+ private:
+  RsuConfig cfg_;
+};
+
+}  // namespace clb::baselines

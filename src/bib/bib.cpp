@@ -1,0 +1,242 @@
+#include "bib/bib.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/dist.hpp"
+#include "rng/xoshiro.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace clb::bib {
+
+namespace {
+
+std::uint64_t max_of(const std::vector<std::uint64_t>& v) {
+  std::uint64_t mx = 0;
+  for (const auto x : v) mx = std::max(mx, x);
+  return mx;
+}
+
+}  // namespace
+
+BibResult single_choice(std::uint64_t m, std::uint64_t n, std::uint64_t seed) {
+  CLB_CHECK(n >= 1, "need at least one bin");
+  rng::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> load(n, 0);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    ++load[rng::bounded(rng, n)];
+  }
+  return BibResult{max_of(load), m, 1, 0};
+}
+
+BibResult greedy_d(std::uint64_t m, std::uint64_t n, std::uint32_t d,
+                   std::uint64_t seed) {
+  CLB_CHECK(n >= d && d >= 1, "need n >= d >= 1 bins");
+  rng::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> load(n, 0);
+  std::uint64_t messages = 0;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t best = rng::bounded(rng, n);
+    messages += d;  // probes
+    for (std::uint32_t j = 1; j < d; ++j) {
+      const std::uint64_t cand = rng::bounded(rng, n);
+      if (load[cand] < load[best]) best = cand;
+    }
+    ++load[best];
+    ++messages;  // placement
+  }
+  return BibResult{max_of(load), messages, 1, 0};
+}
+
+BibResult weighted_greedy_d(const std::vector<double>& weights,
+                            std::uint64_t n, std::uint32_t d,
+                            std::uint64_t seed) {
+  CLB_CHECK(n >= d && d >= 1, "need n >= d >= 1 bins");
+  rng::Xoshiro256 rng(seed);
+  std::vector<double> load(n, 0.0);
+  std::uint64_t messages = 0;
+  for (const double w : weights) {
+    CLB_CHECK(w >= 0.0, "ball weights must be non-negative");
+    std::uint64_t best = rng::bounded(rng, n);
+    messages += d;
+    for (std::uint32_t j = 1; j < d; ++j) {
+      const std::uint64_t cand = rng::bounded(rng, n);
+      if (load[cand] < load[best]) best = cand;
+    }
+    load[best] += w;
+    ++messages;
+  }
+  double mx = 0;
+  for (const double x : load) mx = std::max(mx, x);
+  return BibResult{static_cast<std::uint64_t>(std::ceil(mx)), messages, 1, 0};
+}
+
+BibResult acmr_parallel(std::uint64_t m, std::uint64_t n, AcmrConfig cfg,
+                        std::uint64_t seed) {
+  CLB_CHECK(cfg.rounds >= 1 && cfg.choices >= 1, "bad ACMR config");
+  CLB_CHECK(n >= 16, "ACMR realisation needs n >= 16");
+  std::uint64_t threshold = cfg.threshold;
+  if (threshold == 0) {
+    // T = ceil( ((2r + 1) log2 n / log2 log2 n)^{1/r} ), the paper's shape.
+    const double lg = std::log2(static_cast<double>(n));
+    const double base =
+        (2.0 * cfg.rounds + 1.0) * lg / std::log2(lg);
+    threshold = static_cast<std::uint64_t>(
+        std::ceil(std::pow(base, 1.0 / cfg.rounds)));
+  }
+  rng::Xoshiro256 rng(seed);
+  const std::uint32_t d = cfg.choices;
+  std::vector<std::uint64_t> targets(m * d);
+  for (std::uint64_t i = 0; i < m * d; ++i) {
+    targets[i] = rng::bounded(rng, n);
+  }
+  std::vector<std::uint64_t> load(n, 0);
+  std::vector<std::uint64_t> accepted_this_round(n, 0);
+  std::vector<std::uint64_t> pending(m);
+  for (std::uint64_t i = 0; i < m; ++i) pending[i] = i;
+  std::uint64_t messages = 0;
+  std::uint32_t rounds_used = 0;
+  for (std::uint32_t r = 0; r < cfg.rounds && !pending.empty(); ++r) {
+    rounds_used = r + 1;
+    std::fill(accepted_this_round.begin(), accepted_this_round.end(), 0);
+    std::vector<std::uint64_t> next;
+    // Bins accept up to `threshold` balls per round, first-come-first-served
+    // in ball order (the standard sequential tie-break realisation).
+    for (const std::uint64_t ball : pending) {
+      bool placed = false;
+      for (std::uint32_t j = 0; j < d && !placed; ++j) {
+        const std::uint64_t bin = targets[ball * d + j];
+        ++messages;
+        if (accepted_this_round[bin] < threshold) {
+          ++accepted_this_round[bin];
+          ++load[bin];
+          placed = true;
+        }
+      }
+      if (!placed) next.push_back(ball);
+    }
+    pending.swap(next);
+  }
+  return BibResult{max_of(load), messages, rounds_used,
+                   static_cast<std::uint64_t>(pending.size())};
+}
+
+BibResult acmr_greedy_2round(std::uint64_t m, std::uint64_t n,
+                             std::uint32_t choices, std::uint64_t seed) {
+  CLB_CHECK(choices >= 2 && n >= choices, "need n >= choices >= 2");
+  rng::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> targets(m * choices);
+  std::vector<std::uint64_t> rank(m * choices);
+  std::vector<std::uint64_t> arrivals(n, 0);
+  // Round 1: announce; bins hand out arrival ranks in ball order.
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    for (std::uint32_t j = 0; j < choices; ++j) {
+      const std::uint64_t bin = rng::bounded(rng, n);
+      targets[ball * choices + j] = bin;
+      rank[ball * choices + j] = ++arrivals[bin];
+    }
+  }
+  // Round 2: commit to the choice with the lowest rank.
+  std::vector<std::uint64_t> load(n, 0);
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    std::uint32_t best = 0;
+    for (std::uint32_t j = 1; j < choices; ++j) {
+      if (rank[ball * choices + j] < rank[ball * choices + best]) best = j;
+    }
+    ++load[targets[ball * choices + best]];
+  }
+  // Messages: announce + rank reply per choice, plus the commit.
+  return BibResult{max_of(load), m * (2ULL * choices + 1), 2, 0};
+}
+
+BibResult stemann_collision(std::uint64_t m, std::uint64_t n,
+                            std::uint32_t max_rounds, std::uint64_t seed) {
+  CLB_CHECK(max_rounds >= 1, "need at least one round");
+  rng::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> t0(m), t1(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    t0[i] = rng::bounded(rng, n);
+    t1[i] = rng::bounded(rng, n);
+  }
+  std::vector<std::uint64_t> load(n, 0);
+  std::vector<std::uint64_t> pending(m);
+  for (std::uint64_t i = 0; i < m; ++i) pending[i] = i;
+  std::uint64_t messages = 0;
+  std::uint32_t rounds_used = 0;
+  for (std::uint32_t r = 1; r <= max_rounds && !pending.empty(); ++r) {
+    rounds_used = r;
+    std::vector<std::uint64_t> next;
+    for (const std::uint64_t ball : pending) {
+      messages += 2;
+      const std::uint64_t a = t0[ball];
+      const std::uint64_t b = t1[ball];
+      // Acceptance threshold tau_r = r; take the emptier committed bin.
+      const std::uint64_t bin = load[a] <= load[b] ? a : b;
+      if (load[bin] < r) {
+        ++load[bin];
+      } else {
+        next.push_back(ball);
+      }
+    }
+    pending.swap(next);
+  }
+  return BibResult{max_of(load), messages, rounds_used,
+                   static_cast<std::uint64_t>(pending.size())};
+}
+
+BibResult infinite_greedy_d(std::uint64_t n, std::uint32_t d,
+                            std::uint64_t steps, std::uint64_t seed) {
+  CLB_CHECK(n >= d && d >= 1, "need n >= d >= 1");
+  rng::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> load(n, 0);
+  std::vector<std::uint32_t> home(n);  // bin of each of the n balls
+  // Initial placement with greedy-d.
+  std::uint64_t messages = 0;
+  for (std::uint64_t ball = 0; ball < n; ++ball) {
+    std::uint64_t best = rng::bounded(rng, n);
+    messages += d + 1;
+    for (std::uint32_t j = 1; j < d; ++j) {
+      const std::uint64_t cand = rng::bounded(rng, n);
+      if (load[cand] < load[best]) best = cand;
+    }
+    home[ball] = static_cast<std::uint32_t>(best);
+    ++load[best];
+  }
+  // Track the running maximum in O(1) per move via a load-value histogram
+  // (loads stay tiny, ~log log n).
+  std::vector<std::uint64_t> level_count(64, 0);
+  std::uint64_t cur_max = 0;
+  for (const std::uint64_t l : load) {
+    if (l >= level_count.size()) level_count.resize(l + 1, 0);
+    ++level_count[l];
+    cur_max = std::max(cur_max, l);
+  }
+  auto move_bin = [&](std::uint64_t bin, bool up) {
+    const std::uint64_t before = load[bin];
+    const std::uint64_t after = up ? before + 1 : before - 1;
+    if (after >= level_count.size()) level_count.resize(after + 1, 0);
+    --level_count[before];
+    ++level_count[after];
+    load[bin] = after;
+    if (after > cur_max) cur_max = after;
+    while (cur_max > 0 && level_count[cur_max] == 0) --cur_max;
+  };
+  std::uint64_t stationary_max = 0;
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    const std::uint64_t ball = rng::bounded(rng, n);
+    move_bin(home[ball], /*up=*/false);
+    std::uint64_t best = rng::bounded(rng, n);
+    messages += d + 1;
+    for (std::uint32_t j = 1; j < d; ++j) {
+      const std::uint64_t cand = rng::bounded(rng, n);
+      if (load[cand] < load[best]) best = cand;
+    }
+    home[ball] = static_cast<std::uint32_t>(best);
+    move_bin(best, /*up=*/true);
+    if (s >= steps / 2 && cur_max > stationary_max) stationary_max = cur_max;
+  }
+  return BibResult{stationary_max, messages, 1, 0};
+}
+
+}  // namespace clb::bib

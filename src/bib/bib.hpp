@@ -1,0 +1,82 @@
+// Static balls-into-bins games — the "Known Results" comparators (§1.1).
+//
+// These are the task-allocation (global generation) counterparts the paper
+// contrasts its local, threshold-triggered scheme against:
+//   * single-choice placement             -> Theta(log n / log log n) max load
+//   * ABKU sequential greedy-d [ABKU94]   -> log log n / log d + O(1)
+//   * ACMR parallel r-round threshold game [ACMR95]
+//   * Stemann's parallel protocol [Ste96]
+//   * BMS weighted balls [BMS97] (weighted greedy-d realisation)
+//   * the ABKU *infinite* (continuous) greedy-d process
+//
+// All are exact simulations with explicit message accounting, so EXP-09's
+// communication comparison (ours vs Theta(n) messages per step for
+// balls-into-bins) and EXP-12's max-load table come straight from here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clb::bib {
+
+struct BibResult {
+  std::uint64_t max_load = 0;
+  std::uint64_t messages = 0;      ///< probes + placements
+  std::uint32_t rounds = 0;        ///< communication rounds (parallel games)
+  std::uint64_t unallocated = 0;   ///< balls left over (parallel games)
+};
+
+/// Places m balls into n bins, each i.u.a.r. (one message per ball).
+BibResult single_choice(std::uint64_t m, std::uint64_t n, std::uint64_t seed);
+
+/// ABKU sequential greedy-d: each ball probes d i.u.a.r. bins and joins the
+/// least loaded (ties to the lowest index probed). d*m probe messages plus m
+/// placements.
+BibResult greedy_d(std::uint64_t m, std::uint64_t n, std::uint32_t d,
+                   std::uint64_t seed);
+
+/// Weighted greedy-d [BMS97 realisation]: balls carry weights; each joins
+/// the bin with the least current *weight* among d choices. Returns the
+/// maximum bin weight in `max_load` (rounded up).
+BibResult weighted_greedy_d(const std::vector<double>& weights,
+                            std::uint64_t n, std::uint32_t d,
+                            std::uint64_t seed);
+
+struct AcmrConfig {
+  std::uint32_t rounds = 2;
+  /// Per-round acceptance threshold T; 0 realises the paper's
+  /// r-th root formula sqrt[r]{(2r + o(1)) log n / log log n} (base-2 logs).
+  std::uint64_t threshold = 0;
+  std::uint32_t choices = 2;
+};
+
+/// ACMR parallel threshold game: in each of r rounds every unallocated ball
+/// sends requests to its `choices` i.u.a.r. bins (fixed across rounds); each
+/// bin accepts up to `threshold` balls per round. Terminates with max load
+/// <= r * threshold when all balls place.
+BibResult acmr_parallel(std::uint64_t m, std::uint64_t n, AcmrConfig cfg,
+                        std::uint64_t seed);
+
+/// ACMR's load-aware two-round strategy: round one, every ball announces
+/// itself to `choices` i.u.a.r. bins and each bin replies with the ball's
+/// arrival rank; round two, the ball commits to the bin where its rank is
+/// lowest (ties to the first choice). Achieves the
+/// O(sqrt(log n / log log n)) two-round bound of [ACMR95].
+BibResult acmr_greedy_2round(std::uint64_t m, std::uint64_t n,
+                             std::uint32_t choices, std::uint64_t seed);
+
+/// Stemann-style parallel collision protocol: each ball commits to 2
+/// i.u.a.r. bins; in round i every unallocated ball re-requests both bins
+/// and a bin accepts arrivals while its load is below the round-i threshold
+/// tau_i = i (the "very simple class" with linearly growing acceptance).
+BibResult stemann_collision(std::uint64_t m, std::uint64_t n,
+                            std::uint32_t max_rounds, std::uint64_t seed);
+
+/// ABKU's infinite (continuous) process: n balls live in n bins; per step
+/// one ball chosen i.u.a.r. is removed and re-placed with greedy-d. Returns
+/// the maximum load observed over the final half of the run (stationary
+/// regime), matching the log log n / log d + O(1) statement.
+BibResult infinite_greedy_d(std::uint64_t n, std::uint32_t d,
+                            std::uint64_t steps, std::uint64_t seed);
+
+}  // namespace clb::bib

@@ -1,0 +1,53 @@
+// Umbrella public header for the clb library.
+//
+// Quickstart:
+//   #include "clb.hpp"
+//   auto model    = clb::models::SingleModel(0.4, 0.1);
+//   auto params   = clb::core::PhaseParams::from_n(1 << 14);
+//   auto balancer = clb::core::ThresholdBalancer({.params = params});
+//   clb::sim::Engine eng({.n = 1 << 14, .seed = 42}, &model, &balancer);
+//   eng.run(10'000);
+//   // eng.running_max_load() <= ~(log2 log2 n)^2, per Theorem 1.
+#pragma once
+
+#include "analysis/bounds.hpp"
+#include "analysis/collision_meanfield.hpp"
+#include "analysis/markov.hpp"
+#include "analysis/occupancy.hpp"
+#include "baselines/all_in_air.hpp"
+#include "baselines/lauer.hpp"
+#include "baselines/lm.hpp"
+#include "baselines/random_seeking.hpp"
+#include "baselines/rsu.hpp"
+#include "bib/bib.hpp"
+#include "collision/collision.hpp"
+#include "core/params.hpp"
+#include "core/phase_stats.hpp"
+#include "core/threshold_balancer.hpp"
+#include "dist/dist_balancer.hpp"
+#include "dist/network.hpp"
+#include "gossip/push_sum.hpp"
+#include "models/adversarial.hpp"
+#include "models/burst.hpp"
+#include "models/geometric.hpp"
+#include "models/multi.hpp"
+#include "models/onoff.hpp"
+#include "models/poisson_batch.hpp"
+#include "models/single.hpp"
+#include "models/trace.hpp"
+#include "models/weighted.hpp"
+#include "net/topology.hpp"
+#include "queueing/event_queue.hpp"
+#include "queueing/supermarket.hpp"
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro.hpp"
+#include "sim/engine.hpp"
+#include "stats/histogram.hpp"
+#include "stats/moments.hpp"
+#include "stats/timeseries.hpp"
+#include "stats/trial_set.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"

@@ -1,0 +1,51 @@
+#include "core/params.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace clb::core {
+
+PhaseParams PhaseParams::from_n(std::uint64_t n, const Fractions& f) {
+  CLB_CHECK(n >= 4, "PhaseParams needs n >= 4");
+  CLB_CHECK(f.heavy > f.light, "heavy threshold must exceed light threshold");
+  CLB_CHECK(f.transfer > 0 && f.phase > 0 && f.depth > 0 && f.scale > 0,
+            "fractions must be positive");
+  PhaseParams p;
+  p.n = n;
+  const double ll = util::log2log2(n);
+  p.T_real = f.scale * ll * ll;
+  p.T = util::round_at_least(p.T_real, f.t_min);
+  const auto t = static_cast<double>(p.T);
+  p.phase_len = util::round_at_least(f.phase * t, 1);
+  p.heavy_threshold =
+      static_cast<std::uint64_t>(std::ceil(f.heavy * t));
+  p.light_threshold = util::round_at_least(std::floor(f.light * t), 1);
+  // The paper's invariants need light + transfer + own generation within a
+  // phase to stay strictly below heavy (see the Remark before the Main
+  // Theorem proof); the default fractions give 1/16 + 1/4 + 1/16 = 6/16 < 1/2.
+  CLB_CHECK(p.light_threshold < p.heavy_threshold,
+            "realised light threshold must be below heavy threshold");
+  p.transfer_amount = static_cast<std::uint32_t>(
+      util::round_at_least(f.transfer * t, 1));
+  p.tree_depth = static_cast<std::uint32_t>(
+      util::round_at_least(f.depth * ll, f.depth_floor));
+  return p;
+}
+
+std::string PhaseParams::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu T=%llu (T_real=%.2f) phase_len=%llu heavy>=%llu "
+                "light<=%llu transfer=%u depth=%u",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(T), T_real,
+                static_cast<unsigned long long>(phase_len),
+                static_cast<unsigned long long>(heavy_threshold),
+                static_cast<unsigned long long>(light_threshold),
+                transfer_amount, tree_depth);
+  return buf;
+}
+
+}  // namespace clb::core

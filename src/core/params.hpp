@@ -1,0 +1,51 @@
+// Realisation of the paper's analytical constants on concrete n.
+//
+// The paper sets T = (log log n)^2 and uses the fractions
+//   phase length  T/16,   heavy threshold  T/2,   light threshold  T/16,
+//   transfer size T/4,    query-tree depth (1/80) log log n.
+// For machine-sized n these are tiny reals, so the implementation keeps the
+// fractions as parameters (defaults = paper values) and realises integers
+// with documented rounding and floors (DESIGN.md §2). `scale` implements the
+// paper's k-/c-scaled thresholds for the Geometric and Multi models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clb::core {
+
+/// The rational knobs, defaulting to the paper's analytical constants.
+struct Fractions {
+  double phase = 1.0 / 16.0;     ///< phase length as a fraction of T
+  double heavy = 0.5;            ///< heavy threshold as a fraction of T
+  double light = 1.0 / 16.0;     ///< light threshold as a fraction of T
+  double transfer = 0.25;        ///< transfer amount as a fraction of T
+  double depth = 1.0 / 80.0;     ///< tree depth as a fraction of log log n
+  double scale = 1.0;            ///< multiplies T (Geometric k / Multi c)
+  std::uint64_t t_min = 16;      ///< floor for the realised T
+  /// Floor for the realised tree depth. The paper's (1/80) log log n rounds
+  /// to 0 at machine sizes; a floor of 3 (15-node trees) realises Lemma 6's
+  /// "every heavy finds a light w.h.p." faithfully at bench scale, where
+  /// only ~half of the processors are below the realised light threshold.
+  std::uint32_t depth_floor = 3;
+};
+
+/// Integer-realised per-phase parameters.
+struct PhaseParams {
+  std::uint64_t n = 0;
+  double T_real = 0;              ///< scale * (log2 log2 n)^2 before flooring
+  std::uint64_t T = 0;            ///< realised T
+  std::uint64_t phase_len = 1;    ///< steps per phase, >= 1
+  std::uint64_t heavy_threshold = 0;  ///< load >= this at phase start: heavy
+  std::uint64_t light_threshold = 0;  ///< load <= this at phase start: light
+  std::uint32_t transfer_amount = 1;  ///< tasks moved per balancing action
+  std::uint32_t tree_depth = 1;   ///< query-tree levels per phase
+
+  /// Realises the paper's parameters for `n` processors.
+  static PhaseParams from_n(std::uint64_t n, const Fractions& f = {});
+
+  /// One-line human-readable dump for bench headers.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace clb::core

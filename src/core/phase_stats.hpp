@@ -1,0 +1,77 @@
+// Per-phase and aggregate statistics the threshold balancer exposes.
+//
+// These are exactly the quantities the paper's lemmas bound, so the benches
+// read them directly: heavy/light counts (Lemma 4), search success and tree
+// depth (Lemmas 5–6), requests per heavy processor (Lemma 7), and message
+// counts (§1.2 communication claim).
+#pragma once
+
+#include <cstdint>
+
+#include "stats/moments.hpp"
+
+namespace clb::core {
+
+/// Statistics of a single balancing phase.
+struct PhaseStats {
+  std::uint64_t phase_index = 0;
+  std::uint64_t start_step = 0;
+  std::uint64_t num_heavy = 0;
+  std::uint64_t num_light = 0;
+  /// Collision-game requests issued across all levels (tree nodes that
+  /// actually searched).
+  std::uint64_t requests = 0;
+  /// Deepest level at which any request was still searching (0 = no heavy).
+  std::uint32_t levels_used = 0;
+  /// Heavy processors that received at least one id message.
+  std::uint64_t matched_heavy = 0;
+  /// Heavy processors left unmatched at phase end (Lemma 6 says ~0 w.h.p.).
+  std::uint64_t unmatched_heavy = 0;
+  /// Requests that got fewer than b accepts from a collision game.
+  std::uint64_t failed_requests = 0;
+  /// Query + accept + id messages attributable to this phase.
+  std::uint64_t messages = 0;
+  /// Collision rounds summed over levels (the paper charges a*c steps each).
+  std::uint64_t collision_rounds = 0;
+  /// Heavy processors satisfied by the §4.3 one-shot pre-round (when on).
+  std::uint64_t preround_matched = 0;
+};
+
+/// Aggregates over all phases of a run.
+struct AggregateStats {
+  stats::OnlineMoments heavy_per_phase;
+  stats::OnlineMoments light_per_phase;
+  stats::OnlineMoments requests_per_heavy;   // per phase with >= 1 heavy
+  stats::OnlineMoments levels_per_phase;     // ditto
+  stats::OnlineMoments messages_per_phase;
+  stats::OnlineMoments match_rate;           // matched / heavy, per phase
+  std::uint64_t phases = 0;
+  std::uint64_t phases_with_heavy = 0;
+  std::uint64_t total_unmatched = 0;
+  std::uint64_t total_matched = 0;
+  std::uint64_t total_preround_matched = 0;
+  std::uint64_t total_failed_requests = 0;
+  std::uint64_t max_levels_used = 0;
+
+  void absorb(const PhaseStats& p) {
+    ++phases;
+    total_matched += p.matched_heavy;
+    total_preround_matched += p.preround_matched;
+    heavy_per_phase.add(static_cast<double>(p.num_heavy));
+    light_per_phase.add(static_cast<double>(p.num_light));
+    messages_per_phase.add(static_cast<double>(p.messages));
+    total_unmatched += p.unmatched_heavy;
+    total_failed_requests += p.failed_requests;
+    if (p.levels_used > max_levels_used) max_levels_used = p.levels_used;
+    if (p.num_heavy > 0) {
+      ++phases_with_heavy;
+      requests_per_heavy.add(static_cast<double>(p.requests) /
+                             static_cast<double>(p.num_heavy));
+      levels_per_phase.add(static_cast<double>(p.levels_used));
+      match_rate.add(static_cast<double>(p.matched_heavy) /
+                     static_cast<double>(p.num_heavy));
+    }
+  }
+};
+
+}  // namespace clb::core

@@ -1,0 +1,312 @@
+#include "dist/dist_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace clb::dist {
+
+namespace {
+constexpr std::uint64_t kTargetSalt = 0x64697374746172ULL;  // "disttar"
+}
+
+DistThresholdBalancer::DistThresholdBalancer(DistConfig cfg) : cfg_(cfg) {
+  CLB_CHECK(cfg_.a >= 2 && cfg_.a <= kMaxA, "dist: a in [2, 8]");
+  CLB_CHECK(cfg_.b >= 1 && cfg_.b <= 2, "dist: binary trees need b in [1, 2]");
+  CLB_CHECK(cfg_.c >= 1, "dist: c >= 1");
+  CLB_CHECK(cfg_.latency >= 1, "dist: latency >= 1");
+  CLB_CHECK(static_cast<std::uint64_t>(cfg_.c) * (cfg_.a - cfg_.b) >= 2,
+            "dist: round bound needs c(a-b) >= 2");
+}
+
+void DistThresholdBalancer::on_reset(sim::Engine& engine) {
+  const std::uint64_t n = engine.n();
+  CLB_CHECK(n == cfg_.params.n, "dist balancer parameterised for different n");
+  round_budget_ = static_cast<std::uint32_t>(std::ceil(
+      analysis::collision_round_bound(n, cfg_.a, cfg_.b, cfg_.c)));
+  if (cfg_.topology != nullptr) {
+    net_ = std::make_unique<Network>(n, cfg_.latency, cfg_.topology);
+  } else {
+    net_ = std::make_unique<Network>(n, cfg_.latency);
+  }
+  max_phase_steps_ = cfg_.max_phase_steps;
+  if (max_phase_steps_ == 0) {
+    // depth levels x round budget x a worst-case round trip, with 4x slack
+    // plus the trailing transfer hop.
+    max_phase_steps_ = 4ULL * cfg_.params.tree_depth * round_budget_ *
+                           (2ULL * net_->max_delay()) +
+                       4ULL * net_->max_delay() + 8;
+  }
+  stats_ = DistStats{};
+  phase_state_ = PhaseState::kIdle;
+  phase_index_ = 0;
+  next_phase_step_ = 0;
+  epoch_ = 0;
+  light_stamp_.assign(n, 0);
+  assign_stamp_.assign(n, 0);
+  matched_stamp_.assign(n, 0);
+  accept_stamp_.assign(n, 0);
+  accept_cnt_.assign(n, 0);
+  req_.assign(n, Request{});
+  active_list_.clear();
+  heavy_.clear();
+}
+
+void DistThresholdBalancer::on_step(sim::Engine& engine) {
+  handle_deliveries(engine);
+  evaluate_requests(engine);
+  if (phase_state_ == PhaseState::kRunning) {
+    const bool drained = active_list_.empty() && net_->in_flight() == 0;
+    const bool overdue =
+        engine.step() - phase_start_step_ >= max_phase_steps_;
+    if (drained || overdue) finish_phase(engine, overdue && !drained);
+  }
+  if (phase_state_ == PhaseState::kIdle && engine.step() >= next_phase_step_) {
+    start_phase(engine);
+  }
+}
+
+void DistThresholdBalancer::start_phase(sim::Engine& engine) {
+  const std::uint64_t n = engine.n();
+  const core::PhaseParams& pp = cfg_.params;
+  if (epoch_ == 0xFFFFFFFFu) {
+    light_stamp_.assign(n, 0);
+    assign_stamp_.assign(n, 0);
+    matched_stamp_.assign(n, 0);
+    accept_stamp_.assign(n, 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  phase_state_ = PhaseState::kRunning;
+  phase_start_step_ = engine.step();
+  ++phase_index_;
+
+  heavy_.clear();
+  for (std::uint64_t p = 0; p < n; ++p) {
+    const std::uint64_t load = engine.load(p);
+    if (load >= pp.heavy_threshold) {
+      heavy_.push_back(static_cast<std::uint32_t>(p));
+    } else if (load <= pp.light_threshold) {
+      light_stamp_[p] = epoch_;
+    }
+  }
+  stats_.heavy_per_phase.add(static_cast<double>(heavy_.size()));
+  for (const std::uint32_t h : heavy_) {
+    engine.note_balance_initiation(h);
+    start_request(engine, h, h, 1);
+  }
+}
+
+void DistThresholdBalancer::start_request(sim::Engine& engine,
+                                          std::uint32_t proc,
+                                          std::uint32_t root,
+                                          std::uint32_t level) {
+  Request& r = req_[proc];
+  CLB_DCHECK(!r.active, "processor already runs a request this phase");
+  r = Request{};
+  r.root = root;
+  r.level = static_cast<std::uint8_t>(level);
+  r.active = true;
+  // Fixed i.u.a.r. target set, excluding self (Figure 1: no new random
+  // choices in later rounds).
+  rng::CounterRng rng(engine.seed(),
+                      rng::hash_combine(kTargetSalt,
+                                        rng::hash_combine(proc, level)),
+                      phase_index_);
+  const std::uint64_t n = engine.n();
+  for (std::uint32_t j = 0; j < cfg_.a; ++j) {
+    for (;;) {
+      const auto cand = static_cast<std::uint32_t>(rng::bounded(rng, n));
+      if (cand == proc) continue;
+      bool dup = false;
+      for (std::uint32_t k = 0; k < j; ++k) {
+        if (r.targets[k] == cand) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        r.targets[j] = cand;
+        break;
+      }
+    }
+  }
+  active_list_.push_back(proc);
+  send_pending_queries(engine, proc);
+}
+
+void DistThresholdBalancer::send_pending_queries(sim::Engine& engine,
+                                                 std::uint32_t proc) {
+  Request& r = req_[proc];
+  auto& msg = engine.mutable_messages();
+  // The round ends when the slowest outstanding target could have replied.
+  std::uint64_t worst_delay = 1;
+  for (std::uint32_t j = 0; j < cfg_.a; ++j) {
+    if (r.accepted_mask & (1u << j)) continue;
+    net_->send(Message{MsgKind::kQuery, proc, r.targets[j], r.root, r.level},
+               engine.step());
+    ++msg.queries;
+    worst_delay = std::max(worst_delay, net_->delay(proc, r.targets[j]));
+  }
+  r.await_until = engine.step() + 2ULL * worst_delay;
+}
+
+void DistThresholdBalancer::handle_query_batch(sim::Engine& engine,
+                                               std::uint32_t target,
+                                               const Message* msgs,
+                                               std::size_t count) {
+  // Collision rule: answer all queries of this step iff they fit within the
+  // remaining per-phase capacity c; otherwise answer none (the requesters
+  // time out and retry).
+  const std::uint32_t already = accepted_count(target);
+  if (count > cfg_.c || already + count > cfg_.c) return;
+  add_accepted(target, static_cast<std::uint32_t>(count));
+  auto& mc = engine.mutable_messages();
+  for (std::size_t i = 0; i < count; ++i) {
+    const Message& q = msgs[i];
+    bool applicative = false;
+    if (light_at_phase_start(target) && !assigned(target)) {
+      applicative = true;
+      set_assigned(target);
+      // Announce directly to the boss (its id rode in the query).
+      net_->send(Message{MsgKind::kId, target, q.payload_a, 0, 0},
+                 engine.step());
+      ++mc.id_messages;
+    }
+    net_->send(Message{MsgKind::kAccept, target, q.from, q.payload_a,
+                       applicative ? 1u : 0u},
+               engine.step());
+    ++mc.accepts;
+  }
+}
+
+void DistThresholdBalancer::handle_deliveries(sim::Engine& engine) {
+  const auto& due = net_->deliver(engine.step());
+  auto& mc = engine.mutable_messages();
+  std::size_t i = 0;
+  while (i < due.size()) {
+    const std::uint32_t recipient = due[i].to;
+    query_batch_.clear();
+    std::size_t j = i;
+    for (; j < due.size() && due[j].to == recipient; ++j) {
+      const Message& m = due[j];
+      switch (m.kind) {
+        case MsgKind::kQuery:
+          query_batch_.push_back(m);
+          break;
+        case MsgKind::kAccept: {
+          Request& r = req_[recipient];
+          if (!r.active) break;  // stale accept after request resolved
+          for (std::uint32_t t = 0; t < cfg_.a; ++t) {
+            if (r.targets[t] == m.from && !(r.accepted_mask & (1u << t))) {
+              r.accepted_mask |= (1u << t);
+              if (r.accept_count < 2) {
+                r.child[r.accept_count] = m.from;
+                r.child_applicative[r.accept_count] = m.payload_b != 0;
+              }
+              ++r.accept_count;
+              break;
+            }
+          }
+          break;
+        }
+        case MsgKind::kId: {
+          if (!matched(recipient)) {
+            matched_stamp_[recipient] = epoch_;
+            // Ship the block; the payload lands `latency` steps from now.
+            net_->send(Message{MsgKind::kTransfer, recipient, m.from,
+                               cfg_.params.transfer_amount, 0},
+                       engine.step());
+          }
+          break;
+        }
+        case MsgKind::kTransfer:
+          engine.schedule_transfer(m.from, m.to, m.payload_a);
+          break;
+        case MsgKind::kForward:
+          if (!req_[recipient].active) {
+            start_request(engine, recipient, m.payload_a, m.payload_b);
+          }
+          ++mc.control;
+          break;
+        case MsgKind::kPreround:
+          break;  // not used by this implementation
+      }
+    }
+    if (!query_batch_.empty()) {
+      handle_query_batch(engine, recipient, query_batch_.data(),
+                         query_batch_.size());
+    }
+    i = j;
+  }
+}
+
+void DistThresholdBalancer::evaluate_requests(sim::Engine& engine) {
+  const std::uint64_t now = engine.step();
+  std::size_t w = 0;
+  for (std::size_t idx = 0; idx < active_list_.size(); ++idx) {
+    const std::uint32_t proc = active_list_[idx];
+    Request& r = req_[proc];
+    if (!r.active) continue;  // resolved elsewhere (defensive)
+    if (now < r.await_until) {
+      active_list_[w++] = proc;
+      continue;
+    }
+    if (r.accept_count >= cfg_.b) {
+      // Request complete. Applicative children already announced
+      // themselves; a fully non-applicative pair forwards the search
+      // (sibling rule, coordinated via this parent).
+      const std::uint32_t kids = std::min<std::uint32_t>(r.accept_count, 2);
+      bool any_applicative = false;
+      for (std::uint32_t k = 0; k < kids; ++k) {
+        any_applicative |= r.child_applicative[k];
+      }
+      if (!any_applicative && r.level < cfg_.params.tree_depth) {
+        for (std::uint32_t k = 0; k < kids; ++k) {
+          net_->send(Message{MsgKind::kForward, proc, r.child[k], r.root,
+                             static_cast<std::uint32_t>(r.level + 1)},
+                     now);
+        }
+      }
+      r.active = false;
+    } else if (r.round < round_budget_) {
+      ++r.round;
+      send_pending_queries(engine, proc);
+      active_list_[w++] = proc;
+    } else {
+      ++stats_.failed_requests;
+      r.active = false;
+    }
+  }
+  active_list_.resize(w);
+}
+
+void DistThresholdBalancer::finish_phase(sim::Engine& engine, bool forced) {
+  ++stats_.phases;
+  if (forced) {
+    ++stats_.forced_phase_ends;
+    // Abort outstanding work so the next phase starts clean.
+    for (const std::uint32_t proc : active_list_) req_[proc].active = false;
+    active_list_.clear();
+    net_->reset();
+  }
+  for (const std::uint32_t h : heavy_) {
+    if (matched(h)) {
+      ++stats_.matched;
+    } else {
+      ++stats_.unmatched;
+    }
+  }
+  stats_.phase_duration.add(
+      static_cast<double>(engine.step() - phase_start_step_));
+  phase_state_ = PhaseState::kIdle;
+  next_phase_step_ = engine.step() + cfg_.phase_gap;
+}
+
+}  // namespace clb::dist

@@ -1,0 +1,83 @@
+// Message-passing substrate for the distributed protocol implementation.
+//
+// Messages sent at step t are delivered at step t + latency. Delivery order
+// is deterministic: messages due at the same step are handed over grouped
+// by recipient, in (recipient, send order) order, so protocol runs replay
+// bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/check.hpp"
+
+namespace clb::dist {
+
+/// Protocol message kinds (Figures 1 and 2, plus the §4.3 pre-round).
+enum class MsgKind : std::uint8_t {
+  kQuery,     ///< collision-game query; root/level in payload
+  kAccept,    ///< target accepted the query; applicative flag in payload
+  kForward,   ///< parent tells a non-applicative pair to keep searching
+  kId,        ///< applicative processor announces itself to the boss
+  kTransfer,  ///< boss ships `payload_a` tasks to the partner
+  kPreround,  ///< §4.3 one-shot request
+};
+
+struct Message {
+  MsgKind kind = MsgKind::kQuery;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t payload_a = 0;  ///< root id / task count
+  std::uint32_t payload_b = 0;  ///< level / applicative flag
+};
+
+/// Delivery fabric. Uniform mode: every message takes `latency` steps.
+/// Topology mode: a message from src to dst takes
+/// `max(1, latency * topology->hops(src, dst))` steps — per-hop latency on
+/// a concrete machine graph. Ring buffer of `max_delay + 1` step slots.
+class Network {
+ public:
+  /// Uniform-latency fabric (the paper's any-to-any machine).
+  Network(std::uint64_t n, std::uint32_t latency);
+  /// Topology-routed fabric: `latency` is the per-hop delay. The topology
+  /// is borrowed and must outlive the network.
+  Network(std::uint64_t n, std::uint32_t latency_per_hop,
+          const net::Topology* topology);
+
+  [[nodiscard]] std::uint32_t latency() const { return latency_; }
+  [[nodiscard]] const net::Topology* topology() const { return topology_; }
+  [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
+  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+  /// Cumulative link traversals of all sent messages.
+  [[nodiscard]] std::uint64_t total_hops() const { return total_hops_; }
+
+  /// Delivery delay for a (src, dst) pair under the current mode.
+  [[nodiscard]] std::uint64_t delay(std::uint32_t from,
+                                    std::uint32_t to) const;
+  /// Worst-case delay over any pair (sizes timeouts).
+  [[nodiscard]] std::uint64_t max_delay() const { return max_delay_; }
+
+  /// Queues `m` for delivery at `now + delay(m.from, m.to)`.
+  void send(const Message& m, std::uint64_t now);
+
+  /// Returns all messages due at `now`, sorted by (recipient, send order),
+  /// and removes them from the fabric. The returned reference is valid
+  /// until the next call.
+  const std::vector<Message>& deliver(std::uint64_t now);
+
+  void reset();
+
+ private:
+  std::uint64_t n_;
+  std::uint32_t latency_;
+  const net::Topology* topology_ = nullptr;
+  std::uint64_t max_delay_ = 1;
+  std::vector<std::vector<Message>> slots_;  // index: step % slots
+  std::vector<Message> due_;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_hops_ = 0;
+};
+
+}  // namespace clb::dist

@@ -1,0 +1,61 @@
+#include "gossip/push_sum.hpp"
+
+#include <cmath>
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace clb::gossip {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x7075736873756DULL;  // "pushsum"
+}
+
+PushSumEstimator::PushSumEstimator(std::uint64_t n)
+    : sum_(n, 0.0), weight_(n, 1.0), in_sum_(n, 0.0), in_weight_(n, 0.0) {
+  CLB_CHECK(n >= 2, "push-sum needs n >= 2");
+}
+
+void PushSumEstimator::restart(const std::vector<double>& values) {
+  CLB_CHECK(values.size() == sum_.size(), "value vector size mismatch");
+  sum_ = values;
+  std::fill(weight_.begin(), weight_.end(), 1.0);
+}
+
+void PushSumEstimator::round(std::uint64_t seed, std::uint64_t round_index,
+                             const std::vector<double>* value_drift) {
+  const std::uint64_t n = sum_.size();
+  if (value_drift != nullptr) {
+    CLB_CHECK(value_drift->size() == n, "drift vector size mismatch");
+    for (std::uint64_t i = 0; i < n; ++i) sum_[i] += (*value_drift)[i];
+  }
+  std::fill(in_sum_.begin(), in_sum_.end(), 0.0);
+  std::fill(in_weight_.begin(), in_weight_.end(), 0.0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rng::CounterRng rng(seed, rng::hash_combine(i, kSalt), round_index);
+    auto partner = static_cast<std::uint64_t>(rng::bounded(rng, n));
+    if (partner == i) partner = (partner + 1) % n;
+    const double half_sum = sum_[i] / 2.0;
+    const double half_weight = weight_[i] / 2.0;
+    sum_[i] = half_sum;
+    weight_[i] = half_weight;
+    in_sum_[partner] += half_sum;
+    in_weight_[partner] += half_weight;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum_[i] += in_sum_[i];
+    weight_[i] += in_weight_[i];
+  }
+}
+
+double PushSumEstimator::max_relative_error(double truth) const {
+  double worst = 0;
+  const double denom = std::max(1.0, std::abs(truth));
+  for (std::uint64_t i = 0; i < sum_.size(); ++i) {
+    worst = std::max(worst, std::abs(estimate(i) - truth) / denom);
+  }
+  return worst;
+}
+
+}  // namespace clb::gossip

@@ -1,0 +1,53 @@
+// Push-sum gossip averaging (Kempe, Dobra, Gehrke '03 — the standard
+// decentralized way to estimate a global average).
+//
+// Lauer's algorithm [Lau95] assumes the system's average load is known; his
+// thesis extends it with estimation techniques. This substrate provides
+// that: each processor keeps a (sum, weight) pair; per round it halves the
+// pair, keeps one half and sends the other to an i.u.a.r. partner; the
+// ratio sum/weight converges to the true average in O(log n) rounds. The
+// LauerBalancer's `estimated_average` mode runs one push-sum round per step
+// against the live loads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace clb::gossip {
+
+class PushSumEstimator {
+ public:
+  explicit PushSumEstimator(std::uint64_t n);
+
+  [[nodiscard]] std::uint64_t n() const { return sum_.size(); }
+
+  /// Re-seeds every processor's pair from its current local value (weight
+  /// 1). Call once, or whenever estimates should restart from scratch.
+  void restart(const std::vector<double>& values);
+
+  /// One gossip round: each processor keeps half of its (sum, weight) pair
+  /// and pushes the other half to an i.u.a.r. partner. `value_drift[i]`,
+  /// when non-null, is added to processor i's sum first so the estimate
+  /// tracks a *changing* quantity (each new task adds +1, each consumed
+  /// task -1). Messages are counted by the caller (one per processor).
+  void round(std::uint64_t seed, std::uint64_t round_index,
+             const std::vector<double>* value_drift = nullptr);
+
+  /// Processor i's current estimate of the global average.
+  [[nodiscard]] double estimate(std::uint64_t i) const {
+    return weight_[i] > 0 ? sum_[i] / weight_[i] : 0.0;
+  }
+
+  /// Max over processors of |estimate - truth| / max(1, truth).
+  [[nodiscard]] double max_relative_error(double truth) const;
+
+ private:
+  std::vector<double> sum_;
+  std::vector<double> weight_;
+  std::vector<double> in_sum_;
+  std::vector<double> in_weight_;
+};
+
+}  // namespace clb::gossip

@@ -1,0 +1,79 @@
+#include "models/adversarial.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kGenSalt = 0x61647665727361ULL;  // "adversa"
+}
+
+AdversarialModel::AdversarialModel(AdversarialConfig cfg, std::uint64_t n)
+    : cfg_(cfg),
+      n_(n),
+      window_used_(n, 0),
+      spawn_(cfg.p_spawn),
+      seed_draw_(cfg.p_seed) {
+  CLB_CHECK(cfg_.window >= 1, "adversarial: window >= 1");
+  CLB_CHECK(cfg_.branch >= 1, "adversarial: branch >= 1");
+  CLB_CHECK(cfg_.cap >= n, "adversarial: cap must be at least n");
+}
+
+std::string AdversarialModel::name() const {
+  return "adversarial(branch=" + std::to_string(cfg_.branch) +
+         ",cap=" + std::to_string(cfg_.cap) + ")";
+}
+
+sim::StepAction AdversarialModel::step_action(std::uint64_t seed,
+                                              std::uint64_t proc,
+                                              std::uint64_t step,
+                                              std::uint64_t load,
+                                              std::uint64_t system_load) {
+  // Serial generation: processors are visited in increasing id order, so the
+  // running global budget below is deterministic.
+  if (step != current_step_) {
+    current_step_ = step;
+    step_budget_ = cfg_.cap > system_load ? cfg_.cap - system_load : 0;
+    const std::uint64_t window = step / cfg_.window;
+    if (window != current_window_) {
+      current_window_ = window;
+      std::fill(window_used_.begin(), window_used_.end(), 0);
+    }
+  }
+  if (step_budget_ == 0) return sim::StepAction{0, 1};
+  const std::uint64_t window_left =
+      cfg_.per_window_budget > window_used_[proc]
+          ? cfg_.per_window_budget - window_used_[proc]
+          : 0;
+  if (window_left == 0) return sim::StepAction{0, 1};
+
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kGenSalt), step);
+  std::uint64_t want = 0;
+  // "Each task currently being performed is able to generate a constant
+  // number of new tasks": the task performed this step is the head of the
+  // queue — or, on an idle processor, a freshly seeded computation root
+  // (which is consumed this very step and may branch like any other task).
+  bool performing = load > 0;
+  if (!performing && seed_draw_(rng)) {
+    want += 1;  // the new root
+    performing = true;
+  }
+  if (performing && spawn_(rng)) want += cfg_.branch;
+  const std::uint64_t granted =
+      std::min({want, window_left, step_budget_});
+  window_used_[proc] += granted;
+  step_budget_ -= granted;
+  // Deterministic unit consumption (the processor performs one task/step).
+  return sim::StepAction{static_cast<std::uint32_t>(granted), 1};
+}
+
+double AdversarialModel::expected_load_per_processor() const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace clb::models

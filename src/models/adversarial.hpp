@@ -1,0 +1,61 @@
+// The paper's "Adversarial" model, Section 1.2: within a window of
+// W = (log log n)^2 steps each processor may change its load on its own by
+// O(W) tasks in either direction; an upper bound B on the total system load
+// is given. The concrete adversary implemented here is the tree-like
+// generation scheme the paper names: each task currently being performed may
+// spawn a constant number of children, subject to the per-window budget and
+// the global cap B. Consumption is one task per step when present.
+//
+// Generation depends on global state (the cap), so this model declares
+// serial_generation() and keeps an internal running budget; results are
+// deterministic for a fixed seed.
+#pragma once
+
+#include "rng/dist.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+struct AdversarialConfig {
+  /// Budget window length in steps (the paper's T).
+  std::uint64_t window = 16;
+  /// Maximum self-generated tasks per processor per window (the O(T) bound).
+  std::uint64_t per_window_budget = 16;
+  /// Children spawned when an in-progress task branches.
+  std::uint32_t branch = 2;
+  /// Probability an in-progress task branches this step.
+  double p_spawn = 0.3;
+  /// Probability an idle processor seeds a fresh root task this step.
+  double p_seed = 0.05;
+  /// Global system-load cap B (0 = derive as 4 * n at model bind time is
+  /// NOT done automatically; callers must set it explicitly).
+  std::uint64_t cap = 1 << 16;
+};
+
+class AdversarialModel final : public sim::LoadModel {
+ public:
+  explicit AdversarialModel(AdversarialConfig cfg, std::uint64_t n);
+
+  [[nodiscard]] std::string name() const override;
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  [[nodiscard]] bool serial_generation() const override { return true; }
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  [[nodiscard]] const AdversarialConfig& config() const { return cfg_; }
+
+ private:
+  AdversarialConfig cfg_;
+  std::uint64_t n_;
+  std::vector<std::uint64_t> window_used_;  // per-proc budget spent in window
+  std::uint64_t current_window_ = ~0ULL;
+  std::uint64_t current_step_ = ~0ULL;
+  std::uint64_t step_budget_ = 0;  // remaining global headroom this step
+  rng::BernoulliDraw spawn_;
+  rng::BernoulliDraw seed_draw_;
+};
+
+}  // namespace clb::models

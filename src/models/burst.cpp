@@ -1,0 +1,56 @@
+#include "models/burst.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x6275727374676EULL;  // "burstgn"
+}  // namespace
+
+BurstModel::BurstModel(BurstConfig cfg, std::uint64_t n)
+    : cfg_(cfg), n_(n), base_(cfg.p_base), consume_(cfg.p_consume) {
+  CLB_CHECK(cfg_.period >= 1 && cfg_.burst_len <= cfg_.period,
+            "burst: burst_len <= period");
+  CLB_CHECK(cfg_.hot_fraction > 0.0 && cfg_.hot_fraction <= 1.0,
+            "burst: hot_fraction in (0,1]");
+  hot_count_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(
+             cfg_.hot_fraction * static_cast<double>(n))));
+}
+
+bool BurstModel::is_hot(std::uint64_t proc, std::uint64_t step) const {
+  if (step % cfg_.period >= cfg_.burst_len) return false;
+  const std::uint64_t window = step / cfg_.period;
+  const std::uint64_t start =
+      cfg_.rotate_hotspot ? (window * hot_count_) % n_ : 0;
+  const std::uint64_t offset = (proc + n_ - start) % n_;
+  return offset < hot_count_;
+}
+
+sim::StepAction BurstModel::step_action(std::uint64_t seed,
+                                        std::uint64_t proc,
+                                        std::uint64_t step, std::uint64_t,
+                                        std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kSalt), step);
+  sim::StepAction act;
+  if (is_hot(proc, step)) {
+    act.generate = cfg_.burst_rate;
+    (void)rng();  // keep the consume lane aligned with the cold path
+  } else {
+    act.generate = base_(rng) ? 1 : 0;
+  }
+  act.consume = consume_(rng) ? 1 : 0;
+  return act;
+}
+
+double BurstModel::expected_load_per_processor() const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace clb::models

@@ -1,0 +1,49 @@
+#include "models/geometric.hpp"
+
+#include <cmath>
+
+#include "analysis/batch_chain.hpp"
+
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kGenSalt = 0x67656F6D657472ULL;  // "geometr"
+}
+
+GeometricModel::GeometricModel(std::uint32_t k) : k_(k) {
+  CLB_CHECK(k >= 1 && k <= 62, "Geometric model: k in [1, 62]");
+}
+
+std::string GeometricModel::name() const {
+  return "geometric(k=" + std::to_string(k_) + ")";
+}
+
+sim::StepAction GeometricModel::step_action(std::uint64_t seed,
+                                            std::uint64_t proc,
+                                            std::uint64_t step, std::uint64_t,
+                                            std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kGenSalt), step);
+  // Deterministic unit consumption per the model definition.
+  return sim::StepAction{rng::truncated_geometric(rng, k_), 1};
+}
+
+double GeometricModel::expected_load_per_processor() const {
+  // Stationary mean of the batch-arrival chain L' = max(0, L + G - 1)
+  // (Lemma 2 generalised; see analysis/batch_chain.hpp).
+  const auto pmf = analysis::geometric_model_pmf(k_);
+  return analysis::pmf_mean(
+      analysis::batch_chain_stationary(pmf, 1, 256));
+}
+
+double GeometricModel::mean_generated() const {
+  double m = 0;
+  for (std::uint32_t i = 1; i <= k_; ++i) {
+    m += static_cast<double>(i) * std::pow(2.0, -(static_cast<double>(i) + 1));
+  }
+  return m;
+}
+
+}  // namespace clb::models

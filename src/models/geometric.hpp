@@ -1,0 +1,36 @@
+// The paper's "Geometric" model, Section 1.2: in one step each processor
+// generates i tasks with probability 2^-(i+1) for i in {1..k} (k constant)
+// and nothing with the remaining probability (> 1/2); it deterministically
+// consumes one task per step when one is present. Models constant task
+// running time with multi-task generation.
+#pragma once
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+class GeometricModel final : public sim::LoadModel {
+ public:
+  explicit GeometricModel(std::uint32_t k);
+
+  [[nodiscard]] std::string name() const override;
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  /// No closed-form stationary mean (random walk with deterministic drain);
+  /// returns NaN.
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+  /// Expected tasks generated per step: sum_{i=1..k} i 2^-(i+1)  (< 1).
+  [[nodiscard]] double mean_generated() const;
+
+ private:
+  std::uint32_t k_;
+};
+
+}  // namespace clb::models

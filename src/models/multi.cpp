@@ -1,0 +1,44 @@
+#include "models/multi.hpp"
+
+#include "analysis/batch_chain.hpp"
+
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kGenSalt = 0x6D756C74696D64ULL;  // "multimd"
+}
+
+MultiModel::MultiModel(std::vector<double> pmf)
+    : draw_(pmf), pmf_(std::move(pmf)), pmf_size_(pmf_.size()),
+      mean_(draw_.mean()) {
+  CLB_CHECK(pmf_.size() >= 2, "Multi model: need at least {0,1} outcomes");
+  CLB_CHECK(mean_ < 1.0,
+            "Multi model: expected generation per step must be < 1");
+  double total = 0;
+  for (const double p : pmf_) total += p;
+  for (double& p : pmf_) p /= total;
+}
+
+std::string MultiModel::name() const {
+  return "multi(c=" + std::to_string(pmf_size_) + ")";
+}
+
+sim::StepAction MultiModel::step_action(std::uint64_t seed,
+                                        std::uint64_t proc,
+                                        std::uint64_t step, std::uint64_t,
+                                        std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kGenSalt), step);
+  return sim::StepAction{draw_(rng), 1};
+}
+
+double MultiModel::expected_load_per_processor() const {
+  // Stationary mean of the batch-arrival chain (analysis/batch_chain.hpp);
+  // pmf_ is kept normalised by DiscreteDraw's constructor contract.
+  return analysis::pmf_mean(
+      analysis::batch_chain_stationary(pmf_, 1, 256));
+}
+
+}  // namespace clb::models

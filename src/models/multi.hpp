@@ -1,0 +1,42 @@
+// The paper's "Multi" model, Section 1.2: a processor generates i tasks with
+// probability pmf[i] for 0 <= i < c (c constant), with expected generation
+// strictly below one task per step; it deterministically consumes one task
+// per step when one is present.
+#pragma once
+
+#include <vector>
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+class MultiModel final : public sim::LoadModel {
+ public:
+  /// pmf[i] = probability of generating i tasks; must sum to 1 (normalised
+  /// internally) with mean < 1.
+  explicit MultiModel(std::vector<double> pmf);
+
+  [[nodiscard]] std::string name() const override;
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  /// Maximum tasks per step (the paper's constant c).
+  [[nodiscard]] std::uint32_t c() const {
+    return static_cast<std::uint32_t>(pmf_size_);
+  }
+  [[nodiscard]] double mean_generated() const { return mean_; }
+
+ private:
+  rng::DiscreteDraw draw_;
+  std::vector<double> pmf_;  // normalised copy, for the stationary analysis
+  std::size_t pmf_size_;
+  double mean_;
+};
+
+}  // namespace clb::models

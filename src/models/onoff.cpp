@@ -1,0 +1,61 @@
+#include "models/onoff.hpp"
+
+#include <limits>
+
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x6F6E6F66660000ULL;  // "onoff"
+constexpr std::uint64_t kInitSalt = 0x6F6E696E697400ULL;  // "oninit"
+}  // namespace
+
+OnOffModel::OnOffModel(OnOffConfig cfg, std::uint64_t n)
+    : cfg_(cfg),
+      gen_(cfg.p_on),
+      con_(cfg.p_consume),
+      off_flip_(cfg.p_on_to_off),
+      on_flip_(cfg.p_off_to_on),
+      state_(n, 0) {
+  CLB_CHECK(cfg.p_on > 0.0 && cfg.p_on <= 1.0, "on-off: p_on in (0,1]");
+  CLB_CHECK(cfg.p_consume > 0.0 && cfg.p_consume <= 1.0,
+            "on-off: p_consume in (0,1]");
+  CLB_CHECK(cfg.p_on_to_off > 0.0 && cfg.p_off_to_on > 0.0,
+            "on-off: flip probabilities must be positive");
+  on_fraction_ =
+      cfg.p_off_to_on / (cfg.p_off_to_on + cfg.p_on_to_off);
+  CLB_CHECK(mean_rate() < cfg.p_consume,
+            "on-off: mean generation must stay below consumption");
+}
+
+sim::StepAction OnOffModel::step_action(std::uint64_t seed,
+                                        std::uint64_t proc,
+                                        std::uint64_t step, std::uint64_t,
+                                        std::uint64_t) {
+  // Each processor (re)initialises its own state at step 0, so
+  // engine.reset() replays identically and the parallel loop stays safe.
+  if (step == 0) {
+    rng::CounterRng init(seed, rng::hash_combine(proc, kInitSalt), 0);
+    state_[proc] = rng::uniform01(init) < on_fraction_ ? 1 : 0;
+  }
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kSalt), step);
+  sim::StepAction act;
+  if (state_[proc]) {
+    act.generate = gen_(rng) ? 1 : 0;
+    if (off_flip_(rng)) state_[proc] = 0;
+  } else {
+    (void)rng();  // keep lanes aligned between states
+    if (on_flip_(rng)) state_[proc] = 1;
+  }
+  act.consume = con_(rng) ? 1 : 0;
+  return act;
+}
+
+double OnOffModel::expected_load_per_processor() const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace clb::models

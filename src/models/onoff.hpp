@@ -1,0 +1,65 @@
+// On/Off (Markov-modulated) generation: each processor flips between an ON
+// state (generates with probability p_on per step) and an OFF state
+// (generates nothing) with geometric dwell times. Captures temporally
+// correlated demand — the regime where threshold-triggered balancing earns
+// its keep, since ON processors pile up load locally for whole bursts.
+//
+// Stationary ON fraction = p_off_to_on / (p_off_to_on + p_on_to_off);
+// stability requires p_on * on_fraction < consume probability.
+#pragma once
+
+#include <vector>
+
+#include "rng/dist.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+struct OnOffConfig {
+  double p_on = 0.8;          ///< generation probability while ON
+  double p_consume = 0.5;     ///< consumption probability (any state)
+  double p_on_to_off = 0.05;  ///< per-step chance an ON processor turns OFF
+  double p_off_to_on = 0.02;  ///< per-step chance an OFF processor turns ON
+};
+
+/// Stateful model: keeps one ON/OFF bit per processor, advanced inside
+/// step_action. The engine calls step_action exactly once per (processor,
+/// step), and each processor's state depends only on its own history, so
+/// the parallel step loop stays deterministic for any worker count. The
+/// initial state is a deterministic hash of (seed, proc) at the stationary
+/// ON fraction.
+class OnOffModel final : public sim::LoadModel {
+ public:
+  OnOffModel(OnOffConfig cfg, std::uint64_t n);
+
+  [[nodiscard]] std::string name() const override { return "on-off"; }
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  /// Stationary probability a processor is ON.
+  [[nodiscard]] double on_fraction() const { return on_fraction_; }
+  /// Long-run expected generation rate per processor per step.
+  [[nodiscard]] double mean_rate() const {
+    return cfg_.p_on * on_fraction_;
+  }
+
+  /// Current state of `proc` (exposed for tests).
+  [[nodiscard]] bool is_on(std::uint64_t proc) const {
+    return state_[proc] != 0;
+  }
+
+ private:
+  OnOffConfig cfg_;
+  double on_fraction_;
+  rng::BernoulliDraw gen_;
+  rng::BernoulliDraw con_;
+  rng::BernoulliDraw off_flip_;  // ON -> OFF
+  rng::BernoulliDraw on_flip_;   // OFF -> ON
+  std::vector<std::uint8_t> state_;  // 1 = ON
+};
+
+}  // namespace clb::models

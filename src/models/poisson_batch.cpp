@@ -1,0 +1,51 @@
+#include "models/poisson_batch.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x706F6973736F6EULL;  // "poisson"
+}
+
+PoissonBatchModel::PoissonBatchModel(double lambda, std::uint32_t cap)
+    : lambda_(lambda), cap_(cap) {
+  CLB_CHECK(lambda > 0.0 && lambda < 1.0, "poisson-batch: lambda in (0,1)");
+  CLB_CHECK(cap >= 4, "poisson-batch: cap >= 4");
+}
+
+std::string PoissonBatchModel::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "poisson-batch(lambda=%.2f)", lambda_);
+  return buf;
+}
+
+sim::StepAction PoissonBatchModel::step_action(std::uint64_t seed,
+                                               std::uint64_t proc,
+                                               std::uint64_t step,
+                                               std::uint64_t, std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kSalt), step);
+  // Knuth's product method — fine for lambda < 1 (expected ~2 draws).
+  const double threshold = std::exp(-lambda_);
+  double prod = rng::uniform01(rng);
+  std::uint32_t k = 0;
+  while (prod > threshold && k < cap_) {
+    ++k;
+    prod *= rng::uniform01(rng);
+  }
+  return sim::StepAction{k, 1};
+}
+
+double PoissonBatchModel::expected_load_per_processor() const {
+  // M/D/1-like queue; no simple closed form for this discrete variant.
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace clb::models

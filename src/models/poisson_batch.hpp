@@ -1,0 +1,35 @@
+// Poisson batch arrivals (Mitzenmacher's arrival process [Mit96] in the
+// synchronous setting): each processor receives Poisson(lambda) new tasks
+// per step (lambda < 1) and consumes one task per step when present. Unlike
+// the paper's Single/Geometric/Multi models the batch size is unbounded,
+// which stresses the O((log log n)^2)-bound's robustness to heavy-ish
+// per-step bursts.
+#pragma once
+
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+class PoissonBatchModel final : public sim::LoadModel {
+ public:
+  /// lambda in (0, 1): expected tasks generated per processor per step.
+  /// Batch sizes are capped at `cap` (default 16) to keep the model within
+  /// the engine's u32 interface; P[Poisson(<1) > 16] < 1e-14.
+  explicit PoissonBatchModel(double lambda, std::uint32_t cap = 16);
+
+  [[nodiscard]] std::string name() const override;
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+  std::uint32_t cap_;
+};
+
+}  // namespace clb::models

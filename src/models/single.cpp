@@ -1,0 +1,53 @@
+#include "models/single.hpp"
+
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+// Stream salt keying this model's randomness; generation and consumption
+// take independent 64-bit lanes of the same Philox block.
+constexpr std::uint64_t kSalt = 0x67656E65726174ULL;  // "generat"
+}  // namespace
+
+namespace {
+double validated_p(double p) {
+  CLB_CHECK(p > 0.0 && p < 1.0, "Single model: p in (0,1)");
+  return p;
+}
+double validated_eps(double p, double eps) {
+  CLB_CHECK(eps > 0.0 && p + eps <= 1.0, "Single model: 0 < eps <= 1-p");
+  return eps;
+}
+}  // namespace
+
+SingleModel::SingleModel(double p, double eps)
+    : p_(validated_p(p)),
+      eps_(validated_eps(p, eps)),
+      gen_(p),
+      con_(p + eps) {
+  const double q = p + eps;
+  const double p_gain = p * (1.0 - q);
+  const double p_lose = q * (1.0 - p);
+  rho_ = p_gain / p_lose;
+}
+
+std::string SingleModel::name() const { return "single"; }
+
+sim::StepAction SingleModel::step_action(std::uint64_t seed,
+                                         std::uint64_t proc,
+                                         std::uint64_t step, std::uint64_t,
+                                         std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kSalt), step);
+  sim::StepAction act;
+  act.generate = gen_(rng) ? 1 : 0;  // first lane of the block
+  act.consume = con_(rng) ? 1 : 0;   // second lane — independent bits
+  return act;
+}
+
+double SingleModel::expected_load_per_processor() const {
+  return rho_ / (1.0 - rho_);
+}
+
+}  // namespace clb::models

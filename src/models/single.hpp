@@ -1,0 +1,40 @@
+// The paper's primary ("Single") load generation model, Section 1.2:
+// at each step every processor generates one task with probability p and
+// consumes one with probability q = p + eps (when a task is present).
+// Task running times are geometrically distributed; eps > 0 is required for
+// a steady state.
+#pragma once
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+class SingleModel final : public sim::LoadModel {
+ public:
+  SingleModel(double p, double eps);
+
+  [[nodiscard]] std::string name() const override;
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  /// rho/(1-rho) with rho = p(1-q)/(q(1-p)) — Lemma 2's stationary mean.
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  [[nodiscard]] double p() const { return p_; }
+  [[nodiscard]] double eps() const { return eps_; }
+  /// Stationary ratio rho = p_gain / p_lose (< 1).
+  [[nodiscard]] double rho() const { return rho_; }
+
+ private:
+  double p_;
+  double eps_;
+  double rho_;
+  rng::BernoulliDraw gen_;
+  rng::BernoulliDraw con_;
+};
+
+}  // namespace clb::models

@@ -1,0 +1,46 @@
+// Deterministic scripted model for unit tests: generation and consumption
+// are read from explicit per-(step, processor) tables.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "sim/model.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+/// Replays a fixed schedule. Entry [step][proc] gives the count; steps past
+/// the end of the table generate/consume nothing.
+class TraceModel final : public sim::LoadModel {
+ public:
+  TraceModel(std::vector<std::vector<std::uint32_t>> generate_table,
+             std::vector<std::vector<std::uint32_t>> consume_table)
+      : gen_(std::move(generate_table)), con_(std::move(consume_table)) {}
+
+  [[nodiscard]] std::string name() const override { return "trace"; }
+
+  sim::StepAction step_action(std::uint64_t, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t,
+                              std::uint64_t) override {
+    return sim::StepAction{lookup(gen_, step, proc), lookup(con_, step, proc)};
+  }
+
+  [[nodiscard]] double expected_load_per_processor() const override {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  static std::uint32_t lookup(
+      const std::vector<std::vector<std::uint32_t>>& table, std::uint64_t step,
+      std::uint64_t proc) {
+    if (step >= table.size()) return 0;
+    const auto& row = table[step];
+    return proc < row.size() ? row[proc] : 0;
+  }
+
+  std::vector<std::vector<std::uint32_t>> gen_;
+  std::vector<std::vector<std::uint32_t>> con_;
+};
+
+}  // namespace clb::models

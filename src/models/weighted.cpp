@@ -1,0 +1,50 @@
+#include "models/weighted.hpp"
+
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x77656967687473ULL;  // "weights"
+}
+
+WeightedSingleModel::WeightedSingleModel(double p, double eps,
+                                         std::vector<double> weight_pmf)
+    : p_(p),
+      eps_(eps),
+      gen_(p),
+      con_(p + eps),
+      weight_draw_(weight_pmf),
+      pmf_size_(weight_pmf.size()) {
+  CLB_CHECK(p > 0.0 && p < 1.0, "weighted model: p in (0,1)");
+  CLB_CHECK(eps > 0.0 && p + eps <= 1.0, "weighted model: 0 < eps <= 1-p");
+  CLB_CHECK(!weight_pmf.empty(), "weighted model: weight pmf non-empty");
+  const double q = p + eps;
+  rho_ = (p * (1.0 - q)) / (q * (1.0 - p));
+  mean_weight_ = weight_draw_.mean() + 1.0;  // draw is over {0..m-1} -> +1
+}
+
+std::string WeightedSingleModel::name() const {
+  return "weighted-single(wmax=" + std::to_string(pmf_size_) + ")";
+}
+
+sim::StepAction WeightedSingleModel::step_action(std::uint64_t seed,
+                                                 std::uint64_t proc,
+                                                 std::uint64_t step,
+                                                 std::uint64_t,
+                                                 std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kSalt), step);
+  sim::StepAction act;
+  act.generate = gen_(rng) ? 1 : 0;
+  act.consume = con_(rng) ? 1 : 0;
+  act.weight = act.generate ? weight_draw_(rng) + 1 : 1;
+  return act;
+}
+
+double WeightedSingleModel::expected_load_per_processor() const {
+  return rho_ / (1.0 - rho_);
+}
+
+}  // namespace clb::models

@@ -1,0 +1,51 @@
+// Weighted-task generation (extension): like the Single model, but every
+// generated task carries a weight drawn from a small discrete distribution.
+// The continuous-setting analogue of [BMS97]'s weighted balls; uniformity
+// W_avg / W_max controls how badly a count-based balancer misjudges weighted
+// load (EXP-17).
+#pragma once
+
+#include <vector>
+
+#include "rng/dist.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+class WeightedSingleModel final : public sim::LoadModel {
+ public:
+  /// Generates one task with probability p, consumes one with probability
+  /// p + eps (like Single). `weight_pmf[i]` is the probability the task has
+  /// weight i + 1.
+  WeightedSingleModel(double p, double eps, std::vector<double> weight_pmf);
+
+  [[nodiscard]] std::string name() const override;
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  /// Expected count load per processor (same chain as Single).
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  [[nodiscard]] double mean_weight() const { return mean_weight_; }
+  [[nodiscard]] std::uint32_t max_weight() const {
+    return static_cast<std::uint32_t>(pmf_size_);
+  }
+  /// BMS97's uniformity ratio Delta = W_avg / W_max (1 = unit weights).
+  [[nodiscard]] double uniformity() const {
+    return mean_weight_ / static_cast<double>(pmf_size_);
+  }
+
+ private:
+  double p_;
+  double eps_;
+  double rho_;
+  rng::BernoulliDraw gen_;
+  rng::BernoulliDraw con_;
+  rng::DiscreteDraw weight_draw_;
+  std::size_t pmf_size_;
+  double mean_weight_;
+};
+
+}  // namespace clb::models

@@ -1,0 +1,92 @@
+#include "net/topology.hpp"
+
+#include <bit>
+
+#include "rng/dist.hpp"
+#include "rng/xoshiro.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace clb::net {
+
+namespace {
+
+// Expected min(k, n-k) for k uniform over {0..n-1}: n/4 for even n,
+// (n^2 - 1)/(4n) for odd n.
+double ring_mean(std::uint64_t n) {
+  const double nn = static_cast<double>(n);
+  if (n % 2 == 0) return nn / 4.0;
+  return (nn * nn - 1.0) / (4.0 * nn);
+}
+
+std::uint32_t ring_dist(std::uint64_t a, std::uint64_t b, std::uint64_t n) {
+  const std::uint64_t d = a > b ? a - b : b - a;
+  return static_cast<std::uint32_t>(d < n - d ? d : n - d);
+}
+
+}  // namespace
+
+double Topology::mean_hops_sampled(std::uint64_t samples,
+                                   std::uint64_t seed) const {
+  CLB_CHECK(samples > 0, "need at least one sample");
+  rng::Xoshiro256 rng(seed);
+  double total = 0;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const std::uint64_t src = rng::bounded(rng, n());
+    const std::uint64_t dst = rng::bounded(rng, n());
+    total += hops(src, dst);
+  }
+  return total / static_cast<double>(samples);
+}
+
+CompleteTopology::CompleteTopology(std::uint64_t n) : n_(n) {
+  CLB_CHECK(n >= 2, "complete topology needs n >= 2");
+}
+
+double CompleteTopology::mean_hops() const {
+  return static_cast<double>(n_ - 1) / static_cast<double>(n_);
+}
+
+RingTopology::RingTopology(std::uint64_t n) : n_(n) {
+  CLB_CHECK(n >= 3, "ring needs n >= 3");
+}
+
+std::uint32_t RingTopology::hops(std::uint64_t src, std::uint64_t dst) const {
+  CLB_DCHECK(src < n_ && dst < n_, "ring endpoint out of range");
+  return ring_dist(src, dst, n_);
+}
+
+double RingTopology::mean_hops() const { return ring_mean(n_); }
+
+HypercubeTopology::HypercubeTopology(std::uint64_t n) : n_(n) {
+  CLB_CHECK(util::is_pow2(n) && n >= 2, "hypercube needs a power-of-two n");
+  dim_ = util::ilog2(n);
+}
+
+std::uint32_t HypercubeTopology::hops(std::uint64_t src,
+                                      std::uint64_t dst) const {
+  CLB_DCHECK(src < n_ && dst < n_, "hypercube endpoint out of range");
+  return static_cast<std::uint32_t>(std::popcount(src ^ dst));
+}
+
+double HypercubeTopology::mean_hops() const {
+  return static_cast<double>(dim_) / 2.0;
+}
+
+Torus2D::Torus2D(std::uint64_t rows, std::uint64_t cols)
+    : rows_(rows), cols_(cols) {
+  CLB_CHECK(rows >= 2 && cols >= 2, "torus needs rows, cols >= 2");
+}
+
+std::uint32_t Torus2D::hops(std::uint64_t src, std::uint64_t dst) const {
+  CLB_DCHECK(src < n() && dst < n(), "torus endpoint out of range");
+  const std::uint64_t r1 = src / cols_, c1 = src % cols_;
+  const std::uint64_t r2 = dst / cols_, c2 = dst % cols_;
+  return ring_dist(r1, r2, rows_) + ring_dist(c1, c2, cols_);
+}
+
+double Torus2D::mean_hops() const {
+  return ring_mean(rows_) + ring_mean(cols_);
+}
+
+}  // namespace clb::net

@@ -1,0 +1,118 @@
+// Interconnect topologies with hop accounting.
+//
+// The paper's machine model charges one unit per message (any-to-any
+// communication). On real parallel machines a message between processors
+// src and dst traverses hops(src, dst) links. Because every partner choice
+// in the algorithm (collision queries, probes, transfer targets) is
+// i.u.a.r., the expected link cost of a message equals mean_hops() exactly,
+// so hop-weighted communication tables (EXP-16) follow from the message
+// counters without instrumenting every send.
+//
+// Topologies provided: complete graph (the paper's model), ring, hypercube,
+// and 2-D torus — the classic SPAA-era machine graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clb::net {
+
+/// Point-to-point topology over n processors.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::uint64_t n() const = 0;
+  /// Links traversed by a message from src to dst (0 when src == dst).
+  [[nodiscard]] virtual std::uint32_t hops(std::uint64_t src,
+                                           std::uint64_t dst) const = 0;
+  /// Links per node.
+  [[nodiscard]] virtual std::uint32_t degree() const = 0;
+  /// Maximum hops between any pair.
+  [[nodiscard]] virtual std::uint32_t diameter() const = 0;
+  /// Exact expected hops between an ordered pair chosen i.u.a.r.
+  /// (including src == dst pairs, which contribute 0).
+  [[nodiscard]] virtual double mean_hops() const = 0;
+
+  /// Monte-Carlo estimate of mean_hops() — used by tests to validate the
+  /// closed forms.
+  [[nodiscard]] double mean_hops_sampled(std::uint64_t samples,
+                                         std::uint64_t seed) const;
+};
+
+/// The paper's model: every pair is directly connected.
+class CompleteTopology final : public Topology {
+ public:
+  explicit CompleteTopology(std::uint64_t n);
+  [[nodiscard]] std::string name() const override { return "complete"; }
+  [[nodiscard]] std::uint64_t n() const override { return n_; }
+  [[nodiscard]] std::uint32_t hops(std::uint64_t src,
+                                   std::uint64_t dst) const override {
+    return src == dst ? 0 : 1;
+  }
+  [[nodiscard]] std::uint32_t degree() const override {
+    return static_cast<std::uint32_t>(n_ - 1);
+  }
+  [[nodiscard]] std::uint32_t diameter() const override { return 1; }
+  [[nodiscard]] double mean_hops() const override;
+
+ private:
+  std::uint64_t n_;
+};
+
+/// Bidirectional ring: hops = min(|i-j|, n - |i-j|).
+class RingTopology final : public Topology {
+ public:
+  explicit RingTopology(std::uint64_t n);
+  [[nodiscard]] std::string name() const override { return "ring"; }
+  [[nodiscard]] std::uint64_t n() const override { return n_; }
+  [[nodiscard]] std::uint32_t hops(std::uint64_t src,
+                                   std::uint64_t dst) const override;
+  [[nodiscard]] std::uint32_t degree() const override { return 2; }
+  [[nodiscard]] std::uint32_t diameter() const override {
+    return static_cast<std::uint32_t>(n_ / 2);
+  }
+  [[nodiscard]] double mean_hops() const override;
+
+ private:
+  std::uint64_t n_;
+};
+
+/// Hypercube on n = 2^d nodes: hops = popcount(src ^ dst).
+class HypercubeTopology final : public Topology {
+ public:
+  explicit HypercubeTopology(std::uint64_t n);  // n must be a power of two
+  [[nodiscard]] std::string name() const override { return "hypercube"; }
+  [[nodiscard]] std::uint64_t n() const override { return n_; }
+  [[nodiscard]] std::uint32_t hops(std::uint64_t src,
+                                   std::uint64_t dst) const override;
+  [[nodiscard]] std::uint32_t degree() const override { return dim_; }
+  [[nodiscard]] std::uint32_t diameter() const override { return dim_; }
+  [[nodiscard]] double mean_hops() const override;
+
+ private:
+  std::uint64_t n_;
+  std::uint32_t dim_;
+};
+
+/// 2-D torus on rows x cols nodes (wrap-around Manhattan distance).
+class Torus2D final : public Topology {
+ public:
+  Torus2D(std::uint64_t rows, std::uint64_t cols);
+  [[nodiscard]] std::string name() const override { return "torus2d"; }
+  [[nodiscard]] std::uint64_t n() const override { return rows_ * cols_; }
+  [[nodiscard]] std::uint32_t hops(std::uint64_t src,
+                                   std::uint64_t dst) const override;
+  [[nodiscard]] std::uint32_t degree() const override { return 4; }
+  [[nodiscard]] std::uint32_t diameter() const override {
+    return static_cast<std::uint32_t>(rows_ / 2 + cols_ / 2);
+  }
+  [[nodiscard]] double mean_hops() const override;
+
+ private:
+  std::uint64_t rows_;
+  std::uint64_t cols_;
+};
+
+}  // namespace clb::net

@@ -1,0 +1,70 @@
+// Minimal discrete-event simulation kernel: a time-ordered event heap with
+// stable FIFO tie-breaking. Continuous-time comparators (the supermarket
+// model) run on this instead of the synchronous engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace clb::queueing {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `t` (>= now).
+  void schedule(double t, Action action) {
+    CLB_CHECK(t >= now_, "cannot schedule into the past");
+    heap_.push(Entry{t, seq_++, std::move(action)});
+  }
+
+  /// Schedules `action` `dt` time units from now.
+  void schedule_in(double dt, Action action) {
+    schedule(now_ + dt, std::move(action));
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Executes the earliest event; returns false when none remain.
+  bool run_next() {
+    if (heap_.empty()) return false;
+    // priority_queue has no non-const top-extract; the const_cast move is
+    // safe because the entry is popped immediately after.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = e.time;
+    ++executed_;
+    e.action();
+    return true;
+  }
+
+  /// Runs events until simulated time exceeds `t_end` (events at > t_end
+  /// stay queued) or the queue drains.
+  void run_until(double t_end) {
+    while (!heap_.empty() && heap_.top().time <= t_end) run_next();
+    if (now_ < t_end) now_ = t_end;
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Action action;
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  double now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace clb::queueing

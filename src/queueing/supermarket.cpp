@@ -1,0 +1,113 @@
+#include "queueing/supermarket.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "queueing/event_queue.hpp"
+#include "rng/dist.hpp"
+#include "rng/xoshiro.hpp"
+#include "util/check.hpp"
+
+namespace clb::queueing {
+
+namespace {
+
+struct State {
+  SupermarketConfig cfg;
+  EventQueue events;
+  rng::Xoshiro256 rng;
+  std::vector<std::deque<double>> queues;  // arrival time per waiting customer
+  SupermarketResult res;
+  double queue_time_integral = 0;  // sum over queues of len * dt, post-warmup
+  double last_accounting = 0;
+  std::uint64_t total_in_system = 0;
+  double sojourn_sum = 0;
+  std::uint64_t sojourn_count = 0;
+
+  explicit State(const SupermarketConfig& c) : cfg(c), rng(c.seed) {
+    queues.resize(c.n);
+  }
+
+  void account() {
+    const double now = events.now();
+    if (now > cfg.warmup) {
+      const double from = last_accounting > cfg.warmup ? last_accounting
+                                                       : cfg.warmup;
+      queue_time_integral +=
+          static_cast<double>(total_in_system) * (now - from);
+    }
+    last_accounting = now;
+  }
+
+  double service_time() {
+    return cfg.deterministic_service ? 1.0 : rng::exponential(rng, 1.0);
+  }
+
+  void depart(std::uint64_t q) {
+    account();
+    auto& queue = queues[q];
+    CLB_CHECK(!queue.empty(), "departure from empty queue");
+    const double arrived = queue.front();
+    queue.pop_front();
+    --total_in_system;
+    ++res.departures;
+    if (events.now() > cfg.warmup) {
+      sojourn_sum += events.now() - arrived;
+      ++sojourn_count;
+    }
+    if (!queue.empty()) {
+      events.schedule_in(service_time(), [this, q] { depart(q); });
+    }
+  }
+
+  void arrive() {
+    account();
+    ++res.arrivals;
+    // d i.u.a.r. probes; join the shortest (ties to first probed).
+    std::uint64_t best = rng::bounded(rng, cfg.n);
+    res.messages += cfg.d + 1;
+    for (std::uint32_t j = 1; j < cfg.d; ++j) {
+      const std::uint64_t cand = rng::bounded(rng, cfg.n);
+      if (queues[cand].size() < queues[best].size()) best = cand;
+    }
+    queues[best].push_back(events.now());
+    ++total_in_system;
+    if (events.now() > cfg.warmup && queues[best].size() > res.max_queue) {
+      res.max_queue = queues[best].size();
+    }
+    if (queues[best].size() == 1) {
+      events.schedule_in(service_time(), [this, q = best] { depart(q); });
+    }
+    schedule_next_arrival();
+  }
+
+  void schedule_next_arrival() {
+    const double rate = cfg.lambda * static_cast<double>(cfg.n);
+    const double gap = rng::exponential(rng, rate);
+    if (events.now() + gap <= cfg.horizon) {
+      events.schedule_in(gap, [this] { arrive(); });
+    }
+  }
+};
+
+}  // namespace
+
+SupermarketResult run_supermarket(const SupermarketConfig& cfg) {
+  CLB_CHECK(cfg.lambda > 0.0 && cfg.lambda < 1.0,
+            "supermarket: lambda in (0,1)");
+  CLB_CHECK(cfg.d >= 1 && cfg.n >= cfg.d, "supermarket: 1 <= d <= n");
+  CLB_CHECK(cfg.warmup < cfg.horizon, "supermarket: warmup < horizon");
+  State st(cfg);
+  st.schedule_next_arrival();
+  st.events.run_until(cfg.horizon);
+  st.account();
+  const double window = cfg.horizon - cfg.warmup;
+  st.res.mean_queue = st.queue_time_integral /
+                      (window * static_cast<double>(cfg.n));
+  st.res.mean_sojourn =
+      st.sojourn_count ? st.sojourn_sum / static_cast<double>(st.sojourn_count)
+                       : 0.0;
+  return st.res;
+}
+
+}  // namespace clb::queueing

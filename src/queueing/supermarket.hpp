@@ -1,0 +1,35 @@
+// Mitzenmacher's supermarket model [Mit96, Mit97]: customers arrive as a
+// Poisson stream of rate lambda * n (lambda < 1), each samples d queues
+// i.u.a.r. and joins the shortest; service is exponential with mean 1 (or
+// deterministic 1, the [Mit97] constant-service variant). The classic
+// continuous-time sequential d-choice comparator: max queue length is
+// O(log log n) over constant horizons.
+#pragma once
+
+#include <cstdint>
+
+namespace clb::queueing {
+
+struct SupermarketConfig {
+  std::uint64_t n = 1024;   ///< number of queues (servers)
+  double lambda = 0.9;      ///< arrival rate per queue; must be < 1
+  std::uint32_t d = 2;      ///< choices per arrival
+  bool deterministic_service = false;  ///< service = 1 instead of Exp(1)
+  double horizon = 100.0;   ///< simulated time units
+  double warmup = 20.0;     ///< stats ignored before this time
+  std::uint64_t seed = 1;
+};
+
+struct SupermarketResult {
+  std::uint64_t max_queue = 0;     ///< max queue length after warmup
+  double mean_queue = 0;           ///< time-averaged queue length
+  double mean_sojourn = 0;         ///< mean customer time in system
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t messages = 0;      ///< d probes + 1 join per arrival
+};
+
+/// Runs the supermarket model on the DES kernel.
+SupermarketResult run_supermarket(const SupermarketConfig& cfg);
+
+}  // namespace clb::queueing

@@ -1,0 +1,34 @@
+// SplitMix64: the standard 64-bit mixing function (Steele/Lea/Flood).
+//
+// Used for (a) seeding the other generators, (b) hashing tuples of ids into
+// statistically independent keys. Not used directly as a simulation stream.
+#pragma once
+
+#include <cstdint>
+
+namespace clb::rng {
+
+/// One SplitMix64 step on state `x` (returns mixed output, advances x).
+constexpr std::uint64_t splitmix64_next(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a single value (finalizer only).
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash-combines two 64-bit values into one well-mixed key. Associative use
+/// (fold over a tuple) gives per-(seed, id, step, ...) independent keys.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace clb::rng

@@ -1,0 +1,36 @@
+// Balancing policy interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clb::sim {
+
+class Engine;
+
+/// A balancer observes the system after each step's generation/consumption
+/// and may schedule task transfers and account messages through the Engine
+/// API. `on_step` runs single-threaded; the engine applies scheduled
+/// transfers after it returns.
+class Balancer {
+ public:
+  virtual ~Balancer() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once per time step, after generation/consumption.
+  virtual void on_step(Engine& engine) = 0;
+
+  /// Called when the engine (re)starts a run, before step 0.
+  virtual void on_reset(Engine& engine) { (void)engine; }
+};
+
+/// The trivial policy: no balancing at all (the paper's "unbalanced system",
+/// Section 4.1).
+class NoBalancer final : public Balancer {
+ public:
+  [[nodiscard]] std::string name() const override { return "none"; }
+  void on_step(Engine&) override {}
+};
+
+}  // namespace clb::sim

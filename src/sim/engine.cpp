@@ -1,0 +1,175 @@
+#include "sim/engine.hpp"
+
+#include "util/check.hpp"
+
+namespace clb::sim {
+
+Engine::Engine(EngineConfig cfg, LoadModel* model, Balancer* balancer)
+    : cfg_(cfg), model_(model), balancer_(balancer) {
+  CLB_CHECK(cfg_.n >= 1, "engine needs at least one processor");
+  CLB_CHECK(cfg_.n <= (1ULL << 32), "processor ids must fit in 32 bits");
+  CLB_CHECK(model_ != nullptr, "engine needs a load model");
+  procs_.resize(cfg_.n);
+  const bool must_be_serial = cfg_.track_sojourn || model_->serial_generation();
+  if (!must_be_serial && cfg_.threads != 1) {
+    pool_ = std::make_unique<util::ThreadPool>(cfg_.threads);
+  }
+  reset();
+}
+
+void Engine::reset() {
+  for (auto& p : procs_) p = Processor{};
+  pending_.clear();
+  msg_.reset();
+  sojourn_.clear();
+  step_ = 0;
+  total_load_ = 0;
+  step_max_load_ = 0;
+  running_max_load_ = 0;
+  total_weight_ = 0;
+  step_max_weight_ = 0;
+  running_max_weight_ = 0;
+  clamped_ = 0;
+  if (balancer_ != nullptr) balancer_->on_reset(*this);
+}
+
+void Engine::run(std::uint64_t steps) {
+  for (std::uint64_t s = 0; s < steps; ++s) step_once();
+}
+
+void Engine::generate_consume_block(std::uint64_t begin, std::uint64_t end,
+                                    std::uint64_t step) {
+  const std::uint64_t system_load = total_load_;  // start-of-step snapshot
+  for (std::uint64_t p = begin; p < end; ++p) {
+    Processor& proc = procs_[p];
+    const StepAction act =
+        model_->step_action(cfg_.seed, p, step, proc.load(), system_load);
+    for (std::uint32_t i = 0; i < act.generate; ++i) {
+      proc.queue.push_back(Task{static_cast<std::uint32_t>(step),
+                                static_cast<std::uint32_t>(p), act.weight});
+      proc.weight_load += act.weight;
+    }
+    proc.generated += act.generate;
+    std::uint32_t c = act.consume;
+    while (c > 0 && !proc.queue.empty()) {
+      const Task t = proc.queue.pop_front();
+      proc.weight_load -= t.weight;
+      ++proc.consumed;
+      if (t.origin == p) ++proc.consumed_on_origin;
+      if (cfg_.track_sojourn) {
+        sojourn_.add(step - t.birth_step);
+      }
+      --c;
+    }
+  }
+}
+
+void Engine::step_once() {
+  const std::uint64_t step = step_;
+  if (pool_) {
+    pool_->parallel_for(cfg_.n, [this, step](std::uint64_t b, std::uint64_t e) {
+      generate_consume_block(b, e, step);
+    });
+  } else {
+    generate_consume_block(0, cfg_.n, step);
+  }
+  if (balancer_ != nullptr) balancer_->on_step(*this);
+  apply_transfers();
+  refresh_load_aggregates();
+  ++step_;
+}
+
+void Engine::schedule_transfer(std::uint32_t from, std::uint32_t to,
+                               std::uint32_t count) {
+  CLB_CHECK(from < cfg_.n && to < cfg_.n, "transfer endpoint out of range");
+  CLB_CHECK(from != to, "transfer to self");
+  if (count == 0) return;
+  pending_.push_back(Transfer{from, to, count});
+}
+
+void Engine::apply_transfers() {
+  for (const Transfer& t : pending_) {
+    Processor& src = procs_[t.from];
+    Processor& dst = procs_[t.to];
+    std::uint64_t count = t.count;
+    if (count > src.load()) {
+      count = src.load();
+      ++clamped_;
+    }
+    const std::uint64_t weight = dst.queue.append_from_back_of(src.queue, count);
+    src.weight_load -= weight;
+    dst.weight_load += weight;
+    src.tasks_sent += count;
+    dst.tasks_received += count;
+    ++msg_.transfers;
+    msg_.tasks_moved += count;
+  }
+  pending_.clear();
+}
+
+void Engine::refresh_load_aggregates() {
+  std::uint64_t total = 0;
+  std::uint64_t mx = 0;
+  std::uint64_t total_w = 0;
+  std::uint64_t mx_w = 0;
+  for (const auto& p : procs_) {
+    const std::uint64_t l = p.load();
+    total += l;
+    if (l > mx) mx = l;
+    total_w += p.weight_load;
+    if (p.weight_load > mx_w) mx_w = p.weight_load;
+  }
+  total_load_ = total;
+  step_max_load_ = mx;
+  if (mx > running_max_load_) running_max_load_ = mx;
+  total_weight_ = total_w;
+  step_max_weight_ = mx_w;
+  if (mx_w > running_max_weight_) running_max_weight_ = mx_w;
+}
+
+std::vector<Task> Engine::drain_all() {
+  std::vector<Task> all;
+  all.reserve(total_load_);
+  for (auto& p : procs_) {
+    while (!p.queue.empty()) all.push_back(p.queue.pop_front());
+    p.weight_load = 0;
+  }
+  return all;
+}
+
+void Engine::deposit(std::uint32_t p, Task t) {
+  CLB_CHECK(p < cfg_.n, "deposit target out of range");
+  procs_[p].queue.push_back(t);
+  procs_[p].weight_load += t.weight;
+}
+
+stats::IntHistogram Engine::load_histogram() const {
+  stats::IntHistogram h;
+  for (const auto& p : procs_) h.add(p.load());
+  return h;
+}
+
+std::uint64_t Engine::total_generated() const {
+  std::uint64_t s = 0;
+  for (const auto& p : procs_) s += p.generated;
+  return s;
+}
+
+std::uint64_t Engine::total_consumed() const {
+  std::uint64_t s = 0;
+  for (const auto& p : procs_) s += p.consumed;
+  return s;
+}
+
+double Engine::locality_fraction() const {
+  std::uint64_t consumed = 0, on_origin = 0;
+  for (const auto& p : procs_) {
+    consumed += p.consumed;
+    on_origin += p.consumed_on_origin;
+  }
+  return consumed == 0 ? 1.0
+                       : static_cast<double>(on_origin) /
+                             static_cast<double>(consumed);
+}
+
+}  // namespace clb::sim

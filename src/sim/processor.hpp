@@ -1,0 +1,31 @@
+// Per-processor state: the task queue plus contention-free local counters.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/task.hpp"
+
+namespace clb::sim {
+
+/// One simulated processor. All counters are written only by the step loop
+/// for this processor's index (or by the serially-executed balancer), so no
+/// synchronisation is needed; aggregation scans them on demand.
+struct Processor {
+  FifoQueue queue;
+
+  /// Total weight of queued tasks (== queue length for unit weights);
+  /// maintained by the engine on every push/pop/transfer.
+  std::uint64_t weight_load = 0;
+
+  // Lifetime counters (never reset within a run).
+  std::uint64_t generated = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t consumed_on_origin = 0;  // consumed tasks born on this proc
+  std::uint64_t balance_initiations = 0;  // phases in which it acted as heavy
+  std::uint64_t tasks_sent = 0;
+  std::uint64_t tasks_received = 0;
+
+  [[nodiscard]] std::uint64_t load() const { return queue.size(); }
+};
+
+}  // namespace clb::sim

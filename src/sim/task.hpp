@@ -1,0 +1,132 @@
+// Task representation and the FIFO queue each processor owns.
+//
+// The paper's model stores yet-to-be-performed tasks "in a FIFO like
+// manner"; balancing transfers take tasks from the *back* of the sender's
+// queue and append them to the *back* of the receiver's queue in their old
+// order (Section 3). Both operations are first-class here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace clb::sim {
+
+/// One unit of load. Tasks carry their birth step (for sojourn-time
+/// statistics, Corollary 1), the processor that generated them (for the
+/// locality metric the paper motivates: keeping related tasks together),
+/// and a weight (1 for the paper's unit tasks; the weighted extension
+/// follows [BMS97]'s weighted balls into the continuous setting).
+struct Task {
+  std::uint32_t birth_step = 0;
+  std::uint32_t origin = 0;
+  std::uint32_t weight = 1;
+};
+
+static_assert(sizeof(Task) <= 16, "Task must stay compact");
+
+/// Power-of-two ring buffer FIFO of Tasks with O(1) push/pop at both ends
+/// and amortised growth. Not thread-safe; each processor owns exactly one.
+class FifoQueue {
+ public:
+  FifoQueue() = default;
+
+  [[nodiscard]] std::uint64_t size() const { return tail_ - head_; }
+  [[nodiscard]] bool empty() const { return head_ == tail_; }
+
+  void push_back(Task t) {
+    if (size() == capacity()) grow();
+    buf_[tail_ & mask_] = t;
+    ++tail_;
+  }
+
+  /// Removes and returns the oldest task. Queue must be non-empty.
+  Task pop_front() {
+    CLB_DCHECK(!empty(), "pop_front on empty queue");
+    Task t = buf_[head_ & mask_];
+    ++head_;
+    return t;
+  }
+
+  /// Removes the newest task (used by transfer extraction).
+  Task pop_back() {
+    CLB_DCHECK(!empty(), "pop_back on empty queue");
+    --tail_;
+    return buf_[tail_ & mask_];
+  }
+
+  [[nodiscard]] const Task& front() const {
+    CLB_DCHECK(!empty(), "front on empty queue");
+    return buf_[head_ & mask_];
+  }
+
+  [[nodiscard]] const Task& back() const {
+    CLB_DCHECK(!empty(), "back on empty queue");
+    return buf_[(tail_ - 1) & mask_];
+  }
+
+  /// Task at FIFO position i (0 = front). For tests and inspection.
+  [[nodiscard]] const Task& at(std::uint64_t i) const {
+    CLB_DCHECK(i < size(), "at() out of range");
+    return buf_[(head_ + i) & mask_];
+  }
+
+  /// Moves the `count` newest tasks of `from` onto the back of this queue,
+  /// preserving their relative (old) order — the paper's transfer rule.
+  /// Returns the total weight moved.
+  std::uint64_t append_from_back_of(FifoQueue& from, std::uint64_t count) {
+    CLB_CHECK(count <= from.size(), "transfer larger than sender load");
+    // The moved block starts `count` before the sender's tail.
+    const std::uint64_t first = from.tail_ - count;
+    std::uint64_t weight = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Task& t = from.buf_[(first + i) & from.mask_];
+      weight += t.weight;
+      push_back(t);
+    }
+    from.tail_ = first;
+    return weight;
+  }
+
+  /// Number of newest tasks whose cumulative weight first reaches
+  /// `target_weight` (at least 1 when non-empty, at most size()). Used by
+  /// the weighted balancer to translate a weight budget into a task count.
+  [[nodiscard]] std::uint64_t count_from_back_for_weight(
+      std::uint64_t target_weight) const {
+    std::uint64_t acc = 0, cnt = 0;
+    while (cnt < size()) {
+      acc += buf_[(tail_ - 1 - cnt) & mask_].weight;
+      ++cnt;
+      if (acc >= target_weight) break;
+    }
+    return cnt;
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  [[nodiscard]] std::uint64_t capacity() const { return buf_.size(); }
+
+  void grow() {
+    const std::uint64_t old_cap = capacity();
+    const std::uint64_t new_cap = old_cap == 0 ? 8 : old_cap * 2;
+    std::vector<Task> fresh(new_cap);
+    const std::uint64_t n = size();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      fresh[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(fresh);
+    head_ = 0;
+    tail_ = n;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<Task> buf_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace clb::sim

@@ -1,0 +1,48 @@
+// Subsampled time series recorder for long simulations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clb::stats {
+
+/// Records (step, value) samples every `stride` steps; memory stays bounded
+/// for arbitrarily long runs by doubling the stride once `max_points` is hit
+/// (keeping every other retained point).
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::uint64_t stride = 1, std::size_t max_points = 4096)
+      : stride_(stride ? stride : 1), max_points_(max_points) {}
+
+  void record(std::uint64_t step, double value) {
+    if (step % stride_ != 0) return;
+    steps_.push_back(step);
+    values_.push_back(value);
+    if (steps_.size() >= max_points_) thin();
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& steps() const {
+    return steps_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] std::uint64_t stride() const { return stride_; }
+
+ private:
+  void thin() {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < steps_.size(); r += 2, ++w) {
+      steps_[w] = steps_[r];
+      values_[w] = values_[r];
+    }
+    steps_.resize(w);
+    values_.resize(w);
+    stride_ *= 2;
+  }
+
+  std::uint64_t stride_;
+  std::size_t max_points_;
+  std::vector<std::uint64_t> steps_;
+  std::vector<double> values_;
+};
+
+}  // namespace clb::stats

@@ -1,0 +1,38 @@
+// Aggregation of a named scalar across independent trials.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "stats/moments.hpp"
+
+namespace clb::stats {
+
+/// Collects named scalar metrics over repeated independent trials and
+/// reports mean ± CI95 / min / max per metric. Benches use one TrialSet per
+/// swept configuration.
+class TrialSet {
+ public:
+  void add(const std::string& metric, double value) {
+    metrics_[metric].add(value);
+  }
+
+  [[nodiscard]] const OnlineMoments& get(const std::string& metric) const {
+    static const OnlineMoments kEmpty;
+    auto it = metrics_.find(metric);
+    return it == metrics_.end() ? kEmpty : it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& metric) const {
+    return metrics_.contains(metric);
+  }
+
+  [[nodiscard]] const std::map<std::string, OnlineMoments>& all() const {
+    return metrics_;
+  }
+
+ private:
+  std::map<std::string, OnlineMoments> metrics_;
+};
+
+}  // namespace clb::stats

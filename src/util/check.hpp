@@ -1,0 +1,39 @@
+// Invariant checking macros.
+//
+// CLB_CHECK   — always-on check used at API boundaries and for invariants
+//               whose violation means the simulation result is meaningless.
+//               Prints the failing expression and message, then aborts.
+// CLB_DCHECK  — debug-only check for hot paths (compiles out in NDEBUG).
+//
+// We deliberately abort instead of throwing: the library's hot loops are
+// exception-free, and a violated invariant in a randomized simulation is not
+// recoverable in any meaningful way.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace clb::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CLB_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace clb::util
+
+#define CLB_CHECK(expr, msg)                                      \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::clb::util::check_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                             \
+  } while (0)
+
+#ifdef NDEBUG
+#define CLB_DCHECK(expr, msg) ((void)0)
+#else
+#define CLB_DCHECK(expr, msg) CLB_CHECK(expr, msg)
+#endif

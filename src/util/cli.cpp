@@ -1,0 +1,129 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace clb::util {
+
+Cli::Cli(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+Cli::Flag& Cli::declare(const std::string& name, Flag::Kind kind,
+                        const std::string& help) {
+  CLB_CHECK(!flags_.contains(name), "duplicate flag declaration");
+  Flag& f = flags_[name];
+  f.kind = kind;
+  f.help = help;
+  return f;
+}
+
+const std::uint64_t* Cli::flag_u64(const std::string& name, std::uint64_t def,
+                                   const std::string& help) {
+  Flag& f = declare(name, Flag::Kind::U64, help);
+  f.u64 = def;
+  return &f.u64;
+}
+
+const double* Cli::flag_f64(const std::string& name, double def,
+                            const std::string& help) {
+  Flag& f = declare(name, Flag::Kind::F64, help);
+  f.f64 = def;
+  return &f.f64;
+}
+
+const bool* Cli::flag_bool(const std::string& name, bool def,
+                           const std::string& help) {
+  Flag& f = declare(name, Flag::Kind::Bool, help);
+  f.boolean = def;
+  return &f.boolean;
+}
+
+const std::string* Cli::flag_str(const std::string& name,
+                                 const std::string& def,
+                                 const std::string& help) {
+  Flag& f = declare(name, Flag::Kind::Str, help);
+  f.str = def;
+  return &f.str;
+}
+
+void Cli::usage_and_exit(int code) const {
+  std::fprintf(stderr, "%s\n\nFlags:\n", description_.c_str());
+  for (const auto& [name, f] : flags_) {
+    const char* kind = "";
+    switch (f.kind) {
+      case Flag::Kind::U64: kind = "uint"; break;
+      case Flag::Kind::F64: kind = "float"; break;
+      case Flag::Kind::Bool: kind = "bool"; break;
+      case Flag::Kind::Str: kind = "string"; break;
+    }
+    std::fprintf(stderr, "  --%-18s %-7s %s\n", name.c_str(), kind,
+                 f.help.c_str());
+  }
+  std::exit(code);
+}
+
+void Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage_and_exit(0);
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      usage_and_exit(2);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", arg.c_str());
+      usage_and_exit(2);
+    }
+    Flag& f = it->second;
+    if (!has_value && f.kind != Flag::Kind::Bool) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", arg.c_str());
+        usage_and_exit(2);
+      }
+      value = argv[++i];
+      has_value = true;
+    }
+    try {
+      switch (f.kind) {
+        case Flag::Kind::U64: f.u64 = std::stoull(value); break;
+        case Flag::Kind::F64: f.f64 = std::stod(value); break;
+        case Flag::Kind::Str: f.str = value; break;
+        case Flag::Kind::Bool:
+          f.boolean = !has_value || value == "1" || value == "true" ||
+                      value == "yes" || value == "on";
+          break;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n", arg.c_str(),
+                   value.c_str());
+      usage_and_exit(2);
+    }
+  }
+}
+
+std::vector<std::uint64_t> Cli::parse_u64_list(const std::string& csv) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string tok = csv.substr(pos, comma - pos);
+    if (!tok.empty()) out.push_back(std::stoull(tok));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace clb::util

@@ -1,0 +1,64 @@
+// Minimal command-line flag parser for bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are an error so bench invocations fail loudly instead of silently
+// running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace clb::util {
+
+/// Registry-backed flag parser. Declare flags with defaults, then `parse`.
+///
+///   Cli cli("bench_maxload");
+///   auto n      = cli.flag_u64("n", 1u << 14, "number of processors");
+///   auto trials = cli.flag_u64("trials", 10, "independent trials");
+///   cli.parse(argc, argv);   // exits(2) with usage on error / --help
+///   use(*n, *trials);        // values are filled in by parse()
+class Cli {
+ public:
+  explicit Cli(std::string program_description);
+
+  /// Declares a flag; the returned pointer is owned by the Cli and filled in
+  /// by parse(). Safe to dereference only after parse().
+  const std::uint64_t* flag_u64(const std::string& name, std::uint64_t def,
+                                const std::string& help);
+  const double* flag_f64(const std::string& name, double def,
+                         const std::string& help);
+  const bool* flag_bool(const std::string& name, bool def,
+                        const std::string& help);
+  const std::string* flag_str(const std::string& name, const std::string& def,
+                              const std::string& help);
+
+  /// Parses argv. On `--help` prints usage and exits(0); on error prints the
+  /// problem plus usage and exits(2).
+  void parse(int argc, char** argv);
+
+  /// Comma-separated list helper: parses flag value "1024,4096" into numbers.
+  static std::vector<std::uint64_t> parse_u64_list(const std::string& csv);
+
+ private:
+  struct Flag {
+    enum class Kind { U64, F64, Bool, Str } kind;
+    std::string help;
+    std::uint64_t u64 = 0;
+    double f64 = 0;
+    bool boolean = false;
+    std::string str;
+  };
+
+  [[noreturn]] void usage_and_exit(int code) const;
+  Flag& declare(const std::string& name, Flag::Kind kind,
+                const std::string& help);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace clb::util

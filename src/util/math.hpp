@@ -1,0 +1,58 @@
+// Small integer/floating math helpers shared by the whole library.
+//
+// The paper's quantities are all built from `log log n`; these helpers give a
+// single, consistent realisation of those expressions on concrete machine
+// sizes (see DESIGN.md §2, "Constant realisation").
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace clb::util {
+
+/// Floor of log2(x) for x >= 1.
+constexpr std::uint32_t ilog2(std::uint64_t x) {
+  CLB_DCHECK(x >= 1, "ilog2 requires x >= 1");
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// True iff x is a power of two (x >= 1).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  CLB_DCHECK(b > 0, "ceil_div by zero");
+  return (a + b - 1) / b;
+}
+
+/// Real-valued log2(log2(n)); requires n >= 4 so the result is >= 1... well,
+/// n >= 3 gives a positive value. Callers clamp as needed.
+inline double log2log2(std::uint64_t n) {
+  CLB_CHECK(n >= 4, "log2log2 requires n >= 4");
+  return std::log2(std::log2(static_cast<double>(n)));
+}
+
+/// Real-valued natural log-log, used when a formula in the paper is written
+/// with unspecified base (asymptotics only); we standardise on base 2 in the
+/// implementation and expose this for sensitivity checks.
+inline double lnln(std::uint64_t n) {
+  CLB_CHECK(n >= 3, "lnln requires n >= 3");
+  return std::log(std::log(static_cast<double>(n)));
+}
+
+/// round-to-nearest of a positive double, as u64 (>= `lo`).
+inline std::uint64_t round_at_least(double x, std::uint64_t lo) {
+  const double r = std::llround(x) < 0 ? 0.0 : static_cast<double>(std::llround(x));
+  const auto v = static_cast<std::uint64_t>(r);
+  return v < lo ? lo : v;
+}
+
+/// Saturating subtraction for unsigned values.
+constexpr std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace clb::util

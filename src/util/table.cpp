@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace clb::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CLB_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string_view text) {
+  CLB_CHECK(!rows_.empty(), "call row() before cell()");
+  CLB_CHECK(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().emplace_back(text);
+  return *this;
+}
+
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(double v, int precision) {
+  return cell(format_double(v, precision));
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      out << "  " << text;
+      for (std::size_t pad = text.size(); pad < width[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  out << "  ";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(width[c], '-') << (c + 1 < headers_.size() ? "  " : "");
+  }
+  out << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void print_banner(std::string_view title) {
+  std::string rule(title.size() + 4, '=');
+  std::printf("\n%s\n= %.*s =\n%s\n", rule.c_str(),
+              static_cast<int>(title.size()), title.data(), rule.c_str());
+}
+
+void print_note(std::string_view note) {
+  std::printf("  # %.*s\n", static_cast<int>(note.size()), note.data());
+}
+
+}  // namespace clb::util

@@ -1,0 +1,53 @@
+// Plain-text table rendering for bench output.
+//
+// Every bench binary prints its results as one or more of these tables: a
+// header row, aligned columns, and an optional title/notes block, so that the
+// harness output is directly comparable with the paper's statements.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clb::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// a fixed number of significant digits. Rendering pads each column to its
+/// widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent `cell` calls fill it left to right.
+  Table& row();
+
+  Table& cell(std::string_view text);
+  Table& cell(std::uint64_t v);
+  Table& cell(std::int64_t v);
+  Table& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  /// Fixed-precision floating cell (default 3 decimal places).
+  Table& cell(double v, int precision = 3);
+
+  /// Renders the table with aligned columns, ready to print.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders as CSV (headers + rows), for machine consumption.
+  [[nodiscard]] std::string csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `precision` decimal places.
+std::string format_double(double v, int precision = 3);
+
+/// Prints a section banner (title surrounded by '=' rules) to stdout.
+void print_banner(std::string_view title);
+
+/// Prints a short note line, prefixed with "  # ".
+void print_note(std::string_view note);
+
+}  // namespace clb::util

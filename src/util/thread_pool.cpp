@@ -1,0 +1,95 @@
+#include "util/thread_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace clb::util {
+
+namespace {
+
+// Splits [0, count) into `parts` contiguous blocks; returns [begin, end) of
+// block `index`. Blocks differ in size by at most 1.
+std::pair<std::uint64_t, std::uint64_t> block_range(std::uint64_t count,
+                                                    unsigned parts,
+                                                    unsigned index) {
+  const std::uint64_t base = count / parts;
+  const std::uint64_t extra = count % parts;
+  const std::uint64_t begin =
+      index * base + std::min<std::uint64_t>(index, extra);
+  const std::uint64_t size = base + (index < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread is worker 0; spawn the rest.
+  threads_.reserve(workers - 1);
+  for (unsigned i = 1; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t count,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (count == 0) return;
+  const unsigned parts = worker_count();
+  if (parts == 1 || count < 2 * parts) {
+    body(0, count);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    CLB_CHECK(pending_ == 0, "nested parallel_for is not supported");
+    job_.body = &body;
+    job_.count = count;
+    ++job_.generation;
+    pending_ = parts - 1;
+  }
+  cv_start_.notify_all();
+
+  auto [begin, end] = block_range(count, parts, 0);
+  body(begin, end);
+
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  job_.body = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::uint64_t, std::uint64_t)>* body = nullptr;
+    std::uint64_t count = 0;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] {
+        return stop_ || (job_.body != nullptr && job_.generation > seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = job_.generation;
+      body = job_.body;
+      count = job_.count;
+    }
+    auto [begin, end] = block_range(count, worker_count(), index);
+    (*body)(begin, end);
+    {
+      std::lock_guard lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace clb::util

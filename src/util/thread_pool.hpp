@@ -1,0 +1,56 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// The simulator's per-step work (task generation, query placement) is data
+// parallel over processors. Per-processor counter-based RNG streams make the
+// result independent of how the index range is split, so the engine is
+// deterministic for any worker count — including the single-threaded
+// fallback used when hardware_concurrency() == 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clb::util {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` threads; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(threads_.size() + 1);  // workers + caller
+  }
+
+  /// Runs body(begin, end) over [0, count) split into contiguous blocks, one
+  /// per worker (the calling thread participates). Blocks until all finish.
+  /// `body` must be safe to call concurrently on disjoint ranges.
+  void parallel_for(std::uint64_t count,
+                    const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+ private:
+  void worker_loop(unsigned index);
+
+  struct Job {
+    const std::function<void(std::uint64_t, std::uint64_t)>* body = nullptr;
+    std::uint64_t count = 0;
+    std::uint64_t generation = 0;
+  };
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job job_;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace clb::util

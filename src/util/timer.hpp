@@ -1,0 +1,33 @@
+// Wall-clock timing utilities for benches and progress reporting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace clb::util {
+
+/// Monotonic stopwatch. `elapsed_*` may be called repeatedly; `reset`
+/// restarts the clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace clb::util

@@ -1,0 +1,179 @@
+// Unit tests for clb::analysis — Markov steady state and paper bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/batch_chain.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/markov.hpp"
+#include "analysis/occupancy.hpp"
+
+namespace clb::analysis {
+namespace {
+
+TEST(Markov, GainLoseProbabilities) {
+  SingleModelChain chain(0.4, 0.1);
+  // p_gain = p(1-q) = 0.4*0.5 = 0.2; p_lose = q(1-p) = 0.5*0.6 = 0.3.
+  EXPECT_NEAR(chain.p_gain(), 0.2, 1e-12);
+  EXPECT_NEAR(chain.p_lose(), 0.3, 1e-12);
+  EXPECT_NEAR(chain.rho(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Markov, StationaryIsProbabilityDistribution) {
+  SingleModelChain chain(0.3, 0.2);
+  double sum = 0;
+  for (std::uint64_t i = 0; i < 400; ++i) sum += chain.stationary(i);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(Markov, TailIsGeometric) {
+  SingleModelChain chain(0.4, 0.1);
+  EXPECT_NEAR(chain.tail_at_least(0), 1.0, 1e-12);
+  EXPECT_NEAR(chain.tail_at_least(3), std::pow(chain.rho(), 3.0), 1e-12);
+  // Tail and pmf are consistent: P[X>=k] - P[X>=k+1] = v_k.
+  EXPECT_NEAR(chain.tail_at_least(5) - chain.tail_at_least(6),
+              chain.stationary(5), 1e-12);
+}
+
+TEST(Markov, ExpectedLoadMatchesGeometricMean) {
+  SingleModelChain chain(0.4, 0.1);
+  double mean = 0;
+  for (std::uint64_t i = 1; i < 1000; ++i) {
+    mean += static_cast<double>(i) * chain.stationary(i);
+  }
+  EXPECT_NEAR(chain.expected_load(), mean, 1e-9);
+}
+
+TEST(Markov, NumericMatchesClosedForm) {
+  SingleModelChain chain(0.35, 0.15);
+  const auto v = chain.stationary_numeric(200);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(v[i], chain.stationary(i), 1e-6) << "state " << i;
+  }
+}
+
+TEST(Markov, ExpectedMaxLoadGrowsLogarithmically) {
+  SingleModelChain chain(0.4, 0.1);
+  const double m1 = chain.expected_max_load(1 << 10);
+  const double m2 = chain.expected_max_load(1 << 20);
+  EXPECT_NEAR(m2 / m1, 2.0, 1e-9);  // log n doubles
+}
+
+TEST(Bounds, PaperTKnownValues) {
+  EXPECT_NEAR(paper_T(65536), 16.0, 1e-9);          // (log2 log2 2^16)^2 = 16
+  EXPECT_NEAR(paper_T(1ULL << 32), 25.0, 1e-9);     // 5^2
+}
+
+TEST(Bounds, BalancedBeatsUnbalancedForLargeN) {
+  // Theorem 1's (log log n)^2 must grow slower than the unbalanced
+  // Theta(log n) max load; crossover confirmed at n = 2^32.
+  const std::uint64_t n = 1ULL << 32;
+  EXPECT_LT(max_load_bound_single(n), unbalanced_max_load(n, 2.0 / 3.0));
+}
+
+TEST(Bounds, HeavyFractionVanishes) {
+  EXPECT_LT(heavy_fraction_bound(1 << 20), 1e-5);
+  EXPECT_GT(heavy_fraction_bound(1 << 20), 0.0);
+  EXPECT_LT(heavy_fraction_bound(1ULL << 32), heavy_fraction_bound(1 << 16));
+}
+
+TEST(Bounds, CollisionRoundBoundLemma1Shape) {
+  // (a,b,c) = (5,2,1): log log n / log 3 + 3.
+  const double r = collision_round_bound(1 << 16, 5, 2, 1);
+  EXPECT_NEAR(r, 4.0 / std::log2(3.0) + 3.0, 1e-9);
+  EXPECT_LE(collision_step_bound_lemma1(1 << 16), 5.0 * 4.0 + 1e-9);
+}
+
+TEST(Bounds, ExpectedRequestsBoundIsSmallConstant) {
+  // Lemma 7: a constant independent of n.
+  const double small_n = expected_requests_bound(1 << 12);
+  const double large_n = expected_requests_bound(1ULL << 40);
+  EXPECT_LT(large_n, 64.0);
+  EXPECT_NEAR(small_n, large_n, 8.0);  // levels differ but the series tails off
+}
+
+TEST(Bounds, MessagesPerPhaseSublinear) {
+  const double frac20 = messages_per_phase_bound(1 << 20) / (1 << 20);
+  const double frac12 = messages_per_phase_bound(1 << 12) / (1 << 12);
+  EXPECT_LT(frac20, frac12);
+  EXPECT_LT(frac20, 0.01);
+}
+
+TEST(Bounds, BibFormulas) {
+  EXPECT_GT(bib_single_choice_max(1 << 20), bib_greedy_d_max(1 << 20, 2));
+  EXPECT_GT(bib_greedy_d_max(1 << 20, 2), bib_greedy_d_max(1 << 20, 4));
+}
+
+TEST(BatchChain, StationaryIsDistribution) {
+  const auto v = batch_chain_stationary({0.6, 0.25, 0.15}, 1, 128);
+  double sum = 0;
+  for (const double p : v) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BatchChain, DegenerateBernoulliMatchesIntuition) {
+  // G in {0, 1} with consume 1: L' = max(0, L + G - 1) never leaves 0.
+  const auto v = batch_chain_stationary({0.6, 0.4}, 1, 32);
+  EXPECT_NEAR(v[0], 1.0, 1e-9);
+}
+
+TEST(BatchChain, GeometricPmfHelper) {
+  const auto pmf = geometric_model_pmf(4);
+  EXPECT_NEAR(pmf[1], 0.25, 1e-12);
+  EXPECT_NEAR(pmf[4], 1.0 / 32.0, 1e-12);
+  // sum_{i=1..4} i 2^-(i+1) = 1/4 + 1/4 + 3/16 + 1/8 = 13/16.
+  EXPECT_NEAR(pmf_mean(pmf), 13.0 / 16.0, 1e-12);
+}
+
+TEST(BatchChain, TailDecaysGeometrically) {
+  const auto v = batch_chain_stationary(geometric_model_pmf(4), 1, 256);
+  // Subcritical: the tail must decay; ratio roughly constant (geometric).
+  const double r1 = pmf_tail_at_least(v, 10) / pmf_tail_at_least(v, 5);
+  const double r2 = pmf_tail_at_least(v, 15) / pmf_tail_at_least(v, 10);
+  EXPECT_LT(r1, 1.0);
+  EXPECT_NEAR(r1, r2, 0.1);
+}
+
+TEST(BatchChain, RejectsSupercritical) {
+  EXPECT_DEATH(batch_chain_stationary({0.0, 0.0, 1.0}, 1, 32),
+               "subcritical");
+}
+
+TEST(Occupancy, PoissonTailBasics) {
+  EXPECT_NEAR(poisson_tail_at_least(1.0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(poisson_tail_at_least(1.0, 1), 1.0 - std::exp(-1.0), 1e-12);
+  // P[Poisson(1) >= 2] = 1 - 2/e.
+  EXPECT_NEAR(poisson_tail_at_least(1.0, 2), 1.0 - 2.0 * std::exp(-1.0),
+              1e-12);
+  EXPECT_LT(poisson_tail_at_least(1.0, 20), 1e-15);
+}
+
+TEST(Occupancy, ExpectedMaxGrowsWithN) {
+  const double m1 = expected_max_single_choice(1 << 10, 1 << 10);
+  const double m2 = expected_max_single_choice(1 << 20, 1 << 20);
+  EXPECT_GT(m2, m1);
+  // Known ballpark for n = m = 2^16: max around 8 (log n / log log n * c).
+  const double m16 = expected_max_single_choice(1 << 16, 1 << 16);
+  EXPECT_GT(m16, 6.0);
+  EXPECT_LT(m16, 11.0);
+}
+
+TEST(Occupancy, TypicalMaxConsistentWithExpectation) {
+  for (const std::uint64_t n : {1u << 12, 1u << 16}) {
+    const double e = expected_max_single_choice(n, n);
+    const auto typical = typical_max_single_choice(n, n);
+    EXPECT_NEAR(static_cast<double>(typical), e, 2.5) << n;
+  }
+}
+
+TEST(Bounds, ChernoffAndHoeffdingDecay) {
+  EXPECT_LT(chernoff_upper(10000, 0.5, 0.1), 1e-5);
+  EXPECT_GT(chernoff_upper(100, 0.5, 0.1), chernoff_upper(10000, 0.5, 0.1));
+  EXPECT_LT(hoeffding(10000, 0.05), 1e-10);
+}
+
+}  // namespace
+}  // namespace clb::analysis

@@ -1,0 +1,164 @@
+// Tests for the comparison balancers (§1.1 related work realisations).
+#include <gtest/gtest.h>
+
+#include "baselines/all_in_air.hpp"
+#include "baselines/lauer.hpp"
+#include "baselines/lm.hpp"
+#include "baselines/random_seeking.hpp"
+#include "baselines/rsu.hpp"
+#include "models/single.hpp"
+#include "models/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace clb::baselines {
+namespace {
+
+// One processor starts with 64 tasks, the rest idle; no further generation.
+std::vector<std::vector<std::uint32_t>> spike_table(std::uint64_t n,
+                                                    std::uint32_t load) {
+  std::vector<std::uint32_t> row(n, 0);
+  row[0] = load;
+  return {row};
+}
+
+TEST(Rsu, SpreadsASpike) {
+  models::TraceModel model(spike_table(64, 64), {});
+  RsuBalancer balancer({.p_attempt = 1.0, .min_diff = 2, .load_scaled = true});
+  sim::Engine eng({.n = 64, .seed = 3}, &model, &balancer);
+  eng.run(50);
+  EXPECT_LT(eng.step_max_load(), 16u);
+  EXPECT_EQ(eng.total_load(), 64u);  // balancing conserves tasks
+}
+
+TEST(Rsu, CountsProbeMessages) {
+  models::TraceModel model(spike_table(64, 64), {});
+  RsuBalancer balancer({.p_attempt = 1.0, .min_diff = 2, .load_scaled = true});
+  sim::Engine eng({.n = 64, .seed = 3}, &model, &balancer);
+  eng.run(5);
+  EXPECT_GT(eng.messages().control, 0u);
+}
+
+TEST(Rsu, StableUnderContinuousLoad) {
+  models::SingleModel model(0.4, 0.1);
+  RsuBalancer balancer;
+  sim::Engine eng({.n = 256, .seed = 5}, &model, &balancer);
+  eng.run(2000);
+  EXPECT_LT(eng.step_max_load(), 40u);
+  EXPECT_LT(eng.total_load(), 256u * 8);
+}
+
+TEST(Lm, TriggersOnDoubling) {
+  models::TraceModel model(spike_table(64, 64), {});
+  LmBalancer balancer({.partners = 2, .min_trigger = 4});
+  sim::Engine eng({.n = 64, .seed = 3}, &model, &balancer);
+  eng.run(30);
+  EXPECT_LT(eng.step_max_load(), 64u);
+  EXPECT_EQ(eng.total_load(), 64u);
+}
+
+TEST(Lm, QuietSystemStaysQuiet) {
+  models::TraceModel model({{0, 0, 0, 0}}, {});
+  LmBalancer balancer;
+  sim::Engine eng({.n = 4, .seed = 1}, &model, &balancer);
+  eng.run(10);
+  EXPECT_EQ(eng.messages().control, 0u);
+}
+
+TEST(Lauer, EqualizesAlternatingLoads) {
+  // Alternating 0/8 loads: av = 4, band = 2; any (8, 0) pair equalizes to
+  // (4, 4), which is applicative, so the system flattens quickly.
+  const std::uint64_t n = 64;
+  std::vector<std::uint32_t> row(n, 0);
+  for (std::uint64_t p = 0; p < n; p += 2) row[p] = 8;
+  models::TraceModel model({row}, {});
+  LauerBalancer balancer({.c = 0.5, .max_probes = 8, .min_band = 2.0});
+  sim::Engine eng({.n = n, .seed = 3}, &model, &balancer);
+  eng.run(30);
+  EXPECT_LE(eng.step_max_load(), 6u);
+  EXPECT_EQ(eng.total_load(), 8u * n / 2);
+}
+
+TEST(Lauer, StrictApplicativeRuleStallsOnExtremeSpike) {
+  // The limitation the paper points out: Lauer's scheme only helps when
+  // av is large enough. A spike of 64*av has no applicative partner
+  // (equalizing leaves both sides active), so nothing moves.
+  models::TraceModel model(spike_table(64, 128), {});
+  LauerBalancer balancer({.c = 0.5, .max_probes = 8, .min_band = 2.0});
+  sim::Engine eng({.n = 64, .seed = 3}, &model, &balancer);
+  eng.run(20);
+  EXPECT_EQ(eng.step_max_load(), 128u);
+  EXPECT_EQ(eng.messages().transfers, 0u);
+}
+
+TEST(AllInAir, FlattensCompletely) {
+  models::TraceModel model(spike_table(256, 256), {});
+  AllInAirBalancer balancer({.interval = 1});
+  sim::Engine eng({.n = 256, .seed = 3}, &model, &balancer);
+  eng.run(2);
+  // 256 tasks over 256 procs scattered randomly: max is ~log n/log log n.
+  EXPECT_LE(eng.step_max_load(), 8u);
+  EXPECT_EQ(eng.total_load(), 256u);
+}
+
+TEST(AllInAir, MessageCostIsTotalLoadPerInterval) {
+  models::TraceModel model(spike_table(128, 100), {});
+  AllInAirBalancer balancer({.interval = 1});
+  sim::Engine eng({.n = 128, .seed = 3}, &model, &balancer);
+  eng.step_once();
+  EXPECT_GE(eng.messages().control, 100u);  // one routing message per task
+  EXPECT_EQ(eng.messages().tasks_moved, 100u);
+}
+
+TEST(AllInAir, TwoChoiceTightensMaxLoad) {
+  models::TraceModel m1(spike_table(4096, 4096), {});
+  models::TraceModel m2(spike_table(4096, 4096), {});
+  AllInAirBalancer scatter({.interval = 1, .two_choice = false});
+  AllInAirBalancer twochoice({.interval = 1, .two_choice = true});
+  sim::Engine e1({.n = 4096, .seed = 3}, &m1, &scatter);
+  sim::Engine e2({.n = 4096, .seed = 3}, &m2, &twochoice);
+  e1.step_once();
+  e2.step_once();
+  EXPECT_LE(e2.step_max_load(), e1.step_max_load());
+  EXPECT_LE(e2.step_max_load(), 4u);  // ~log log n
+}
+
+TEST(RandomSeeking, MovesLoadFromSourceToSinks) {
+  models::TraceModel model(spike_table(64, 64), {});
+  RandomSeekingBalancer balancer(
+      {.hi_watermark = 8, .lo_watermark = 2, .hop_limit = 8});
+  sim::Engine eng({.n = 64, .seed = 3}, &model, &balancer);
+  eng.run(20);
+  EXPECT_LT(eng.step_max_load(), 16u);
+  EXPECT_EQ(eng.total_load(), 64u);
+  EXPECT_GT(balancer.mean_visits_to_sink(), 0.9);
+}
+
+TEST(RandomSeeking, MeanVisitsNearOneWhenSinksAbound) {
+  // Nearly every processor is a sink, so the first probe should hit.
+  models::TraceModel model(spike_table(256, 64), {});
+  RandomSeekingBalancer balancer(
+      {.hi_watermark = 8, .lo_watermark = 2, .hop_limit = 8});
+  sim::Engine eng({.n = 256, .seed = 3}, &model, &balancer);
+  eng.run(10);
+  EXPECT_NEAR(balancer.mean_visits_to_sink(), 1.0, 0.2);
+}
+
+TEST(Baselines, AllConservativeUnderContinuousLoad) {
+  // Every baseline must conserve tasks: total consumed + in-system equals
+  // total generated.
+  models::SingleModel model(0.4, 0.1);
+  RsuBalancer rsu;
+  LmBalancer lm;
+  LauerBalancer lauer;
+  RandomSeekingBalancer seek;
+  for (sim::Balancer* b :
+       std::initializer_list<sim::Balancer*>{&rsu, &lm, &lauer, &seek}) {
+    sim::Engine eng({.n = 128, .seed = 17}, &model, b);
+    eng.run(500);
+    EXPECT_EQ(eng.total_generated(), eng.total_consumed() + eng.total_load())
+        << b->name();
+  }
+}
+
+}  // namespace
+}  // namespace clb::baselines

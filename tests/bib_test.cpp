@@ -1,0 +1,140 @@
+// Tests for the static balls-into-bins games (§1.1 known results).
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "bib/bib.hpp"
+
+namespace clb::bib {
+namespace {
+
+TEST(SingleChoice, ConservesBallsAndCountsMessages) {
+  const auto r = single_choice(10000, 1000, 1);
+  EXPECT_EQ(r.messages, 10000u);
+  EXPECT_GE(r.max_load, 10u);  // at least the average
+}
+
+TEST(SingleChoice, MaxLoadNearLogOverLogLog) {
+  const std::uint64_t n = 1 << 16;
+  std::uint64_t worst = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    worst = std::max(worst, single_choice(n, n, seed).max_load);
+  }
+  const double predicted = analysis::bib_single_choice_max(n);
+  EXPECT_GT(static_cast<double>(worst), 0.5 * predicted);
+  EXPECT_LT(static_cast<double>(worst), 3.0 * predicted);
+}
+
+TEST(GreedyD, BeatsSingleChoiceSubstantially) {
+  const std::uint64_t n = 1 << 16;
+  const auto one = single_choice(n, n, 7);
+  const auto two = greedy_d(n, n, 2, 7);
+  EXPECT_LT(two.max_load, one.max_load);
+  EXPECT_LE(two.max_load, 5u);  // log log n / log 2 + O(1)
+}
+
+TEST(GreedyD, MoreChoicesLowerLoad) {
+  const std::uint64_t n = 1 << 14;
+  const auto d2 = greedy_d(n, n, 2, 3);
+  const auto d4 = greedy_d(n, n, 4, 3);
+  EXPECT_LE(d4.max_load, d2.max_load);
+}
+
+TEST(GreedyD, MessageCostIsDPlusOnePerBall) {
+  const auto r = greedy_d(1000, 1000, 3, 1);
+  EXPECT_EQ(r.messages, 1000u * 4);
+}
+
+TEST(WeightedGreedyD, UniformWeightsMatchUnweighted) {
+  const std::uint64_t n = 4096;
+  std::vector<double> w(n, 1.0);
+  const auto weighted = weighted_greedy_d(w, n, 2, 9);
+  const auto plain = greedy_d(n, n, 2, 9);
+  EXPECT_EQ(weighted.max_load, plain.max_load);
+}
+
+TEST(WeightedGreedyD, HeavyBallDominates) {
+  std::vector<double> w(100, 0.1);
+  w[0] = 50.0;
+  const auto r = weighted_greedy_d(w, 100, 2, 1);
+  EXPECT_GE(r.max_load, 50u);
+}
+
+TEST(Acmr, AllBallsPlaceWithDefaultThreshold) {
+  const std::uint64_t n = 1 << 14;
+  const auto r = acmr_parallel(n, n, {.rounds = 2}, 5);
+  EXPECT_EQ(r.unallocated, 0u);
+  EXPECT_LE(r.rounds, 2u);
+  // max load <= r * T by construction.
+  EXPECT_GT(r.max_load, 0u);
+}
+
+TEST(Acmr, TinyThresholdLeavesLeftovers) {
+  const std::uint64_t n = 4096;
+  const auto r = acmr_parallel(n, n, {.rounds = 1, .threshold = 1}, 5);
+  EXPECT_GT(r.unallocated, 0u);
+  EXPECT_LE(r.max_load, 1u);
+}
+
+TEST(Acmr, MoreRoundsPlaceMore) {
+  const std::uint64_t n = 4096;
+  const auto r1 = acmr_parallel(n, n, {.rounds = 1, .threshold = 2}, 5);
+  const auto r3 = acmr_parallel(n, n, {.rounds = 3, .threshold = 2}, 5);
+  EXPECT_LE(r3.unallocated, r1.unallocated);
+}
+
+TEST(AcmrGreedy2Round, AllBallsPlaceWithLowLoad) {
+  const std::uint64_t n = 1 << 14;
+  const auto r = acmr_greedy_2round(n, n, 2, 5);
+  EXPECT_EQ(r.rounds, 2u);
+  // Two-round bound O(sqrt(log n / log log n)): single digits at this n,
+  // and strictly better than single-choice.
+  EXPECT_LT(r.max_load, single_choice(n, n, 5).max_load);
+  EXPECT_LE(r.max_load, 8u);
+  EXPECT_EQ(r.messages, n * 5);  // 2 announces + 2 rank replies + 1 commit
+}
+
+TEST(AcmrGreedy2Round, RankCommitBeatsBlindCommit) {
+  // Committing to the lower-rank bin must not be worse than committing to
+  // the first choice blindly (which is single-choice placement).
+  const std::uint64_t n = 1 << 13;
+  std::uint64_t greedy = 0, blind = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    greedy = std::max(greedy, acmr_greedy_2round(n, n, 2, s).max_load);
+    blind = std::max(blind, single_choice(n, n, s).max_load);
+  }
+  EXPECT_LT(greedy, blind);
+}
+
+TEST(Stemann, TerminatesWithLowLoadForMEqualsN) {
+  const std::uint64_t n = 1 << 14;
+  const auto r = stemann_collision(n, n, 32, 3);
+  EXPECT_EQ(r.unallocated, 0u);
+  // Constant-ish rounds, max load <= rounds.
+  EXPECT_LE(r.max_load, static_cast<std::uint64_t>(r.rounds));
+  EXPECT_LE(r.rounds, 8u);
+}
+
+TEST(InfiniteGreedyD, StationaryMaxIsLogLogScale) {
+  const std::uint64_t n = 1 << 12;
+  const auto r = infinite_greedy_d(n, 2, 20 * n, 3);
+  // ABKU: log log n / log d + O(1) ~ 3.6 + O(1) for n = 2^12.
+  EXPECT_LE(r.max_load, 8u);
+  EXPECT_GE(r.max_load, 2u);
+}
+
+TEST(InfiniteGreedyD, MoreChoicesFlatter) {
+  const std::uint64_t n = 1 << 12;
+  const auto d2 = infinite_greedy_d(n, 2, 10 * n, 4);
+  const auto d4 = infinite_greedy_d(n, 4, 10 * n, 4);
+  EXPECT_LE(d4.max_load, d2.max_load);
+}
+
+TEST(Bib, DeterministicForFixedSeed) {
+  const auto a = greedy_d(10000, 10000, 2, 42);
+  const auto b = greedy_d(10000, 10000, 2, 42);
+  EXPECT_EQ(a.max_load, b.max_load);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+}  // namespace
+}  // namespace clb::bib

@@ -1,0 +1,206 @@
+// Tests for the (n, beta, a, b, c)-collision protocol (Figure 1, Lemma 1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/bounds.hpp"
+#include "analysis/collision_meanfield.hpp"
+#include "collision/collision.hpp"
+
+namespace clb::collision {
+namespace {
+
+std::vector<std::uint32_t> make_requesters(std::uint64_t count,
+                                           std::uint64_t n) {
+  std::vector<std::uint32_t> r(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    r[i] = static_cast<std::uint32_t>((i * 37) % n);
+  }
+  std::set<std::uint32_t> dedup(r.begin(), r.end());
+  return {dedup.begin(), dedup.end()};
+}
+
+TEST(Collision, EmptyRequestSetIsTriviallyValid) {
+  CollisionGame game(1024, {});
+  const auto out = game.run({}, 1);
+  EXPECT_TRUE(out.valid);
+  EXPECT_EQ(out.rounds_used, 0u);
+  EXPECT_EQ(out.query_messages, 0u);
+}
+
+TEST(Collision, Lemma1ParametersProduceValidAssignment) {
+  // (a,b,c) = (5,2,1): each request gets >= 2 accepts, each processor
+  // accepts at most 1 query.
+  const std::uint64_t n = 1 << 14;
+  CollisionGame game(n, {.a = 5, .b = 2, .c = 1});
+  const auto requesters = make_requesters(n / 64, n);
+  const auto out = game.run(requesters, 42);
+  ASSERT_TRUE(out.valid);
+  for (const auto& acc : out.accepted) {
+    EXPECT_GE(acc.size(), 2u);
+  }
+  for (const auto& [proc, count] : out.per_proc_accepts) {
+    EXPECT_LE(count, 1u) << "proc " << proc;
+  }
+}
+
+TEST(Collision, RoundsWithinPaperBound) {
+  const std::uint64_t n = 1 << 14;
+  CollisionGame game(n, {.a = 5, .b = 2, .c = 1});
+  const auto requesters = make_requesters(n / 64, n);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto out = game.run(requesters, seed);
+    ASSERT_TRUE(out.valid) << "seed " << seed;
+    EXPECT_LE(out.rounds_used, game.paper_round_bound());
+  }
+}
+
+TEST(Collision, AcceptedTargetsAreDistinctPerRequest) {
+  const std::uint64_t n = 4096;
+  CollisionGame game(n, {.a = 5, .b = 2, .c = 1});
+  const auto requesters = make_requesters(n / 32, n);
+  const auto out = game.run(requesters, 7);
+  ASSERT_TRUE(out.valid);
+  for (const auto& acc : out.accepted) {
+    std::set<std::uint32_t> s(acc.begin(), acc.end());
+    EXPECT_EQ(s.size(), acc.size());
+  }
+}
+
+TEST(Collision, TargetsExcludeRequester) {
+  const std::uint64_t n = 256;
+  CollisionGame game(n, {.a = 5, .b = 2, .c = 1});
+  std::vector<std::uint32_t> requesters = {17};
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto out = game.run(requesters, seed);
+    for (const auto q : out.accepted[0]) EXPECT_NE(q, 17u);
+  }
+}
+
+TEST(Collision, DeterministicForFixedSeed) {
+  const std::uint64_t n = 2048;
+  CollisionGame game(n, {.a = 5, .b = 2, .c = 1});
+  const auto requesters = make_requesters(64, n);
+  const auto a = game.run(requesters, 99);
+  const auto b = game.run(requesters, 99);
+  EXPECT_EQ(a.rounds_used, b.rounds_used);
+  EXPECT_EQ(a.query_messages, b.query_messages);
+  ASSERT_EQ(a.accepted.size(), b.accepted.size());
+  for (std::size_t r = 0; r < a.accepted.size(); ++r) {
+    EXPECT_EQ(a.accepted[r], b.accepted[r]);
+  }
+}
+
+TEST(Collision, HigherCAllowsMoreAcceptsPerProcessor) {
+  const std::uint64_t n = 512;
+  CollisionGame game(n, {.a = 4, .b = 2, .c = 3});
+  const auto requesters = make_requesters(128, n);
+  const auto out = game.run(requesters, 5);
+  std::uint32_t max_accepts = 0;
+  for (const auto& [proc, count] : out.per_proc_accepts) {
+    EXPECT_LE(count, 3u);
+    max_accepts = std::max(max_accepts, count);
+  }
+  EXPECT_TRUE(out.valid);
+}
+
+TEST(Collision, MessageCountIsNearAMPerRound) {
+  // First round sends exactly a messages per request.
+  const std::uint64_t n = 1 << 14;
+  CollisionGame game(n, {.a = 5, .b = 2, .c = 1});
+  const auto requesters = make_requesters(128, n);
+  const auto out = game.run(requesters, 3);
+  EXPECT_GE(out.query_messages, 5 * requesters.size());
+  // The paper says O(n/a) requests need O(n) messages overall; with few
+  // requests the total must stay within a small multiple of a*m.
+  EXPECT_LE(out.query_messages, 5 * requesters.size() * out.rounds_used);
+}
+
+TEST(Collision, OverloadedGameReportsInvalid) {
+  // More requests than capacity (m * b > n * c) can never all be satisfied.
+  const std::uint64_t n = 64;
+  CollisionGame game(n, {.a = 5, .b = 2, .c = 1, .max_rounds = 8});
+  std::vector<std::uint32_t> requesters;
+  for (std::uint32_t i = 0; i < 60; ++i) requesters.push_back(i);
+  const auto out = game.run(requesters, 1);
+  EXPECT_FALSE(out.valid);
+}
+
+TEST(Collision, ConditionsHoldForLemma1Parameters) {
+  CollisionGame game(1 << 16, {.a = 5, .b = 2, .c = 1});
+  EXPECT_TRUE(game.conditions_hold(0.01));
+  // a too large relative to sqrt(log n) for a tiny machine:
+  CollisionGame tiny(64, {.a = 5, .b = 2, .c = 1});
+  EXPECT_FALSE(tiny.conditions_hold(0.01));  // sqrt(log2 64) < 5
+}
+
+TEST(Collision, PaperRoundBoundMatchesFormula) {
+  CollisionGame game(1 << 16, {.a = 5, .b = 2, .c = 1});
+  const double expect = analysis::collision_round_bound(1 << 16, 5, 2, 1);
+  EXPECT_EQ(game.paper_round_bound(),
+            static_cast<std::uint32_t>(std::ceil(expect)));
+}
+
+TEST(CollisionMeanField, UnfinishedFractionDecreasesMonotonically) {
+  const auto mf = analysis::collision_meanfield(1 << 14, 1 << 8, 5, 2, 10);
+  ASSERT_FALSE(mf.unfinished.empty());
+  for (std::size_t r = 1; r < mf.unfinished.size(); ++r) {
+    EXPECT_LE(mf.unfinished[r], mf.unfinished[r - 1] + 1e-12);
+  }
+  EXPECT_GT(mf.rounds_to_finish, 0u);
+  EXPECT_LE(mf.rounds_to_finish, 6u);
+}
+
+TEST(CollisionMeanField, LowDensityFinishesInOneRound) {
+  // With m << n almost every query lands alone: ~all requests finish in
+  // round one and the cost is ~a queries per request.
+  const auto mf = analysis::collision_meanfield(1 << 16, 16, 5, 2, 5);
+  EXPECT_LT(mf.unfinished[0], 1e-3);
+  EXPECT_NEAR(mf.queries_per_request, 5.0, 0.2);
+}
+
+TEST(CollisionMeanField, PredictsSimulatedRoundCount) {
+  // The mean-field rounds-to-finish must match the simulated protocol's
+  // rounds within one round at moderate density.
+  const std::uint64_t n = 1 << 14;
+  const std::uint64_t m = n / 16;  // beta ~ 0.06
+  const auto mf = analysis::collision_meanfield(n, m, 5, 2, 12,
+                                                /*target=*/0.5 / m);
+  CollisionGame game(n, {.a = 5, .b = 2, .c = 1, .max_rounds = 12});
+  std::vector<std::uint32_t> requesters;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    requesters.push_back(static_cast<std::uint32_t>(i * (n / m)));
+  }
+  std::uint32_t worst = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto out = game.run(requesters, seed);
+    ASSERT_TRUE(out.valid);
+    worst = std::max(worst, out.rounds_used);
+  }
+  EXPECT_NEAR(static_cast<double>(mf.rounds_to_finish),
+              static_cast<double>(worst), 1.5);
+}
+
+TEST(CollisionMeanField, PredictsQueriesPerRequest) {
+  const std::uint64_t n = 1 << 14;
+  const std::uint64_t m = n / 8;
+  const auto mf = analysis::collision_meanfield(n, m, 5, 2, 12);
+  CollisionGame game(n, {.a = 5, .b = 2, .c = 1, .max_rounds = 12});
+  std::vector<std::uint32_t> requesters;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    requesters.push_back(static_cast<std::uint32_t>(i * (n / m)));
+  }
+  const auto out = game.run(requesters, 3);
+  const double measured =
+      static_cast<double>(out.query_messages) / static_cast<double>(m);
+  EXPECT_NEAR(mf.queries_per_request, measured, 0.15 * measured);
+}
+
+TEST(Collision, RejectsDegenerateConfigs) {
+  EXPECT_DEATH(CollisionGame(8, {.a = 1, .b = 0, .c = 1}), "");
+  EXPECT_DEATH(CollisionGame(8, {.a = 3, .b = 3, .c = 1}), "");
+  EXPECT_DEATH(CollisionGame(4, {.a = 5, .b = 2, .c = 1}), "");
+}
+
+}  // namespace
+}  // namespace clb::collision

@@ -1,0 +1,333 @@
+// Tests for the paper's balancing algorithm (Figure 2) and its parameter
+// realisation.
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+#include "core/threshold_balancer.hpp"
+#include "models/single.hpp"
+#include "models/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace clb::core {
+namespace {
+
+TEST(Params, PaperDefaultsRealised) {
+  // n = 2^16: log2 log2 n = 4, T_real = 16, floored to t_min = 16.
+  const auto p = PhaseParams::from_n(1 << 16);
+  EXPECT_EQ(p.T, 16u);
+  EXPECT_EQ(p.phase_len, 1u);
+  EXPECT_EQ(p.heavy_threshold, 8u);   // ceil(T/2)
+  EXPECT_EQ(p.light_threshold, 1u);   // floor(T/16)
+  EXPECT_EQ(p.transfer_amount, 4u);   // round(T/4)
+  EXPECT_GE(p.tree_depth, 2u);        // depth floor
+}
+
+TEST(Params, ScaleMultipliesT) {
+  Fractions f;
+  f.scale = 3.0;
+  const auto p = PhaseParams::from_n(1 << 16, f);
+  EXPECT_EQ(p.T, 48u);
+  EXPECT_EQ(p.heavy_threshold, 24u);
+}
+
+TEST(Params, LargerNGrowsT) {
+  Fractions f;
+  f.t_min = 1;
+  const auto small = PhaseParams::from_n(1 << 8, f);
+  const auto large = PhaseParams::from_n(1ULL << 32, f);
+  EXPECT_LT(small.T, large.T);
+  EXPECT_EQ(large.T, 25u);  // (log2 log2 2^32)^2 = 25
+}
+
+TEST(Params, InvariantLightPlusTransferBelowHeavy) {
+  // The Remark before the Main Theorem: a balanced-into processor ends the
+  // phase below 6T/16 < T/2.
+  for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 20}) {
+    const auto p = PhaseParams::from_n(n);
+    EXPECT_LT(p.light_threshold + p.transfer_amount, p.heavy_threshold)
+        << "n=" << n;
+  }
+}
+
+TEST(Params, DescribeMentionsAllFields) {
+  const auto p = PhaseParams::from_n(1 << 16);
+  const auto s = p.describe();
+  EXPECT_NE(s.find("T=16"), std::string::npos);
+  EXPECT_NE(s.find("heavy>=8"), std::string::npos);
+}
+
+TEST(Params, RejectsBadFractions) {
+  Fractions f;
+  f.heavy = 0.05;  // below light
+  EXPECT_DEATH(PhaseParams::from_n(1 << 16, f), "");
+}
+
+// --- Balancer behaviour on scripted loads -------------------------------
+
+// Builds an engine where exactly `heavy_count` processors start with
+// `heavy_load` tasks (generated at step 0) and everything else is empty.
+struct Fixture {
+  Fixture(std::uint64_t n, std::uint64_t heavy_count, std::uint32_t heavy_load,
+          ThresholdBalancerConfig cfg)
+      : model(make_tables(n, heavy_count, heavy_load), {}),
+        balancer(cfg),
+        eng({.n = n, .seed = 123}, &model, &balancer) {}
+
+  static std::vector<std::vector<std::uint32_t>> make_tables(
+      std::uint64_t n, std::uint64_t heavy_count, std::uint32_t heavy_load) {
+    std::vector<std::uint32_t> row(n, 0);
+    for (std::uint64_t i = 0; i < heavy_count; ++i) {
+      row[i * (n / heavy_count)] = heavy_load;
+    }
+    return {row};
+  }
+
+  models::TraceModel model;
+  ThresholdBalancer balancer;
+  sim::Engine eng;
+};
+
+ThresholdBalancerConfig config_for(std::uint64_t n) {
+  return ThresholdBalancerConfig{.params = PhaseParams::from_n(n)};
+}
+
+TEST(Balancer, HeavyProcessorsAreRelievedInOnePhase) {
+  const std::uint64_t n = 4096;
+  auto cfg = config_for(n);
+  Fixture fx(n, 8, 2 * static_cast<std::uint32_t>(cfg.params.heavy_threshold),
+             cfg);
+  fx.eng.step_once();  // phase runs at step 0
+  const auto& ps = fx.balancer.last_phase();
+  EXPECT_EQ(ps.num_heavy, 8u);
+  EXPECT_EQ(ps.matched_heavy, 8u);
+  EXPECT_EQ(ps.unmatched_heavy, 0u);
+  // Each heavy shed transfer_amount tasks.
+  EXPECT_EQ(fx.eng.messages().tasks_moved,
+            8u * cfg.params.transfer_amount);
+}
+
+TEST(Balancer, NoHeavyMeansNoMessages) {
+  const std::uint64_t n = 1024;
+  auto cfg = config_for(n);
+  Fixture fx(n, 4, 1, cfg);  // loads of 1: nobody heavy
+  fx.eng.step_once();
+  EXPECT_EQ(fx.balancer.last_phase().num_heavy, 0u);
+  EXPECT_EQ(fx.eng.messages().protocol_total(), 0u);
+  EXPECT_EQ(fx.eng.messages().transfers, 0u);
+}
+
+TEST(Balancer, LightCountsReported) {
+  const std::uint64_t n = 1024;
+  auto cfg = config_for(n);
+  Fixture fx(n, 4, 2 * static_cast<std::uint32_t>(cfg.params.heavy_threshold),
+             cfg);
+  fx.eng.step_once();
+  const auto& ps = fx.balancer.last_phase();
+  // Everyone except the 4 heavies has load 0 <= light threshold.
+  EXPECT_EQ(ps.num_light, n - 4);
+}
+
+TEST(Balancer, TransferGoesToALightProcessor) {
+  const std::uint64_t n = 2048;
+  auto cfg = config_for(n);
+  Fixture fx(n, 1, 3 * static_cast<std::uint32_t>(cfg.params.heavy_threshold),
+             cfg);
+  fx.eng.step_once();
+  // Exactly one receiver; its load equals transfer_amount.
+  std::uint64_t receivers = 0;
+  for (std::uint64_t p = 0; p < n; ++p) {
+    if (p != 0 && fx.eng.load(p) > 0) {
+      ++receivers;
+      EXPECT_EQ(fx.eng.load(p), cfg.params.transfer_amount);
+    }
+  }
+  EXPECT_EQ(receivers, 1u);
+  EXPECT_EQ(fx.eng.load(0),
+            3 * cfg.params.heavy_threshold - cfg.params.transfer_amount);
+}
+
+TEST(Balancer, ReceiverNotAboveThresholdAfterPhase) {
+  // Lemma 4's invariant: a balanced-into processor never exceeds 6T/16.
+  const std::uint64_t n = 2048;
+  auto cfg = config_for(n);
+  Fixture fx(n, 32, 2 * static_cast<std::uint32_t>(cfg.params.heavy_threshold),
+             cfg);
+  fx.eng.step_once();
+  for (std::uint64_t p = 0; p < n; ++p) {
+    const bool was_heavy = fx.eng.processor(p).balance_initiations > 0;
+    if (!was_heavy) {
+      EXPECT_LE(fx.eng.load(p),
+                cfg.params.light_threshold + cfg.params.transfer_amount);
+    }
+  }
+}
+
+TEST(Balancer, RequestsPerRootHistogramPopulated) {
+  const std::uint64_t n = 2048;
+  auto cfg = config_for(n);
+  Fixture fx(n, 16, 2 * static_cast<std::uint32_t>(cfg.params.heavy_threshold),
+             cfg);
+  fx.eng.step_once();
+  EXPECT_EQ(fx.balancer.requests_per_root().total(), 16u);
+  // With nearly everyone light, each root should need exactly 1 request.
+  EXPECT_NEAR(fx.balancer.requests_per_root().mean(), 1.0, 0.5);
+}
+
+TEST(Balancer, PhaseRunsEveryPhaseLenSteps) {
+  const std::uint64_t n = 1024;
+  auto cfg = config_for(n);
+  cfg.params.phase_len = 4;
+  models::SingleModel model(0.4, 0.1);
+  ThresholdBalancer balancer(cfg);
+  sim::Engine eng({.n = n, .seed = 9}, &model, &balancer);
+  eng.run(17);  // phases at steps 0,4,8,12,16
+  EXPECT_EQ(balancer.aggregate().phases, 5u);
+}
+
+TEST(Balancer, OneShotPreroundMatchesSomeHeavies) {
+  const std::uint64_t n = 4096;
+  auto cfg = config_for(n);
+  cfg.one_shot_preround = true;
+  Fixture fx(n, 16, 2 * static_cast<std::uint32_t>(cfg.params.heavy_threshold),
+             cfg);
+  fx.eng.step_once();
+  const auto& ps = fx.balancer.last_phase();
+  EXPECT_EQ(ps.matched_heavy, 16u);
+  // With 16 heavies on 4096 procs, collisions in the pre-round are rare.
+  EXPECT_GE(ps.preround_matched, 12u);
+}
+
+TEST(Balancer, PruneSatisfiedReducesRequests) {
+  // With very few lights, trees grow deep; pruning after a match must not
+  // increase the request count.
+  const std::uint64_t n = 512;
+  auto base_cfg = config_for(n);
+  auto prune_cfg = base_cfg;
+  prune_cfg.prune_satisfied = true;
+  // Make everyone mid-loaded (not light, not heavy) except a few heavies.
+  const auto mid =
+      static_cast<std::uint32_t>(base_cfg.params.light_threshold + 1);
+  std::vector<std::uint32_t> row(n, mid);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    row[i * (n / 4)] = static_cast<std::uint32_t>(
+        2 * base_cfg.params.heavy_threshold);
+  }
+  models::TraceModel m1({row}, {}), m2({row}, {});
+  ThresholdBalancer b1(base_cfg), b2(prune_cfg);
+  sim::Engine e1({.n = n, .seed = 4}, &m1, &b1);
+  sim::Engine e2({.n = n, .seed = 4}, &m2, &b2);
+  e1.step_once();
+  e2.step_once();
+  EXPECT_LE(b2.last_phase().requests, b1.last_phase().requests);
+}
+
+TEST(BalancerSpread, EquivalentToAtomicAtPhaseLenOne) {
+  // With phase_len = 1 every step is a phase boundary, so spreading levels
+  // over the phase degenerates to the atomic execution: the load evolution
+  // must be identical.
+  const std::uint64_t n = 1024;
+  auto atomic_cfg = config_for(n);
+  auto spread_cfg = atomic_cfg;
+  spread_cfg.execution = PhaseExecution::kSpread;
+  models::SingleModel m1(0.4, 0.1), m2(0.4, 0.1);
+  ThresholdBalancer b1(atomic_cfg), b2(spread_cfg);
+  sim::Engine e1({.n = n, .seed = 5}, &m1, &b1);
+  sim::Engine e2({.n = n, .seed = 5}, &m2, &b2);
+  e1.run(500);
+  e2.run(500);
+  EXPECT_EQ(e1.total_load(), e2.total_load());
+  EXPECT_EQ(e1.running_max_load(), e2.running_max_load());
+  EXPECT_EQ(e1.messages().tasks_moved, e2.messages().tasks_moved);
+  for (std::uint64_t p = 0; p < n; ++p) {
+    ASSERT_EQ(e1.load(p), e2.load(p)) << "proc " << p;
+  }
+}
+
+TEST(BalancerSpread, LongPhasesStillBoundLoad) {
+  const std::uint64_t n = 1024;
+  auto cfg = config_for(n);
+  cfg.params.phase_len = 8;  // levels spread over 8 steps
+  cfg.execution = PhaseExecution::kSpread;
+  models::SingleModel model(0.4, 0.1);
+  ThresholdBalancer balancer(cfg);
+  sim::Engine eng({.n = n, .seed = 6}, &model, &balancer);
+  eng.run(2000);
+  EXPECT_LE(eng.running_max_load(), 3 * cfg.params.T);
+  EXPECT_EQ(eng.total_generated(), eng.total_consumed() + eng.total_load());
+  const auto& agg = balancer.aggregate();
+  EXPECT_GT(agg.phases, 200u);
+  if (agg.phases_with_heavy > 0) {
+    EXPECT_GE(agg.match_rate.mean(), 0.95);
+  }
+}
+
+TEST(BalancerSpread, LightSnapshotUsedNotLiveLoad) {
+  // A processor light at phase start must still be a valid partner later in
+  // the phase even if its load has grown past the live light threshold —
+  // the paper classifies "at the beginning of the phase".
+  const std::uint64_t n = 512;
+  auto cfg = config_for(n);
+  cfg.params.phase_len = 4;
+  cfg.execution = PhaseExecution::kSpread;
+  // Everyone generates steadily so mid-phase loads drift upward.
+  models::SingleModel model(0.45, 0.05);
+  ThresholdBalancer balancer(cfg);
+  sim::Engine eng({.n = n, .seed = 7}, &model, &balancer);
+  eng.run(1000);  // must not trip any invariant checks
+  EXPECT_EQ(eng.total_generated(), eng.total_consumed() + eng.total_load());
+}
+
+TEST(BalancerStreaming, MovesSameTotalAsAtomicTransfers) {
+  const std::uint64_t n = 2048;
+  auto block_cfg = config_for(n);
+  auto stream_cfg = block_cfg;
+  stream_cfg.streaming_transfers = true;
+  // Exactly at the threshold: after shedding one unit (streamed) or the
+  // whole block, the sender drops below heavy and never re-triggers, so
+  // both modes perform exactly one balancing action per heavy.
+  const auto heavy_load =
+      static_cast<std::uint32_t>(block_cfg.params.heavy_threshold);
+  Fixture block(n, 8, heavy_load, block_cfg);
+  Fixture stream(n, 8, heavy_load, stream_cfg);
+  // Give the streams time to drain (transfer_amount steps).
+  block.eng.run(1 + block_cfg.params.transfer_amount);
+  stream.eng.run(1 + block_cfg.params.transfer_amount);
+  EXPECT_EQ(block.eng.messages().tasks_moved,
+            stream.eng.messages().tasks_moved);
+  // Streaming splits one block into transfer_amount unit transfers.
+  EXPECT_GT(stream.eng.messages().transfers,
+            block.eng.messages().transfers);
+  EXPECT_EQ(stream.eng.clamped_transfers(), 0u);
+}
+
+TEST(BalancerStreaming, StableUnderContinuousLoad) {
+  const std::uint64_t n = 1024;
+  auto cfg = config_for(n);
+  cfg.streaming_transfers = true;
+  models::SingleModel model(0.4, 0.1);
+  ThresholdBalancer balancer(cfg);
+  sim::Engine eng({.n = n, .seed = 8}, &model, &balancer);
+  eng.run(2000);
+  EXPECT_LE(eng.running_max_load(), 2 * cfg.params.T);
+  EXPECT_EQ(eng.total_generated(), eng.total_consumed() + eng.total_load());
+}
+
+TEST(Balancer, ResetClearsAggregates) {
+  const std::uint64_t n = 1024;
+  models::SingleModel model(0.4, 0.1);
+  ThresholdBalancer balancer(config_for(n));
+  sim::Engine eng({.n = n, .seed = 2}, &model, &balancer);
+  eng.run(10);
+  EXPECT_GT(balancer.aggregate().phases, 0u);
+  eng.reset();
+  EXPECT_EQ(balancer.aggregate().phases, 0u);
+}
+
+TEST(Balancer, MismatchedNDies) {
+  models::SingleModel model(0.4, 0.1);
+  ThresholdBalancer balancer(config_for(2048));
+  EXPECT_DEATH(sim::Engine({.n = 1024, .seed = 1}, &model, &balancer), "");
+}
+
+}  // namespace
+}  // namespace clb::core

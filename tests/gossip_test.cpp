@@ -1,0 +1,104 @@
+// Tests for the push-sum gossip averaging substrate and its use inside the
+// Lauer baseline's estimate_average mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/lauer.hpp"
+#include "gossip/push_sum.hpp"
+#include "models/single.hpp"
+#include "models/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace clb::gossip {
+namespace {
+
+TEST(PushSum, MassConservation) {
+  const std::uint64_t n = 256;
+  PushSumEstimator est(n);
+  std::vector<double> values(n);
+  double total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    values[i] = static_cast<double>((i * 13) % 31);
+    total += values[i];
+  }
+  est.restart(values);
+  for (std::uint64_t r = 0; r < 50; ++r) {
+    est.round(1, r);
+    double sum = 0, weight = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      // Reconstruct invariants through estimates is lossy; instead check
+      // the public error metric shrinks (below) and the estimate is finite.
+      ASSERT_TRUE(std::isfinite(est.estimate(i)));
+    }
+    (void)sum;
+    (void)weight;
+  }
+  // After O(log n) rounds every estimate is near the true average.
+  EXPECT_LT(est.max_relative_error(total / static_cast<double>(n)), 0.02);
+}
+
+TEST(PushSum, ConvergesInLogNRounds) {
+  const std::uint64_t n = 1024;
+  PushSumEstimator est(n);
+  std::vector<double> values(n, 0.0);
+  values[0] = static_cast<double>(n);  // all mass on one node: worst case
+  est.restart(values);
+  std::uint64_t rounds = 0;
+  while (est.max_relative_error(1.0) > 0.05 && rounds < 200) {
+    est.round(7, rounds++);
+  }
+  // Push-sum converges in O(log n + log 1/eps) rounds; allow slack.
+  EXPECT_LT(rounds, 60u);
+}
+
+TEST(PushSum, TracksDriftingValues) {
+  const std::uint64_t n = 512;
+  PushSumEstimator est(n);
+  std::vector<double> values(n, 2.0);
+  est.restart(values);
+  for (std::uint64_t r = 0; r < 40; ++r) est.round(3, r);
+  // Inject +1 everywhere (average rises to 3) and keep gossiping.
+  std::vector<double> drift(n, 1.0);
+  est.round(3, 100, &drift);
+  for (std::uint64_t r = 101; r < 140; ++r) est.round(3, r);
+  EXPECT_LT(est.max_relative_error(3.0), 0.05);
+}
+
+TEST(PushSum, RejectsBadSizes) {
+  PushSumEstimator est(16);
+  std::vector<double> wrong(8, 1.0);
+  EXPECT_DEATH(est.restart(wrong), "mismatch");
+}
+
+TEST(LauerEstimated, BalancesWithoutOracleAverage) {
+  const std::uint64_t n = 256;
+  // Alternating 0/8 loads: true average 4.
+  std::vector<std::uint32_t> row(n, 0);
+  for (std::uint64_t p = 0; p < n; p += 2) row[p] = 8;
+  models::TraceModel model({row}, {});
+  baselines::LauerBalancer balancer(
+      {.c = 0.5, .max_probes = 8, .min_band = 2.0, .estimate_average = true,
+       .restart_every = 40});
+  sim::Engine eng({.n = n, .seed = 5}, &model, &balancer);
+  eng.run(120);
+  EXPECT_LT(balancer.estimation_error(eng), 0.1);
+  EXPECT_LE(eng.step_max_load(), 6u);  // flattened like the oracle version
+  EXPECT_EQ(eng.total_load(), 8u * n / 2);
+}
+
+TEST(LauerEstimated, StableUnderContinuousLoad) {
+  const std::uint64_t n = 512;
+  models::SingleModel model(0.4, 0.1);
+  baselines::LauerBalancer balancer(
+      {.estimate_average = true, .restart_every = 48});
+  sim::Engine eng({.n = n, .seed = 6}, &model, &balancer);
+  eng.run(2000);
+  EXPECT_EQ(eng.total_generated(), eng.total_consumed() + eng.total_load());
+  EXPECT_LT(eng.step_max_load(), 30u);
+  // The estimate keeps tracking the (drifting) true average.
+  EXPECT_LT(balancer.estimation_error(eng), 0.5);
+}
+
+}  // namespace
+}  // namespace clb::gossip

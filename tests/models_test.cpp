@@ -1,0 +1,272 @@
+// Unit + statistical tests for the load generation models (§1.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/adversarial.hpp"
+#include "models/burst.hpp"
+#include "models/geometric.hpp"
+#include "models/multi.hpp"
+#include "models/onoff.hpp"
+#include "models/poisson_batch.hpp"
+#include "models/single.hpp"
+#include "sim/engine.hpp"
+
+namespace clb::models {
+namespace {
+
+TEST(Single, GenerationFrequencyMatchesP) {
+  SingleModel m(0.4, 0.1);
+  std::uint64_t generated = 0;
+  const std::uint64_t kTrials = 100000;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    generated += m.step_action(1, i % 64, i / 64, 0, 0).generate;
+  }
+  EXPECT_NEAR(static_cast<double>(generated) / kTrials, 0.4, 0.01);
+}
+
+TEST(Single, ConsumptionFrequencyMatchesQ) {
+  SingleModel m(0.4, 0.1);
+  std::uint64_t consumed = 0;
+  const std::uint64_t kTrials = 100000;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    consumed += m.step_action(1, i % 64, i / 64, 0, 0).consume;
+  }
+  EXPECT_NEAR(static_cast<double>(consumed) / kTrials, 0.5, 0.01);
+}
+
+TEST(Single, GenerationAndConsumptionIndependent) {
+  SingleModel m(0.5, 0.25);
+  std::uint64_t both = 0;
+  const std::uint64_t kTrials = 100000;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    const auto act = m.step_action(1, i, 0, 0, 0);
+    const bool g = act.generate > 0;
+    const bool c = act.consume > 0;
+    both += (g && c) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(both) / kTrials, 0.5 * 0.75, 0.01);
+}
+
+TEST(Single, DeterministicPerSeedProcStep) {
+  SingleModel m(0.4, 0.1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.step_action(9, 5, 17, 0, 0).generate,
+              m.step_action(9, 5, 17, 0, 0).generate);
+  }
+}
+
+TEST(Single, ExpectedLoadMatchesChain) {
+  SingleModel m(0.4, 0.1);
+  // rho = 0.2/0.3; E[load] = rho/(1-rho) = 2.
+  EXPECT_NEAR(m.expected_load_per_processor(), 2.0, 1e-9);
+}
+
+TEST(Single, RejectsBadParameters) {
+  EXPECT_DEATH(SingleModel(0.0, 0.1), "p in");
+  EXPECT_DEATH(SingleModel(0.5, 0.0), "eps");
+  EXPECT_DEATH(SingleModel(0.9, 0.2), "eps");
+}
+
+TEST(Geometric, PmfMatchesPaper) {
+  GeometricModel m(5);
+  std::uint64_t counts[8] = {};
+  const std::uint64_t kTrials = 200000;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    ++counts[m.step_action(1, i, 0, 0, 0).generate];
+  }
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    const double expect = std::pow(2.0, -(static_cast<double>(i) + 1));
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kTrials, expect, 0.01);
+  }
+}
+
+TEST(Geometric, MeanGeneratedBelowOne) {
+  GeometricModel m(4);
+  EXPECT_LT(m.mean_generated(), 1.0);
+  EXPECT_GT(m.mean_generated(), 0.8);
+  EXPECT_EQ(m.step_action(1, 0, 0, 0, 0).consume, 1u);
+}
+
+TEST(Geometric, StationaryPredictionMatchesSimulation) {
+  GeometricModel m(4);
+  const double predicted = m.expected_load_per_processor();
+  sim::Engine eng({.n = 4096, .seed = 7}, &m, nullptr);
+  eng.run(2500);
+  const double measured = static_cast<double>(eng.total_load()) / 4096.0;
+  EXPECT_NEAR(measured, predicted, 0.15 * predicted + 0.1);
+}
+
+TEST(Multi, StationaryPredictionMatchesSimulation) {
+  MultiModel m({0.5, 0.3, 0.2});
+  const double predicted = m.expected_load_per_processor();
+  EXPECT_GT(predicted, 0.0);
+  sim::Engine eng({.n = 4096, .seed = 8}, &m, nullptr);
+  eng.run(2500);
+  const double measured = static_cast<double>(eng.total_load()) / 4096.0;
+  EXPECT_NEAR(measured, predicted, 0.15 * predicted + 0.1);
+}
+
+TEST(Multi, RespectsPmfAndMean) {
+  MultiModel m({0.55, 0.3, 0.15});
+  EXPECT_NEAR(m.mean_generated(), 0.6, 1e-9);
+  std::uint64_t counts[3] = {};
+  const std::uint64_t kTrials = 100000;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    const auto v = m.step_action(1, i, 0, 0, 0).generate;
+    ASSERT_LT(v, 3u);
+    ++counts[v];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kTrials, 0.3, 0.01);
+}
+
+TEST(Multi, RejectsSupercriticalMean) {
+  EXPECT_DEATH(MultiModel({0.0, 0.0, 1.0}), "must be < 1");
+}
+
+TEST(Adversarial, RespectsGlobalCap) {
+  AdversarialConfig cfg;
+  cfg.cap = 100;
+  cfg.p_spawn = 1.0;  // always branch
+  cfg.p_seed = 1.0;   // always seed
+  cfg.branch = 3;
+  cfg.per_window_budget = 1000;
+  AdversarialModel model(cfg, 64);
+  sim::Engine eng({.n = 64, .seed = 5}, &model, nullptr);
+  eng.run(50);
+  EXPECT_LE(eng.total_load(), 100u);
+}
+
+TEST(Adversarial, RespectsPerWindowBudget) {
+  AdversarialConfig cfg;
+  cfg.cap = 1 << 20;
+  cfg.p_spawn = 1.0;
+  cfg.p_seed = 1.0;
+  cfg.branch = 4;
+  cfg.window = 8;
+  cfg.per_window_budget = 8;
+  AdversarialModel model(cfg, 4);
+  sim::Engine eng({.n = 4, .seed = 5}, &model, nullptr);
+  eng.run(8);  // exactly one window
+  // Each proc generated at most 8 and consumed at most 8.
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    EXPECT_LE(eng.processor(p).generated, 8u);
+  }
+}
+
+TEST(Adversarial, SerialGenerationDeclared) {
+  AdversarialModel model({}, 16);
+  EXPECT_TRUE(model.serial_generation());
+}
+
+TEST(Burst, HotGroupGeneratesBurstRate) {
+  BurstConfig cfg;
+  cfg.period = 10;
+  cfg.burst_len = 2;
+  cfg.hot_fraction = 0.25;
+  cfg.burst_rate = 5;
+  cfg.rotate_hotspot = false;
+  BurstModel m(cfg, 16);
+  // Steps 0,1 are burst steps; procs 0..3 are hot.
+  EXPECT_TRUE(m.is_hot(0, 0));
+  EXPECT_TRUE(m.is_hot(3, 1));
+  EXPECT_FALSE(m.is_hot(4, 0));
+  EXPECT_FALSE(m.is_hot(0, 2));  // outside burst window
+  EXPECT_EQ(m.step_action(1, 0, 0, 0, 0).generate, 5u);
+}
+
+TEST(PoissonBatch, MeanMatchesLambda) {
+  PoissonBatchModel m(0.7);
+  std::uint64_t total = 0;
+  const std::uint64_t kTrials = 200000;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    total += m.step_action(1, i % 128, i / 128, 0, 0).generate;
+  }
+  EXPECT_NEAR(static_cast<double>(total) / kTrials, 0.7, 0.01);
+}
+
+TEST(PoissonBatch, VarianceMatchesPoisson) {
+  PoissonBatchModel m(0.5);
+  const std::uint64_t kTrials = 200000;
+  double sum = 0, sumsq = 0;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    const double x = m.step_action(2, i % 128, i / 128, 0, 0).generate;
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kTrials;
+  const double var = sumsq / kTrials - mean * mean;
+  EXPECT_NEAR(var, 0.5, 0.02);  // Poisson: variance == mean
+}
+
+TEST(PoissonBatch, RejectsSupercriticalLambda) {
+  EXPECT_DEATH(PoissonBatchModel(1.2), "lambda");
+}
+
+TEST(OnOff, StationaryOnFraction) {
+  OnOffConfig cfg;
+  cfg.p_on_to_off = 0.05;
+  cfg.p_off_to_on = 0.02;
+  OnOffModel m(cfg, 4096);
+  EXPECT_NEAR(m.on_fraction(), 0.02 / 0.07, 1e-12);
+  // Drive the chain and compare the empirical ON fraction at equilibrium.
+  for (std::uint64_t step = 0; step < 400; ++step) {
+    for (std::uint64_t p = 0; p < 4096; ++p) {
+      (void)m.step_action(3, p, step, 0, 0);
+    }
+  }
+  std::uint64_t on = 0;
+  for (std::uint64_t p = 0; p < 4096; ++p) on += m.is_on(p) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(on) / 4096.0, m.on_fraction(), 0.05);
+}
+
+TEST(OnOff, GeneratesOnlyWhenOn) {
+  OnOffConfig cfg;
+  cfg.p_on = 1.0;  // ON processors always generate
+  cfg.p_on_to_off = 0.2;
+  cfg.p_off_to_on = 0.2;
+  cfg.p_consume = 0.9;
+  OnOffModel m(cfg, 64);
+  for (std::uint64_t step = 0; step < 200; ++step) {
+    for (std::uint64_t p = 0; p < 64; ++p) {
+      const bool was_on = step == 0 ? true : m.is_on(p);
+      const auto act = m.step_action(4, p, step, 0, 0);
+      if (step > 0 && !was_on) {
+        EXPECT_EQ(act.generate, 0u);
+      }
+    }
+  }
+}
+
+TEST(OnOff, RejectsUnstableConfig) {
+  OnOffConfig cfg;
+  cfg.p_on = 0.9;
+  cfg.p_consume = 0.3;
+  cfg.p_on_to_off = 0.01;
+  cfg.p_off_to_on = 0.5;  // almost always ON -> rate ~0.88 > 0.3
+  EXPECT_DEATH(OnOffModel(cfg, 16), "below consumption");
+}
+
+TEST(OnOff, StableUnderEngine) {
+  OnOffConfig cfg;  // defaults: rate = 0.8 * 2/7 = 0.23 < 0.5
+  OnOffModel m(cfg, 512);
+  sim::Engine eng({.n = 512, .seed = 5}, &m, nullptr);
+  eng.run(2000);
+  EXPECT_LT(static_cast<double>(eng.total_load()) / 512.0, 6.0);
+  EXPECT_EQ(eng.total_generated(), eng.total_consumed() + eng.total_load());
+}
+
+TEST(Burst, RotationMovesHotGroup) {
+  BurstConfig cfg;
+  cfg.period = 10;
+  cfg.burst_len = 1;
+  cfg.hot_fraction = 0.25;
+  cfg.rotate_hotspot = true;
+  BurstModel m(cfg, 16);
+  EXPECT_TRUE(m.is_hot(0, 0));
+  EXPECT_TRUE(m.is_hot(4, 10));   // window 1 starts at proc 4
+  EXPECT_FALSE(m.is_hot(0, 10));
+}
+
+}  // namespace
+}  // namespace clb::models

@@ -1,0 +1,113 @@
+// Tests for the interconnect topology substrate.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/topology.hpp"
+
+namespace clb::net {
+namespace {
+
+TEST(Complete, UnitHops) {
+  CompleteTopology t(64);
+  EXPECT_EQ(t.hops(0, 0), 0u);
+  EXPECT_EQ(t.hops(0, 63), 1u);
+  EXPECT_EQ(t.diameter(), 1u);
+  EXPECT_NEAR(t.mean_hops(), 63.0 / 64.0, 1e-12);
+}
+
+TEST(Ring, WrapAroundDistance) {
+  RingTopology t(10);
+  EXPECT_EQ(t.hops(0, 1), 1u);
+  EXPECT_EQ(t.hops(0, 9), 1u);  // wraps
+  EXPECT_EQ(t.hops(0, 5), 5u);  // diameter
+  EXPECT_EQ(t.hops(2, 8), 4u);
+  EXPECT_EQ(t.diameter(), 5u);
+}
+
+TEST(Ring, MeanHopsClosedFormEven) {
+  RingTopology t(16);
+  // Exhaustive mean over ordered pairs.
+  double total = 0;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    for (std::uint64_t j = 0; j < 16; ++j) total += t.hops(i, j);
+  }
+  EXPECT_NEAR(t.mean_hops(), total / 256.0, 1e-12);
+}
+
+TEST(Ring, MeanHopsClosedFormOdd) {
+  RingTopology t(11);
+  double total = 0;
+  for (std::uint64_t i = 0; i < 11; ++i) {
+    for (std::uint64_t j = 0; j < 11; ++j) total += t.hops(i, j);
+  }
+  EXPECT_NEAR(t.mean_hops(), total / 121.0, 1e-12);
+}
+
+TEST(Hypercube, XorPopcount) {
+  HypercubeTopology t(16);
+  EXPECT_EQ(t.hops(0b0000, 0b1111), 4u);
+  EXPECT_EQ(t.hops(0b0101, 0b0100), 1u);
+  EXPECT_EQ(t.degree(), 4u);
+  EXPECT_EQ(t.diameter(), 4u);
+  EXPECT_NEAR(t.mean_hops(), 2.0, 1e-12);
+}
+
+TEST(Hypercube, RejectsNonPowerOfTwo) {
+  EXPECT_DEATH(HypercubeTopology(24), "power-of-two");
+}
+
+TEST(Torus, ManhattanWithWrap) {
+  Torus2D t(4, 8);  // rows x cols
+  EXPECT_EQ(t.hops(0, 0), 0u);
+  // (0,0) -> (3,0): row distance min(3,1) = 1.
+  EXPECT_EQ(t.hops(0, 3 * 8), 1u);
+  // (0,0) -> (2,4): 2 + 4.
+  EXPECT_EQ(t.hops(0, 2 * 8 + 4), 6u);
+  EXPECT_EQ(t.diameter(), 2u + 4u);
+}
+
+TEST(Torus, MeanHopsMatchesExhaustive) {
+  Torus2D t(4, 6);
+  double total = 0;
+  const std::uint64_t n = t.n();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) total += t.hops(i, j);
+  }
+  EXPECT_NEAR(t.mean_hops(), total / static_cast<double>(n * n), 1e-12);
+}
+
+TEST(AllTopologies, SymmetricAndSelfZero) {
+  std::unique_ptr<Topology> tops[] = {
+      std::make_unique<CompleteTopology>(32),
+      std::make_unique<RingTopology>(32),
+      std::make_unique<HypercubeTopology>(32),
+      std::make_unique<Torus2D>(4, 8),
+  };
+  for (const auto& t : tops) {
+    for (std::uint64_t i = 0; i < t->n(); i += 3) {
+      EXPECT_EQ(t->hops(i, i), 0u) << t->name();
+      for (std::uint64_t j = 0; j < t->n(); j += 5) {
+        EXPECT_EQ(t->hops(i, j), t->hops(j, i)) << t->name();
+        EXPECT_LE(t->hops(i, j), t->diameter()) << t->name();
+      }
+    }
+  }
+}
+
+TEST(AllTopologies, MonteCarloValidatesClosedForm) {
+  std::unique_ptr<Topology> tops[] = {
+      std::make_unique<CompleteTopology>(256),
+      std::make_unique<RingTopology>(256),
+      std::make_unique<HypercubeTopology>(256),
+      std::make_unique<Torus2D>(16, 16),
+  };
+  for (const auto& t : tops) {
+    const double sampled = t->mean_hops_sampled(200000, 7);
+    EXPECT_NEAR(sampled, t->mean_hops(), 0.05 * t->mean_hops() + 0.02)
+        << t->name();
+  }
+}
+
+}  // namespace
+}  // namespace clb::net

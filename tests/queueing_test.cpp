@@ -1,0 +1,135 @@
+// Tests for the DES kernel and the supermarket model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "queueing/event_queue.hpp"
+#include "queueing/supermarket.hpp"
+
+namespace clb::queueing {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.schedule(1.0, [&] { order.push_back(3); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule_in(1.0, [&] { ++fired; });
+  });
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEventsQueued) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(5.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, RejectsSchedulingIntoPast) {
+  EventQueue q;
+  q.schedule(2.0, [] {});
+  q.run_next();
+  EXPECT_DEATH(q.schedule(1.0, [] {}), "past");
+}
+
+TEST(Supermarket, ThroughputMatchesLambda) {
+  SupermarketConfig cfg;
+  cfg.n = 512;
+  cfg.lambda = 0.7;
+  cfg.horizon = 50.0;
+  cfg.warmup = 10.0;
+  const auto r = run_supermarket(cfg);
+  // Arrivals over [0, horizon] ~ Poisson(lambda * n * horizon).
+  const double expected =
+      cfg.lambda * static_cast<double>(cfg.n) * cfg.horizon;
+  EXPECT_NEAR(static_cast<double>(r.arrivals), expected, 0.1 * expected);
+  EXPECT_GT(r.departures, 0u);
+}
+
+TEST(Supermarket, TwoChoicesBeatOne) {
+  SupermarketConfig cfg;
+  cfg.n = 1024;
+  cfg.lambda = 0.9;
+  cfg.horizon = 60.0;
+  cfg.warmup = 20.0;
+  cfg.seed = 11;
+  cfg.d = 1;
+  const auto one = run_supermarket(cfg);
+  cfg.d = 2;
+  const auto two = run_supermarket(cfg);
+  EXPECT_LT(two.max_queue, one.max_queue);
+  EXPECT_LT(two.mean_sojourn, one.mean_sojourn);
+}
+
+TEST(Supermarket, MaxQueueIsLogLogScaleForD2) {
+  SupermarketConfig cfg;
+  cfg.n = 1 << 12;
+  cfg.lambda = 0.9;
+  cfg.d = 2;
+  cfg.horizon = 50.0;
+  cfg.warmup = 10.0;
+  const auto r = run_supermarket(cfg);
+  EXPECT_LE(r.max_queue, 8u);  // O(log log n) per [Mit96]
+}
+
+TEST(Supermarket, MeanQueueMatchesTheoryForD1) {
+  // d = 1 is n independent M/M/1 queues: E[len] = lambda / (1 - lambda).
+  SupermarketConfig cfg;
+  cfg.n = 2048;
+  cfg.lambda = 0.5;
+  cfg.d = 1;
+  cfg.horizon = 200.0;
+  cfg.warmup = 50.0;
+  const auto r = run_supermarket(cfg);
+  EXPECT_NEAR(r.mean_queue, 1.0, 0.15);
+}
+
+TEST(Supermarket, DeterministicServiceRuns) {
+  SupermarketConfig cfg;
+  cfg.n = 256;
+  cfg.lambda = 0.8;
+  cfg.deterministic_service = true;
+  cfg.horizon = 30.0;
+  cfg.warmup = 5.0;
+  const auto r = run_supermarket(cfg);
+  EXPECT_GT(r.departures, 0u);
+  EXPECT_EQ(r.messages, r.arrivals * 3);  // d probes + 1 join
+}
+
+TEST(Supermarket, RejectsBadConfig) {
+  SupermarketConfig cfg;
+  cfg.lambda = 1.5;
+  EXPECT_DEATH(run_supermarket(cfg), "lambda");
+}
+
+}  // namespace
+}  // namespace clb::queueing

@@ -1,0 +1,118 @@
+// Unit tests for clb::stats.
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+#include "stats/moments.hpp"
+#include "stats/timeseries.hpp"
+#include "stats/trial_set.hpp"
+
+namespace clb::stats {
+namespace {
+
+TEST(Histogram, BasicCountsAndTotal) {
+  IntHistogram h;
+  h.add(3, 2);
+  h.add(0);
+  h.add(10);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_at(3), 2u);
+  EXPECT_EQ(h.count_at(7), 0u);
+  EXPECT_EQ(h.max_value(), 10u);
+}
+
+TEST(Histogram, MeanAndTail) {
+  IntHistogram h;
+  h.add(1, 5);
+  h.add(3, 5);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.tail_at_least(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.tail_at_least(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.tail_at_least(4), 0.0);
+}
+
+TEST(Histogram, Quantiles) {
+  IntHistogram h;
+  for (std::uint64_t v = 0; v < 100; ++v) h.add(v);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 49.0, 1.0);
+  EXPECT_EQ(h.quantile(1.0), 99u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  IntHistogram a, b;
+  a.add(1, 3);
+  b.add(1, 2);
+  b.add(5);
+  a.merge(b);
+  EXPECT_EQ(a.count_at(1), 5u);
+  EXPECT_EQ(a.count_at(5), 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(Histogram, EmptyBehaviour) {
+  IntHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.tail_at_least(1), 0.0);
+}
+
+TEST(Moments, MeanVarianceMinMax) {
+  OnlineMoments m;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+  EXPECT_EQ(m.count(), 8u);
+}
+
+TEST(Moments, MergeEqualsSequential) {
+  OnlineMoments all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i * i % 37);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Moments, CiShrinksWithSamples) {
+  OnlineMoments small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.add(i % 3);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(TimeSeries, RecordsAtStride) {
+  TimeSeries ts(10);
+  for (std::uint64_t s = 0; s < 100; ++s) ts.record(s, static_cast<double>(s));
+  EXPECT_EQ(ts.steps().size(), 10u);
+  EXPECT_EQ(ts.steps()[3], 30u);
+}
+
+TEST(TimeSeries, ThinsWhenFull) {
+  TimeSeries ts(1, /*max_points=*/64);
+  for (std::uint64_t s = 0; s < 1000; ++s) ts.record(s, 1.0);
+  EXPECT_LT(ts.steps().size(), 70u);
+  EXPECT_GT(ts.stride(), 1u);
+}
+
+TEST(TrialSet, AggregatesNamedMetrics) {
+  TrialSet set;
+  set.add("max_load", 10);
+  set.add("max_load", 14);
+  set.add("messages", 100);
+  EXPECT_DOUBLE_EQ(set.get("max_load").mean(), 12.0);
+  EXPECT_EQ(set.get("messages").count(), 1u);
+  EXPECT_TRUE(set.has("messages"));
+  EXPECT_FALSE(set.has("absent"));
+  EXPECT_EQ(set.get("absent").count(), 0u);
+}
+
+}  // namespace
+}  // namespace clb::stats

@@ -1,0 +1,173 @@
+// Stress and failure-injection tests: regimes far outside the paper's
+// assumptions, where the algorithm cannot succeed — it must degrade
+// gracefully (no crashes, no task loss, accurate failure reporting).
+#include <gtest/gtest.h>
+
+#include "baselines/all_in_air.hpp"
+#include "core/threshold_balancer.hpp"
+#include "models/single.hpp"
+#include "models/trace.hpp"
+#include "models/weighted.hpp"
+#include "sim/engine.hpp"
+
+namespace clb {
+namespace {
+
+using core::PhaseParams;
+using core::ThresholdBalancer;
+
+TEST(Stress, EveryProcessorHeavyNoLightsAvailable) {
+  // All processors start far above threshold: there is no light partner in
+  // the whole machine. Every search must fail, be reported as unmatched,
+  // and nothing may move or be lost.
+  const std::uint64_t n = 1024;
+  const auto params = PhaseParams::from_n(n);
+  std::vector<std::uint32_t> row(
+      n, static_cast<std::uint32_t>(2 * params.heavy_threshold));
+  models::TraceModel model({row}, {});
+  ThresholdBalancer balancer({.params = params});
+  sim::Engine eng({.n = n, .seed = 1}, &model, &balancer);
+  eng.step_once();
+  const auto& ps = balancer.last_phase();
+  EXPECT_EQ(ps.num_heavy, n);
+  EXPECT_EQ(ps.num_light, 0u);
+  EXPECT_EQ(ps.matched_heavy, 0u);
+  EXPECT_EQ(ps.unmatched_heavy, n);
+  EXPECT_EQ(eng.messages().transfers, 0u);
+  EXPECT_EQ(eng.total_load(), n * 2 * params.heavy_threshold);
+}
+
+TEST(Stress, MassiveOverloadCollisionGamesSaturate) {
+  // Half the machine heavy: the collision game's capacity condition
+  // (m * b <= n * c) is violated at deeper levels. The balancer must report
+  // failed requests rather than looping or crashing.
+  const std::uint64_t n = 1024;
+  const auto params = PhaseParams::from_n(n);
+  std::vector<std::uint32_t> row(n, 0);
+  for (std::uint64_t p = 0; p < n; p += 2) {
+    row[p] = static_cast<std::uint32_t>(2 * params.heavy_threshold);
+  }
+  models::TraceModel model({row}, {});
+  ThresholdBalancer balancer({.params = params});
+  sim::Engine eng({.n = n, .seed = 2}, &model, &balancer);
+  eng.step_once();
+  const auto& ps = balancer.last_phase();
+  EXPECT_EQ(ps.num_heavy, n / 2);
+  // Capacity: at most num_light lights can be reserved.
+  EXPECT_LE(ps.matched_heavy, ps.num_light);
+  EXPECT_EQ(ps.matched_heavy + ps.unmatched_heavy, n / 2);
+  EXPECT_EQ(eng.total_load(), (n / 2) * 2 * params.heavy_threshold);
+}
+
+TEST(Stress, SupercriticalGenerationStaysConservative) {
+  // p ~ q - tiny: the system hovers near instability. Loads grow large but
+  // accounting must stay exact.
+  const std::uint64_t n = 512;
+  models::SingleModel model(0.49, 0.02);
+  ThresholdBalancer balancer({.params = PhaseParams::from_n(n)});
+  sim::Engine eng({.n = n, .seed = 3}, &model, &balancer);
+  eng.run(3000);
+  EXPECT_EQ(eng.total_generated(), eng.total_consumed() + eng.total_load());
+  EXPECT_EQ(eng.clamped_transfers(), 0u);
+}
+
+TEST(Stress, TinyMachine) {
+  // The smallest n the parameterisation accepts.
+  const std::uint64_t n = 8;
+  models::SingleModel model(0.4, 0.1);
+  ThresholdBalancer balancer({.params = PhaseParams::from_n(n)});
+  sim::Engine eng({.n = n, .seed = 4}, &model, &balancer);
+  eng.run(2000);
+  EXPECT_EQ(eng.total_generated(), eng.total_consumed() + eng.total_load());
+}
+
+TEST(Stress, SingleStepPhasesWithAllOptionsOn) {
+  // Kitchen-sink config: spread + streaming + preround + prune + weighted,
+  // long run, must stay conservative and bounded.
+  const std::uint64_t n = 1024;
+  models::WeightedSingleModel model(0.4, 0.1, {0.7, 0.2, 0.1});
+  auto params = PhaseParams::from_n(
+      n, core::Fractions{.scale = model.mean_weight()});
+  params.phase_len = 4;
+  ThresholdBalancer balancer({.params = params,
+                              .execution = core::PhaseExecution::kSpread,
+                              .one_shot_preround = true,
+                              .prune_satisfied = true,
+                              .streaming_transfers = true,
+                              .weight_based = true});
+  sim::Engine eng({.n = n, .seed = 5}, &model, &balancer);
+  eng.run(3000);
+  EXPECT_EQ(eng.total_generated(), eng.total_consumed() + eng.total_load());
+  EXPECT_LE(eng.running_max_weight(), 4 * params.T);
+}
+
+TEST(Stress, WeightLoadAlwaysMatchesQueueContents) {
+  // Internal consistency: the engine's incremental weight counters must
+  // equal a from-scratch walk of every queue, even after many transfers.
+  const std::uint64_t n = 256;
+  models::WeightedSingleModel model(0.45, 0.1, {0.5, 0.3, 0.2});
+  ThresholdBalancer balancer(
+      {.params = PhaseParams::from_n(
+           n, core::Fractions{.scale = model.mean_weight()}),
+       .weight_based = true});
+  sim::Engine eng({.n = n, .seed = 6}, &model, &balancer);
+  for (int round = 0; round < 20; ++round) {
+    eng.run(50);
+    for (std::uint64_t p = 0; p < n; ++p) {
+      const auto& proc = eng.processor(p);
+      std::uint64_t walked = 0;
+      for (std::uint64_t i = 0; i < proc.queue.size(); ++i) {
+        walked += proc.queue.at(i).weight;
+      }
+      ASSERT_EQ(walked, proc.weight_load) << "proc " << p;
+    }
+  }
+}
+
+TEST(Stress, AllInAirPreservesTaskIdentities) {
+  // Global rescatter must be a permutation of the task multiset: the sum of
+  // birth steps and origins is invariant.
+  const std::uint64_t n = 512;
+  std::vector<std::uint32_t> row(n, 3);
+  models::TraceModel model({row}, {});
+  baselines::AllInAirBalancer balancer({.interval = 1});
+  sim::Engine eng({.n = n, .seed = 7}, &model, &balancer);
+  eng.step_once();
+  std::uint64_t origin_sum = 0, count = 0;
+  for (std::uint64_t p = 0; p < n; ++p) {
+    const auto& q = eng.processor(p).queue;
+    for (std::uint64_t i = 0; i < q.size(); ++i) {
+      origin_sum += q.at(i).origin;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 3 * n);
+  // Each origin appears exactly 3 times: sum = 3 * (0 + 1 + ... + n-1).
+  EXPECT_EQ(origin_sum, 3 * n * (n - 1) / 2);
+}
+
+TEST(Stress, SojournTracksTransferredTasks) {
+  // A task moved by balancing must still report its true end-to-end wait.
+  const std::uint64_t n = 2048;
+  const auto params = PhaseParams::from_n(n);
+  // One heavy processor, consumption only on others (trace): heavy's tasks
+  // get shipped and consumed remotely.
+  std::vector<std::vector<std::uint32_t>> gen(
+      1, std::vector<std::uint32_t>(n, 0));
+  gen[0][0] = static_cast<std::uint32_t>(2 * params.heavy_threshold);
+  std::vector<std::vector<std::uint32_t>> con(
+      10, std::vector<std::uint32_t>(n, 1));
+  con[0].assign(n, 0);  // nothing consumed at step 0
+  models::TraceModel model(gen, con);
+  ThresholdBalancer balancer({.params = params});
+  sim::Engine eng({.n = n, .seed = 8, .track_sojourn = true}, &model,
+                  &balancer);
+  eng.run(10);
+  const auto& h = eng.sojourn_histogram();
+  EXPECT_GT(h.total(), 0u);
+  // Tasks born at step 0 and consumed from step 1 onwards: waits >= 1.
+  EXPECT_GE(h.quantile(0.01), 1u);
+}
+
+}  // namespace
+}  // namespace clb

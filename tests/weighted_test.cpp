@@ -1,0 +1,158 @@
+// Tests for the weighted-task extension (BMS97 carried to the continuous
+// setting): weight accounting in queue/engine, the weighted model, and the
+// weight-based threshold balancer.
+#include <gtest/gtest.h>
+
+#include "core/threshold_balancer.hpp"
+#include "models/single.hpp"
+#include "models/trace.hpp"
+#include "models/weighted.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace clb {
+namespace {
+
+TEST(WeightedQueue, TransferReportsMovedWeight) {
+  sim::FifoQueue a, b;
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    a.push_back(sim::Task{0, 0, i});  // weights 1..5
+  }
+  const std::uint64_t moved = b.append_from_back_of(a, 2);  // weights 4, 5
+  EXPECT_EQ(moved, 9u);
+  EXPECT_EQ(b.at(0).weight, 4u);
+  EXPECT_EQ(b.at(1).weight, 5u);
+}
+
+TEST(WeightedQueue, CountFromBackForWeight) {
+  sim::FifoQueue q;
+  for (const std::uint32_t w : {1u, 1u, 8u, 2u, 3u}) {
+    q.push_back(sim::Task{0, 0, w});
+  }
+  // From the back: 3, 2, 8, 1, 1.
+  EXPECT_EQ(q.count_from_back_for_weight(1), 1u);
+  EXPECT_EQ(q.count_from_back_for_weight(3), 1u);
+  EXPECT_EQ(q.count_from_back_for_weight(4), 2u);
+  EXPECT_EQ(q.count_from_back_for_weight(6), 3u);
+  EXPECT_EQ(q.count_from_back_for_weight(100), 5u);  // capped at size
+  sim::FifoQueue empty;
+  EXPECT_EQ(empty.count_from_back_for_weight(1), 0u);
+}
+
+TEST(WeightedEngine, TracksWeightLoads) {
+  // Unit-weight trace: weight metrics must equal count metrics.
+  models::TraceModel model({{3, 1}}, {{1, 0}});
+  sim::Engine eng({.n = 2, .seed = 1}, &model, nullptr);
+  eng.step_once();
+  EXPECT_EQ(eng.weight_load(0), eng.load(0));
+  EXPECT_EQ(eng.total_weight(), eng.total_load());
+  EXPECT_EQ(eng.step_max_weight(), eng.step_max_load());
+}
+
+TEST(WeightedModel, WeightsFollowPmf) {
+  models::WeightedSingleModel m(0.5, 0.2, {0.5, 0.25, 0.25});
+  EXPECT_NEAR(m.mean_weight(), 1.75, 1e-9);
+  EXPECT_EQ(m.max_weight(), 3u);
+  EXPECT_NEAR(m.uniformity(), 1.75 / 3.0, 1e-9);
+  std::uint64_t weight_counts[4] = {};
+  std::uint64_t generated = 0;
+  const std::uint64_t kTrials = 100000;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    const auto act = m.step_action(1, i, 0, 0, 0);
+    if (act.generate) {
+      ASSERT_GE(act.weight, 1u);
+      ASSERT_LE(act.weight, 3u);
+      ++weight_counts[act.weight];
+      ++generated;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(generated) / kTrials, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(weight_counts[1]) / generated, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(weight_counts[3]) / generated, 0.25, 0.02);
+}
+
+TEST(WeightedEngine, WeightedModelAccumulatesWeight) {
+  models::WeightedSingleModel m(0.4, 0.1, {0.0, 0.0, 0.0, 1.0});  // weight 4
+  sim::Engine eng({.n = 64, .seed = 2}, &m, nullptr);
+  eng.run(500);
+  EXPECT_EQ(eng.total_weight(), 4 * eng.total_load());
+}
+
+core::PhaseParams weighted_params(std::uint64_t n, double mean_weight) {
+  return core::PhaseParams::from_n(n, core::Fractions{.scale = mean_weight});
+}
+
+TEST(WeightedBalancer, BoundsWeightedLoad) {
+  const std::uint64_t n = 1 << 11;
+  // Skewed weights: mostly 1, occasionally 8 (uniformity 0.23).
+  models::WeightedSingleModel model(
+      0.4, 0.1, {0.85, 0, 0, 0, 0, 0, 0, 0.15});
+  const auto params = weighted_params(n, model.mean_weight());
+  core::ThresholdBalancer balancer(
+      {.params = params, .weight_based = true});
+  sim::Engine eng({.n = n, .seed = 3}, &model, &balancer);
+  eng.run(2500);
+  EXPECT_LE(eng.running_max_weight(), 2 * params.T);
+  EXPECT_EQ(eng.total_generated(), eng.total_consumed() + eng.total_load());
+}
+
+TEST(WeightedBalancer, CountBasedMisjudgesSkewedWeights) {
+  // The point of the extension: with skewed weights, the count-based
+  // balancer lets weighted hot spots grow past what the weight-based one
+  // allows (same model, same seed).
+  const std::uint64_t n = 1 << 11;
+  auto make_model = [] {
+    return models::WeightedSingleModel(
+        0.4, 0.1, {0.85, 0, 0, 0, 0, 0, 0, 0.15});
+  };
+  auto m1 = make_model();
+  auto m2 = make_model();
+  const auto params = weighted_params(n, m1.mean_weight());
+  core::ThresholdBalancer by_weight({.params = params, .weight_based = true});
+  core::ThresholdBalancer by_count({.params = params, .weight_based = false});
+  sim::Engine e1({.n = n, .seed = 4}, &m1, &by_weight);
+  sim::Engine e2({.n = n, .seed = 4}, &m2, &by_count);
+  e1.run(2500);
+  e2.run(2500);
+  EXPECT_LT(e1.running_max_weight(), e2.running_max_weight());
+}
+
+TEST(WeightedBalancer, UnitWeightsIdenticalToCountMode) {
+  const std::uint64_t n = 1 << 10;
+  models::SingleModel m1(0.4, 0.1), m2(0.4, 0.1);
+  const auto params = core::PhaseParams::from_n(n);
+  core::ThresholdBalancer by_weight({.params = params, .weight_based = true});
+  core::ThresholdBalancer by_count({.params = params, .weight_based = false});
+  sim::Engine e1({.n = n, .seed = 5}, &m1, &by_weight);
+  sim::Engine e2({.n = n, .seed = 5}, &m2, &by_count);
+  e1.run(800);
+  e2.run(800);
+  EXPECT_EQ(e1.total_load(), e2.total_load());
+  EXPECT_EQ(e1.running_max_load(), e2.running_max_load());
+  EXPECT_EQ(e1.messages().tasks_moved, e2.messages().tasks_moved);
+}
+
+TEST(WeightedBalancer, TransferRespectsWeightBudget) {
+  // One heavy processor with weight-4 tasks: a weight budget of
+  // transfer_amount moves ceil(transfer_amount / 4) tasks.
+  const std::uint64_t n = 512;
+  const auto params = core::PhaseParams::from_n(n);
+  std::vector<std::vector<std::uint32_t>> gen(1,
+      std::vector<std::uint32_t>(n, 0));
+  gen[0][0] = static_cast<std::uint32_t>(params.heavy_threshold);  // count
+  // TraceModel emits weight-1 tasks; use a small custom weighted trace via
+  // deposit instead.
+  models::TraceModel model({}, {});
+  core::ThresholdBalancer balancer({.params = params, .weight_based = true});
+  sim::Engine eng({.n = n, .seed = 6}, &model, &balancer);
+  const auto tasks_needed = (params.heavy_threshold + 3) / 4;
+  for (std::uint64_t i = 0; i < tasks_needed; ++i) {
+    eng.deposit(0, sim::Task{0, 0, 4});
+  }
+  eng.step_once();  // phase runs; proc 0 has weight >= heavy threshold
+  const auto moved = eng.messages().tasks_moved;
+  EXPECT_EQ(moved, (params.transfer_amount + 3) / 4);
+}
+
+}  // namespace
+}  // namespace clb
