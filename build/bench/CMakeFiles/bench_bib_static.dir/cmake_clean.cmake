@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bib_static.dir/bench_bib_static.cpp.o"
+  "CMakeFiles/bench_bib_static.dir/bench_bib_static.cpp.o.d"
+  "bench_bib_static"
+  "bench_bib_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bib_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collision.dir/bench_collision.cpp.o"
+  "CMakeFiles/bench_collision.dir/bench_collision.cpp.o.d"
+  "bench_collision"
+  "bench_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expected_requests.dir/bench_expected_requests.cpp.o"
+  "CMakeFiles/bench_expected_requests.dir/bench_expected_requests.cpp.o.d"
+  "bench_expected_requests"
+  "bench_expected_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expected_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heavy_light.dir/bench_heavy_light.cpp.o"
+  "CMakeFiles/bench_heavy_light.dir/bench_heavy_light.cpp.o.d"
+  "bench_heavy_light"
+  "bench_heavy_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heavy_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maxload_single.dir/bench_maxload_single.cpp.o"
+  "CMakeFiles/bench_maxload_single.dir/bench_maxload_single.cpp.o.d"
+  "bench_maxload_single"
+  "bench_maxload_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maxload_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partner_search.dir/bench_partner_search.cpp.o"
+  "CMakeFiles/bench_partner_search.dir/bench_partner_search.cpp.o.d"
+  "bench_partner_search"
+  "bench_partner_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partner_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unbalanced_tail.dir/bench_unbalanced_tail.cpp.o"
+  "CMakeFiles/bench_unbalanced_tail.dir/bench_unbalanced_tail.cpp.o.d"
+  "bench_unbalanced_tail"
+  "bench_unbalanced_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unbalanced_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_tree.dir/adversarial_tree.cpp.o"
+  "CMakeFiles/adversarial_tree.dir/adversarial_tree.cpp.o.d"
+  "adversarial_tree"
+  "adversarial_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_playground.dir/collision_playground.cpp.o"
+  "CMakeFiles/collision_playground.dir/collision_playground.cpp.o.d"
+  "collision_playground"
+  "collision_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

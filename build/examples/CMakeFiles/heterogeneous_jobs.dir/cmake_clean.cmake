@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_jobs.dir/heterogeneous_jobs.cpp.o"
+  "CMakeFiles/heterogeneous_jobs.dir/heterogeneous_jobs.cpp.o.d"
+  "heterogeneous_jobs"
+  "heterogeneous_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

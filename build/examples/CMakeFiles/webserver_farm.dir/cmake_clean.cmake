@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_farm.dir/webserver_farm.cpp.o"
+  "CMakeFiles/webserver_farm.dir/webserver_farm.cpp.o.d"
+  "webserver_farm"
+  "webserver_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

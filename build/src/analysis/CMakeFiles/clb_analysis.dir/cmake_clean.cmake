@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_analysis.dir/markov.cpp.o"
+  "CMakeFiles/clb_analysis.dir/markov.cpp.o.d"
+  "libclb_analysis.a"
+  "libclb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

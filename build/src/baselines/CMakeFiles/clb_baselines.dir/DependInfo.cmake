@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/all_in_air.cpp" "src/baselines/CMakeFiles/clb_baselines.dir/all_in_air.cpp.o" "gcc" "src/baselines/CMakeFiles/clb_baselines.dir/all_in_air.cpp.o.d"
+  "/root/repo/src/baselines/lauer.cpp" "src/baselines/CMakeFiles/clb_baselines.dir/lauer.cpp.o" "gcc" "src/baselines/CMakeFiles/clb_baselines.dir/lauer.cpp.o.d"
+  "/root/repo/src/baselines/lm.cpp" "src/baselines/CMakeFiles/clb_baselines.dir/lm.cpp.o" "gcc" "src/baselines/CMakeFiles/clb_baselines.dir/lm.cpp.o.d"
+  "/root/repo/src/baselines/random_seeking.cpp" "src/baselines/CMakeFiles/clb_baselines.dir/random_seeking.cpp.o" "gcc" "src/baselines/CMakeFiles/clb_baselines.dir/random_seeking.cpp.o.d"
+  "/root/repo/src/baselines/rsu.cpp" "src/baselines/CMakeFiles/clb_baselines.dir/rsu.cpp.o" "gcc" "src/baselines/CMakeFiles/clb_baselines.dir/rsu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/clb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/clb_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_baselines.dir/all_in_air.cpp.o"
+  "CMakeFiles/clb_baselines.dir/all_in_air.cpp.o.d"
+  "CMakeFiles/clb_baselines.dir/lauer.cpp.o"
+  "CMakeFiles/clb_baselines.dir/lauer.cpp.o.d"
+  "CMakeFiles/clb_baselines.dir/lm.cpp.o"
+  "CMakeFiles/clb_baselines.dir/lm.cpp.o.d"
+  "CMakeFiles/clb_baselines.dir/random_seeking.cpp.o"
+  "CMakeFiles/clb_baselines.dir/random_seeking.cpp.o.d"
+  "CMakeFiles/clb_baselines.dir/rsu.cpp.o"
+  "CMakeFiles/clb_baselines.dir/rsu.cpp.o.d"
+  "libclb_baselines.a"
+  "libclb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for clb_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_bib.dir/bib.cpp.o"
+  "CMakeFiles/clb_bib.dir/bib.cpp.o.d"
+  "libclb_bib.a"
+  "libclb_bib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_bib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

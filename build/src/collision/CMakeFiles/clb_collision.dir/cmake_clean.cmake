@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_collision.dir/collision.cpp.o"
+  "CMakeFiles/clb_collision.dir/collision.cpp.o.d"
+  "libclb_collision.a"
+  "libclb_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

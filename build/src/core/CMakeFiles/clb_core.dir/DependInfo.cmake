@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/clb_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/clb_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/threshold_balancer.cpp" "src/core/CMakeFiles/clb_core.dir/threshold_balancer.cpp.o" "gcc" "src/core/CMakeFiles/clb_core.dir/threshold_balancer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/clb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collision/CMakeFiles/clb_collision.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_core.dir/params.cpp.o"
+  "CMakeFiles/clb_core.dir/params.cpp.o.d"
+  "CMakeFiles/clb_core.dir/threshold_balancer.cpp.o"
+  "CMakeFiles/clb_core.dir/threshold_balancer.cpp.o.d"
+  "libclb_core.a"
+  "libclb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

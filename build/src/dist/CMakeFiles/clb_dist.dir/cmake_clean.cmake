@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_dist.dir/dist_balancer.cpp.o"
+  "CMakeFiles/clb_dist.dir/dist_balancer.cpp.o.d"
+  "CMakeFiles/clb_dist.dir/network.cpp.o"
+  "CMakeFiles/clb_dist.dir/network.cpp.o.d"
+  "libclb_dist.a"
+  "libclb_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_gossip.dir/push_sum.cpp.o"
+  "CMakeFiles/clb_gossip.dir/push_sum.cpp.o.d"
+  "libclb_gossip.a"
+  "libclb_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/adversarial.cpp" "src/models/CMakeFiles/clb_models.dir/adversarial.cpp.o" "gcc" "src/models/CMakeFiles/clb_models.dir/adversarial.cpp.o.d"
+  "/root/repo/src/models/burst.cpp" "src/models/CMakeFiles/clb_models.dir/burst.cpp.o" "gcc" "src/models/CMakeFiles/clb_models.dir/burst.cpp.o.d"
+  "/root/repo/src/models/geometric.cpp" "src/models/CMakeFiles/clb_models.dir/geometric.cpp.o" "gcc" "src/models/CMakeFiles/clb_models.dir/geometric.cpp.o.d"
+  "/root/repo/src/models/multi.cpp" "src/models/CMakeFiles/clb_models.dir/multi.cpp.o" "gcc" "src/models/CMakeFiles/clb_models.dir/multi.cpp.o.d"
+  "/root/repo/src/models/onoff.cpp" "src/models/CMakeFiles/clb_models.dir/onoff.cpp.o" "gcc" "src/models/CMakeFiles/clb_models.dir/onoff.cpp.o.d"
+  "/root/repo/src/models/poisson_batch.cpp" "src/models/CMakeFiles/clb_models.dir/poisson_batch.cpp.o" "gcc" "src/models/CMakeFiles/clb_models.dir/poisson_batch.cpp.o.d"
+  "/root/repo/src/models/single.cpp" "src/models/CMakeFiles/clb_models.dir/single.cpp.o" "gcc" "src/models/CMakeFiles/clb_models.dir/single.cpp.o.d"
+  "/root/repo/src/models/weighted.cpp" "src/models/CMakeFiles/clb_models.dir/weighted.cpp.o" "gcc" "src/models/CMakeFiles/clb_models.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/clb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

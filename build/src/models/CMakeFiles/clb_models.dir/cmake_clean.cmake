@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_models.dir/adversarial.cpp.o"
+  "CMakeFiles/clb_models.dir/adversarial.cpp.o.d"
+  "CMakeFiles/clb_models.dir/burst.cpp.o"
+  "CMakeFiles/clb_models.dir/burst.cpp.o.d"
+  "CMakeFiles/clb_models.dir/geometric.cpp.o"
+  "CMakeFiles/clb_models.dir/geometric.cpp.o.d"
+  "CMakeFiles/clb_models.dir/multi.cpp.o"
+  "CMakeFiles/clb_models.dir/multi.cpp.o.d"
+  "CMakeFiles/clb_models.dir/onoff.cpp.o"
+  "CMakeFiles/clb_models.dir/onoff.cpp.o.d"
+  "CMakeFiles/clb_models.dir/poisson_batch.cpp.o"
+  "CMakeFiles/clb_models.dir/poisson_batch.cpp.o.d"
+  "CMakeFiles/clb_models.dir/single.cpp.o"
+  "CMakeFiles/clb_models.dir/single.cpp.o.d"
+  "CMakeFiles/clb_models.dir/weighted.cpp.o"
+  "CMakeFiles/clb_models.dir/weighted.cpp.o.d"
+  "libclb_models.a"
+  "libclb_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

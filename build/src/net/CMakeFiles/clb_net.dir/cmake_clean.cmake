@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_net.dir/topology.cpp.o"
+  "CMakeFiles/clb_net.dir/topology.cpp.o.d"
+  "libclb_net.a"
+  "libclb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

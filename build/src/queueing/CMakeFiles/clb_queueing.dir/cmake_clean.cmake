@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_queueing.dir/supermarket.cpp.o"
+  "CMakeFiles/clb_queueing.dir/supermarket.cpp.o.d"
+  "libclb_queueing.a"
+  "libclb_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

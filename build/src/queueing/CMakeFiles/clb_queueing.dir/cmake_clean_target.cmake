@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclb_queueing.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_sim.dir/engine.cpp.o"
+  "CMakeFiles/clb_sim.dir/engine.cpp.o.d"
+  "libclb_sim.a"
+  "libclb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

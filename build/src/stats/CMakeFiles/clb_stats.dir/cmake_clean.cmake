@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_stats.dir/histogram.cpp.o"
+  "CMakeFiles/clb_stats.dir/histogram.cpp.o.d"
+  "libclb_stats.a"
+  "libclb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for clb_stats.
+# This may be replaced when dependencies are built.

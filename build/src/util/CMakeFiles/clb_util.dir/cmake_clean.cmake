@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clb_util.dir/cli.cpp.o"
+  "CMakeFiles/clb_util.dir/cli.cpp.o.d"
+  "CMakeFiles/clb_util.dir/table.cpp.o"
+  "CMakeFiles/clb_util.dir/table.cpp.o.d"
+  "CMakeFiles/clb_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/clb_util.dir/thread_pool.cpp.o.d"
+  "libclb_util.a"
+  "libclb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

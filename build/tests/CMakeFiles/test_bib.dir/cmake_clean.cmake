@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bib.dir/bib_test.cpp.o"
+  "CMakeFiles/test_bib.dir/bib_test.cpp.o.d"
+  "test_bib"
+  "test_bib.pdb"
+  "test_bib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/test_util.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/clb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/clb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/clb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/clb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/collision/CMakeFiles/clb_collision.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/clb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/clb_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/bib/CMakeFiles/clb_bib.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/clb_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
