@@ -14,7 +14,16 @@ int main(int argc, char** argv) {
   const auto trials = cli.flag_u64("trials", 10, "independent trials");
   const auto beta = cli.flag_f64("beta", 0.01, "request fraction m/n");
   const auto seed = cli.flag_u64("seed", 1, "base seed");
+  bench::ObsFlags obs_flags(cli);
   cli.parse(argc, argv);
+
+  obs::Recorder rec(obs_flags.config("bench_collision", argc, argv));
+  rec.manifest().set_seed(*seed);
+  rec.manifest().set_param("trials", *trials);
+  rec.manifest().set_param("beta", *beta);
+  // Trace timeline: each game.run() gets its own window of `max_rounds`
+  // microseconds so trials do not overlap in the viewer.
+  std::uint64_t trace_window = 0;
 
   util::print_banner(
       "EXP-01  collision protocol: rounds, validity, messages (Lemma 1)");
@@ -25,7 +34,8 @@ int main(int argc, char** argv) {
                      "mf rounds", "valid", "steps(5*rounds)", "step_bound",
                      "queries/request", "mf q/req", "max_accepts/proc"});
   for (const std::uint64_t n : bench::default_sizes()) {
-    collision::CollisionGame game(n, {.a = 5, .b = 2, .c = 1});
+    collision::CollisionGame game(n, {.a = 5, .b = 2, .c = 1,
+                                      .trace = rec.trace()});
     const auto m = static_cast<std::uint64_t>(
         *beta * static_cast<double>(n));
     std::vector<std::uint32_t> requesters;
@@ -36,8 +46,13 @@ int main(int argc, char** argv) {
     std::uint32_t worst_accepts = 0;
     stats::OnlineMoments queries_per_request;
     bench::for_trials(*trials, *seed, [&](std::uint64_t s) {
+      game.set_trace_time(trace_window);
+      trace_window += 64;
       const auto out = game.run(requesters, s);
       valid += out.valid ? 1 : 0;
+      rec.metrics().counter("exp01.queries") += out.query_messages;
+      rec.metrics().counter("exp01.accepts") += out.accept_messages;
+      rec.metrics().histogram("exp01.rounds").add(out.rounds_used);
       worst_rounds = std::max<std::uint64_t>(worst_rounds, out.rounds_used);
       queries_per_request.add(static_cast<double>(out.query_messages) /
                               static_cast<double>(m));
@@ -98,5 +113,6 @@ int main(int argc, char** argv) {
         .cell(qpr.mean(), 2);
   }
   clb::bench::emit(sweep, "collision_2");
+  rec.finish();
   return 0;
 }

@@ -12,7 +12,16 @@ int main(int argc, char** argv) {
   util::Cli cli("EXP-09: communication cost (threshold vs balls-into-bins)");
   const auto steps = cli.flag_u64("steps", 3000, "steps per run");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  const auto sizes_csv = cli.flag_str(
+      "sizes", "1024,4096,16384,65536", "comma-separated machine sizes n");
+  bench::ObsFlags obs_flags(cli);
   cli.parse(argc, argv);
+
+  obs::Recorder rec(obs_flags.config("bench_communication", argc, argv));
+  rec.manifest().set_seed(*seed);
+  rec.manifest().set_param("steps", *steps);
+  rec.manifest().set_param("sizes", *sizes_csv);
+  const std::vector<std::uint64_t> sizes = util::Cli::parse_u64_list(*sizes_csv);
 
   util::print_banner("EXP-09  messages per phase / per task (Section 1.2)");
   util::print_note("expect: ours -> 0 msgs/task as n grows; d-choice "
@@ -21,9 +30,16 @@ int main(int argc, char** argv) {
   util::Table table({"n", "ours msgs/phase", "paper bound-ish", "ours msgs/task",
                      "bib msgs/task (d=2)", "ours tasks moved/task",
                      "locality ours", "locality bib"});
-  for (const std::uint64_t n : bench::default_sizes()) {
-    bench::ThresholdRun run(n, *seed);
+  std::uint64_t trace_window = 0;
+  for (const std::uint64_t n : sizes) {
+    // Each size gets its own window on the shared trace timeline.
+    rec.trace()->set_time_base(trace_window);
+    trace_window += *steps + 16;
+    bench::ThresholdRun run(n, *seed, 0.4, 0.1, {}, false, rec.trace(),
+                            &rec.metrics());
     run.engine.run(*steps);
+    obs::snapshot_engine(rec.metrics(), run.engine,
+                         "exp09.n" + std::to_string(n) + ".");
     const auto& msg = run.engine.messages();
     const auto generated = run.engine.total_generated();
     const double msgs_per_task =
@@ -56,7 +72,7 @@ int main(int argc, char** argv) {
   // clamp to show the shape.
   util::print_banner("EXP-09c  msgs/task with T unclamped (t_min = 4)");
   util::Table decline({"n", "T", "msgs/task", "heavy frac"});
-  for (const std::uint64_t n : bench::default_sizes()) {
+  for (const std::uint64_t n : sizes) {
     bench::ThresholdRun run(n, *seed, 0.4, 0.1, core::Fractions{.t_min = 4});
     run.engine.run(*steps);
     decline.row()
@@ -88,5 +104,6 @@ int main(int argc, char** argv) {
   util::print_note("a processor initiates balancing only after generating "
                    "~T/8 tasks on its own, hence the sublinear message rate "
                    "(final paragraph of Section 1.2).");
+  rec.finish();
   return 0;
 }

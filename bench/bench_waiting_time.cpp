@@ -13,7 +13,13 @@ int main(int argc, char** argv) {
   const auto steps = cli.flag_u64("steps", 3000, "steps per run");
   const auto k = cli.flag_u64("k", 4, "Geometric model k");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::ObsFlags obs_flags(cli);
   cli.parse(argc, argv);
+
+  obs::Recorder rec(obs_flags.config("bench_waiting_time", argc, argv));
+  rec.manifest().set_seed(*seed);
+  rec.manifest().set_param("steps", *steps);
+  rec.manifest().set_param("k", *k);
 
   util::print_banner("EXP-08  sojourn times under Geometric(k) (Corollary 1)");
   util::print_note("expect: balanced p99.9 sojourn = O(T); mean O(1); "
@@ -22,22 +28,37 @@ int main(int argc, char** argv) {
   util::Table table({"n", "T(k-scaled)", "mean wait (bal)", "p99 (bal)",
                      "p99.9 (bal)", "max (bal)", "p99.9 (unbal)",
                      "max (unbal)"});
+  std::uint64_t trace_window = 0;
   for (const std::uint64_t n : bench::default_sizes()) {
     const core::Fractions f{.scale = static_cast<double>(*k)};
     const auto params = core::PhaseParams::from_n(n, f);
 
+    // Each size gets its own window on the shared trace timeline.
+    rec.trace()->set_time_base(trace_window);
+    trace_window += *steps + 16;
     models::GeometricModel bm(static_cast<std::uint32_t>(*k));
-    core::ThresholdBalancer balancer({.params = params});
-    sim::Engine bal({.n = n, .seed = *seed, .track_sojourn = true}, &bm,
-                    &balancer);
+    core::ThresholdBalancer balancer({.params = params,
+                                      .trace = rec.trace(),
+                                      .metrics = &rec.metrics()});
+    sim::Engine bal({.n = n,
+                     .seed = *seed,
+                     .track_sojourn = true,
+                     .trace = rec.trace()},
+                    &bm, &balancer);
     bal.run(*steps);
     const auto& bh = bal.sojourn_histogram();
+    rec.metrics()
+        .histogram("exp08.n" + std::to_string(n) + ".sojourn_balanced")
+        .merge(bh);
 
     models::GeometricModel um(static_cast<std::uint32_t>(*k));
     sim::Engine unbal({.n = n, .seed = *seed, .track_sojourn = true}, &um,
                       nullptr);
     unbal.run(*steps);
     const auto& uh = unbal.sojourn_histogram();
+    rec.metrics()
+        .histogram("exp08.n" + std::to_string(n) + ".sojourn_unbalanced")
+        .merge(uh);
 
     table.row()
         .cell(n)
@@ -52,5 +73,6 @@ int main(int argc, char** argv) {
   clb::bench::emit(table, "waiting_time_1");
   util::print_note("FIFO + bounded load implies the bound; transferred tasks "
                    "move closer to the front (Section 4.3 argument).");
+  rec.finish();
   return 0;
 }

@@ -49,6 +49,47 @@ void for_trials(std::uint64_t trials, std::uint64_t base_seed, Fn&& fn) {
   }
 }
 
+/// Standard observability flags for bench binaries. Declare before
+/// cli.parse(), then build the run's Recorder from the parsed values:
+///
+///   util::Cli cli("...");
+///   bench::ObsFlags obs_flags(cli);
+///   cli.parse(argc, argv);
+///   obs::Recorder rec(obs_flags.config("bench_foo", argc, argv));
+///   ... pass rec.trace() into runs, fill rec.metrics()/rec.manifest() ...
+///   rec.finish();
+class ObsFlags {
+ public:
+  explicit ObsFlags(util::Cli& cli)
+      : trace_(cli.flag_str("trace", "",
+                            "write Chrome trace JSON here (JSONL twin lands "
+                            "next to it)")),
+        metrics_(cli.flag_str("metrics-json", "",
+                              "write metrics registry JSON here")),
+        manifest_(cli.flag_str("manifest", "",
+                               "write a replayable run manifest JSON here")),
+        sample_(cli.flag_u64("trace-sample", 1,
+                             "keep every k-th high-frequency trace event")) {}
+
+  [[nodiscard]] obs::RecorderConfig config(std::string tool, int argc,
+                                           char** argv) const {
+    obs::RecorderConfig rc;
+    rc.tool = std::move(tool);
+    rc.command.assign(argv, argv + argc);
+    rc.trace_path = *trace_;
+    rc.metrics_path = *metrics_;
+    rc.manifest_path = *manifest_;
+    rc.trace_sample = static_cast<std::uint32_t>(*sample_);
+    return rc;
+  }
+
+ private:
+  const std::string* trace_;
+  const std::string* metrics_;
+  const std::string* manifest_;
+  const std::uint64_t* sample_;
+};
+
 /// Builds a Single-model engine + threshold balancer pair for one run.
 struct ThresholdRun {
   models::SingleModel model;
@@ -57,10 +98,16 @@ struct ThresholdRun {
 
   ThresholdRun(std::uint64_t n, std::uint64_t seed, double p = 0.4,
                double eps = 0.1, core::Fractions fractions = {},
-               bool track_sojourn = false)
+               bool track_sojourn = false, obs::TraceSink* trace = nullptr,
+               obs::MetricsRegistry* metrics = nullptr)
       : model(p, eps),
-        balancer({.params = core::PhaseParams::from_n(n, fractions)}),
-        engine({.n = n, .seed = seed, .track_sojourn = track_sojourn},
+        balancer({.params = core::PhaseParams::from_n(n, fractions),
+                  .trace = trace,
+                  .metrics = metrics}),
+        engine({.n = n,
+                .seed = seed,
+                .track_sojourn = track_sojourn,
+                .trace = trace},
                &model, &balancer) {}
 };
 

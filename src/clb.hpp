@@ -37,6 +37,11 @@
 #include "models/trace.hpp"
 #include "models/weighted.hpp"
 #include "net/topology.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "obs/views.hpp"
 #include "queueing/event_queue.hpp"
 #include "queueing/supermarket.hpp"
 #include "rng/dist.hpp"

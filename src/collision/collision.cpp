@@ -135,6 +135,11 @@ CollisionOutcome CollisionGame::run(
   for (std::uint32_t round = 1; round <= max_rounds && !active.empty();
        ++round) {
     out.rounds_used = round;
+    [[maybe_unused]] const std::uint64_t round_queries_before =
+        out.query_messages;
+    [[maybe_unused]] const std::uint64_t round_accepts_before =
+        out.accept_messages;
+    [[maybe_unused]] const std::size_t round_active = active.size();
     const std::uint32_t round_stamp = ++stamp_;
     touched.clear();
 
@@ -184,6 +189,10 @@ CollisionOutcome CollisionGame::run(
       if (accept_count[r] < cfg_.b) active[w++] = r;
     }
     active.resize(w);
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kCollisionRound,
+                    trace_time_, round, 0, round_active,
+                    out.query_messages - round_queries_before,
+                    out.accept_messages - round_accepts_before);
   }
 
   out.valid = active.empty();

@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace clb::collision {
 
 struct CollisionConfig {
@@ -31,6 +33,9 @@ struct CollisionConfig {
   std::uint32_t c = 1;  ///< collision value (acceptance capacity)
   /// Round budget; 0 means the paper's bound log2 log2 n / log2(c(a-b)) + 3.
   std::uint32_t max_rounds = 0;
+  /// Optional trace sink (borrowed): run() emits one kCollisionRound event
+  /// per round with the active-request and message counts.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct CollisionOutcome {
@@ -59,6 +64,10 @@ class CollisionGame {
   CollisionOutcome run(const std::vector<std::uint32_t>& requesters,
                        std::uint64_t seed);
 
+  /// Timestamp stamped onto trace events of subsequent run() calls (games
+  /// are standalone, so the caller supplies the simulation step).
+  void set_trace_time(std::uint64_t step) { trace_time_ = step; }
+
   /// The round budget the paper prescribes for this n and config.
   [[nodiscard]] std::uint32_t paper_round_bound() const;
 
@@ -79,6 +88,7 @@ class CollisionGame {
   std::vector<std::uint32_t> accepted_total_;
   std::vector<std::uint32_t> accepted_stamp_;
   std::uint32_t stamp_ = 0;
+  std::uint64_t trace_time_ = 0;
 };
 
 }  // namespace clb::collision

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/views.hpp"
 #include "rng/dist.hpp"
 #include "rng/philox.hpp"
 #include "rng/splitmix64.hpp"
@@ -27,7 +28,9 @@ void ThresholdBalancer::on_reset(sim::Engine& engine) {
   CLB_CHECK(engine.n() == cfg_.params.n,
             "balancer was parameterised for a different n");
   ensure_arrays(engine.n());
-  game_ = std::make_unique<collision::CollisionGame>(engine.n(), cfg_.game);
+  collision::CollisionConfig game_cfg = cfg_.game;
+  game_cfg.trace = cfg_.trace;
+  game_ = std::make_unique<collision::CollisionGame>(engine.n(), game_cfg);
   last_phase_ = PhaseStats{};
   open_phase_ = PhaseStats{};
   phase_open_ = false;
@@ -111,6 +114,7 @@ void ThresholdBalancer::begin_phase(sim::Engine& engine) {
   open_phase_ = PhaseStats{};
   open_phase_.phase_index = phase_count_++;
   open_phase_.start_step = engine.step();
+  phase_attributed_msgs_ = 0;
   phase_open_ = true;
   levels_run_ = 0;
 
@@ -130,6 +134,9 @@ void ThresholdBalancer::begin_phase(sim::Engine& engine) {
   }
   open_phase_.num_heavy = heavy_.size();
   open_phase_.messages = engine.mutable_messages().protocol_total();
+  CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kPhaseBegin, engine.step(), 0, 0,
+                  open_phase_.phase_index, open_phase_.num_heavy,
+                  open_phase_.num_light);
 
   nodes_.clear();
   if (heavy_.empty()) return;
@@ -155,6 +162,7 @@ void ThresholdBalancer::run_preround(sim::Engine& engine) {
     auto q = static_cast<std::uint32_t>(rng::bounded(rng, n));
     if (q == h) q = (q + 1) % static_cast<std::uint32_t>(n);
     ++msg.control;
+    ++phase_attributed_msgs_;
     hits.emplace_back(q, h);
   }
   std::sort(hits.begin(), hits.end());
@@ -165,10 +173,13 @@ void ThresholdBalancer::run_preround(sim::Engine& engine) {
     if (j - i == 1 && light_at_phase_start(q) && !assigned(q)) {
       set_assigned(q);
       ++msg.id_messages;
+      ++phase_attributed_msgs_;
       const std::uint32_t h = hits[i].second;
       set_matched(h, q);
       issue_transfer(engine, h, q);
       ++open_phase_.preround_matched;
+      CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kPreroundMatch,
+                      engine.step(), h, q, open_phase_.phase_index);
     }
     i = j;
   }
@@ -181,6 +192,9 @@ void ThresholdBalancer::run_levels(sim::Engine& engine, std::uint32_t count) {
 
   auto deliver_id = [&](std::uint32_t root, std::uint32_t partner) {
     ++msg.id_messages;
+    ++phase_attributed_msgs_;
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kIdMessage, engine.step(),
+                    root, partner, open_phase_.phase_index, levels_run_);
     if (!matched(root)) {
       set_matched(root, partner);
       issue_transfer(engine, root, partner);
@@ -206,10 +220,15 @@ void ThresholdBalancer::run_levels(sim::Engine& engine, std::uint32_t count) {
     const std::uint64_t game_seed = rng::hash_combine(
         rng::hash_combine(engine.seed(), kGameSalt),
         rng::hash_combine(open_phase_.phase_index, level));
+    game_->set_trace_time(engine.step());
     const auto outcome = game_->run(requesters_, game_seed);
     open_phase_.collision_rounds += outcome.rounds_used;
     msg.queries += outcome.query_messages;
     msg.accepts += outcome.accept_messages;
+    phase_attributed_msgs_ += outcome.query_messages + outcome.accept_messages;
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kTreeLevel, engine.step(),
+                    level, 0, nodes_.size(), outcome.rounds_used,
+                    outcome.query_messages + outcome.accept_messages);
 
     next_nodes_.clear();
     for (std::size_t idx = 0; idx < nodes_.size(); ++idx) {
@@ -231,6 +250,7 @@ void ThresholdBalancer::run_levels(sim::Engine& engine, std::uint32_t count) {
       // non-applicative (checked via the parent: two control messages).
       if (k == 2 && !applicative[0] && !applicative[1]) {
         msg.control += 2;
+        phase_attributed_msgs_ += 2;
         if (!cfg_.prune_satisfied || !matched(root)) {
           next_nodes_.push_back(Node{children[0], root});
           next_nodes_.push_back(Node{children[1], root});
@@ -262,6 +282,17 @@ void ThresholdBalancer::finalize_phase(sim::Engine& engine) {
   }
   open_phase_.messages =
       engine.mutable_messages().protocol_total() - open_phase_.messages;
+  // Accounting-drift guard: everything this balancer charged to the phase
+  // must equal the global protocol-counter delta over the same window. A
+  // mismatch means some call site bumped MessageCounters without phase
+  // attribution (or vice versa), which would silently corrupt the §1.2
+  // messages-per-phase measurements.
+  CLB_DCHECK(open_phase_.messages == phase_attributed_msgs_,
+             "per-phase message attribution drifted from global counters");
+  CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kPhaseEnd, engine.step(), 0, 0,
+                  open_phase_.phase_index, open_phase_.matched_heavy,
+                  open_phase_.unmatched_heavy);
+  if (cfg_.metrics != nullptr) obs::record_phase(*cfg_.metrics, open_phase_);
   last_phase_ = open_phase_;
   agg_.absorb(open_phase_);
   phase_open_ = false;

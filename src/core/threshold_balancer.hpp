@@ -47,6 +47,8 @@
 #include "collision/collision.hpp"
 #include "core/params.hpp"
 #include "core/phase_stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/balancer.hpp"
 #include "stats/histogram.hpp"
 
@@ -70,6 +72,14 @@ struct ThresholdBalancerConfig {
   /// weight reaches `transfer_amount`. Thresholds in `params` are then in
   /// weight units — construct them with Fractions::scale = mean task weight.
   bool weight_based = false;
+  /// Optional event-trace sink (borrowed; must outlive the balancer):
+  /// phase begin/end, per-level search summaries, id messages, pre-round
+  /// matches. Also handed to the embedded collision game for per-round
+  /// events.
+  obs::TraceSink* trace = nullptr;
+  /// Optional metrics registry (borrowed): each finalised phase feeds the
+  /// core.phase.* distribution histograms (obs::record_phase).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ThresholdBalancer final : public sim::Balancer {
@@ -123,6 +133,10 @@ class ThresholdBalancer final : public sim::Balancer {
   std::unique_ptr<collision::CollisionGame> game_;
   PhaseStats last_phase_;
   PhaseStats open_phase_;
+  /// Protocol messages this balancer attributed to the open phase; checked
+  /// in debug builds against the global-counter delta at finalisation
+  /// (guards PhaseStats::messages against accounting drift).
+  std::uint64_t phase_attributed_msgs_ = 0;
   bool phase_open_ = false;
   std::uint32_t levels_run_ = 0;
   AggregateStats agg_;

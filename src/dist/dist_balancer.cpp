@@ -88,15 +88,19 @@ void DistThresholdBalancer::start_phase(sim::Engine& engine) {
   ++phase_index_;
 
   heavy_.clear();
+  [[maybe_unused]] std::uint64_t num_light = 0;
   for (std::uint64_t p = 0; p < n; ++p) {
     const std::uint64_t load = engine.load(p);
     if (load >= pp.heavy_threshold) {
       heavy_.push_back(static_cast<std::uint32_t>(p));
     } else if (load <= pp.light_threshold) {
       light_stamp_[p] = epoch_;
+      ++num_light;
     }
   }
   stats_.heavy_per_phase.add(static_cast<double>(heavy_.size()));
+  CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kPhaseBegin, engine.step(), 0, 0,
+                  phase_index_, heavy_.size(), num_light);
   for (const std::uint32_t h : heavy_) {
     engine.note_balance_initiation(h);
     start_request(engine, h, h, 1);
@@ -152,6 +156,8 @@ void DistThresholdBalancer::send_pending_queries(sim::Engine& engine,
     net_->send(Message{MsgKind::kQuery, proc, r.targets[j], r.root, r.level},
                engine.step());
     ++msg.queries;
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kQuery, engine.step(), proc,
+                    r.targets[j], phase_index_, r.level);
     worst_delay = std::max(worst_delay, net_->delay(proc, r.targets[j]));
   }
   r.await_until = engine.step() + 2ULL * worst_delay;
@@ -178,11 +184,15 @@ void DistThresholdBalancer::handle_query_batch(sim::Engine& engine,
       net_->send(Message{MsgKind::kId, target, q.payload_a, 0, 0},
                  engine.step());
       ++mc.id_messages;
+      CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kIdMessage, engine.step(),
+                      q.payload_a, target, phase_index_, q.payload_b);
     }
     net_->send(Message{MsgKind::kAccept, target, q.from, q.payload_a,
                        applicative ? 1u : 0u},
                engine.step());
     ++mc.accepts;
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kAccept, engine.step(), target,
+                    q.from, phase_index_, q.payload_b);
   }
 }
 
@@ -296,15 +306,21 @@ void DistThresholdBalancer::finish_phase(sim::Engine& engine, bool forced) {
     active_list_.clear();
     net_->reset();
   }
+  [[maybe_unused]] std::uint64_t phase_matched = 0;
+  [[maybe_unused]] std::uint64_t phase_unmatched = 0;
   for (const std::uint32_t h : heavy_) {
     if (matched(h)) {
       ++stats_.matched;
+      ++phase_matched;
     } else {
       ++stats_.unmatched;
+      ++phase_unmatched;
     }
   }
   stats_.phase_duration.add(
       static_cast<double>(engine.step() - phase_start_step_));
+  CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kPhaseEnd, engine.step(), 0, 0,
+                  phase_index_, phase_matched, phase_unmatched);
   phase_state_ = PhaseState::kIdle;
   next_phase_step_ = engine.step() + cfg_.phase_gap;
 }

@@ -32,6 +32,7 @@
 #include "core/params.hpp"
 #include "dist/network.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/balancer.hpp"
 #include "stats/moments.hpp"
 
@@ -53,6 +54,10 @@ struct DistConfig {
   /// Failsafe phase duration; 0 derives a generous bound from depth, the
   /// Lemma 1 round budget and the latency.
   std::uint64_t max_phase_steps = 0;
+  /// Optional event-trace sink (borrowed): phase begin/end plus one event
+  /// per Query/Accept/Id actually put on the fabric (sampled under the
+  /// sink's sample_every — these are the high-rate kinds).
+  obs::TraceSink* trace = nullptr;
 };
 
 struct DistStats {

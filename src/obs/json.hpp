@@ -1,0 +1,175 @@
+// Minimal streaming JSON writer used by the observability emitters.
+//
+// The repo deliberately has no third-party JSON dependency; the obs layer
+// only ever *writes* JSON (traces, metrics, manifests), and the writer below
+// is enough for that: objects, arrays, escaped strings, integers, doubles
+// (non-finite values become null, which keeps the output standard JSON).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <system_error>
+#include <vector>
+
+namespace clb::obs {
+
+/// Appends `s` to `out` as a quoted, escaped JSON string literal.
+inline void json_append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Streaming writer: begin/end containers, `key` inside objects, `value`
+/// anywhere a value is legal. Comma placement is handled automatically.
+/// Usage errors (value with no key inside an object, unbalanced ends) are
+/// the caller's responsibility — this is an internal building block.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view name) {
+    comma();
+    json_append_escaped(out_, name);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    json_append_escaped(out_, v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    if (v != v || v > 1.7e308 || v < -1.7e308) {  // NaN / +-inf
+      out_ += "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& null() {
+    comma();
+    out_ += "null";
+    return *this;
+  }
+  /// Splices a pre-encoded JSON fragment in value position.
+  JsonWriter& raw(std::string_view fragment) {
+    comma();
+    out_ += fragment;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& member(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    need_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    if (!need_comma_.empty()) need_comma_.pop_back();
+    if (!need_comma_.empty()) need_comma_.back() = true;
+    pending_key_ = false;
+    return *this;
+  }
+  void comma() {
+    if (pending_key_) {
+      // Value completes the key; the container's comma state was already
+      // advanced when the key was written.
+      pending_key_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ',';
+      need_comma_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;
+};
+
+/// Writes `content` to `path`, creating parent directories as needed;
+/// returns false (with a stderr warning) on failure. All obs emitters
+/// funnel through this.
+inline bool write_text_file(const std::string& path,
+                            const std::string& content) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                  content.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace clb::obs

@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace clb::obs {
+
+MetricsRegistry::Entry& MetricsRegistry::get_or_create(std::string_view name,
+                                                       Kind kind) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{kind, 0, 0, nullptr,
+                                                   nullptr, nullptr})
+             .first;
+    if (kind == Kind::kHistogram) {
+      it->second.hist = std::make_unique<stats::IntHistogram>();
+    }
+    return it->second;
+  }
+  // Re-registration is idempotent only for the same kind; a name changing
+  // kind (including owned <-> view) means two call sites disagree about
+  // what the metric is.
+  CLB_CHECK(it->second.kind == kind,
+            "metric re-registered with a different kind");
+  return it->second;
+}
+
+std::uint64_t& MetricsRegistry::counter(std::string_view name) {
+  return get_or_create(name, Kind::kCounter).u64;
+}
+
+double& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_create(name, Kind::kGauge).f64;
+}
+
+stats::IntHistogram& MetricsRegistry::histogram(std::string_view name) {
+  return *get_or_create(name, Kind::kHistogram).hist;
+}
+
+void MetricsRegistry::expose_counter(std::string_view name,
+                                     const std::uint64_t* source) {
+  CLB_CHECK(source != nullptr, "expose_counter needs a source");
+  get_or_create(name, Kind::kCounterView).u64_source = source;
+}
+
+void MetricsRegistry::expose_gauge(std::string_view name,
+                                   std::function<double()> source) {
+  CLB_CHECK(source != nullptr, "expose_gauge needs a source");
+  get_or_create(name, Kind::kGaugeView).f64_source = std::move(source);
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const auto it = entries_.find(name);
+  CLB_CHECK(it != entries_.end(), "unknown counter");
+  const Entry& e = it->second;
+  if (e.kind == Kind::kCounter) return e.u64;
+  CLB_CHECK(e.kind == Kind::kCounterView, "metric is not a counter");
+  return *e.u64_source;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const auto it = entries_.find(name);
+  CLB_CHECK(it != entries_.end(), "unknown gauge");
+  const Entry& e = it->second;
+  if (e.kind == Kind::kGauge) return e.f64;
+  CLB_CHECK(e.kind == Kind::kGaugeView, "metric is not a gauge");
+  return e.f64_source();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, e] : entries_) {
+    if (e.kind == Kind::kCounter) {
+      w.member(name, e.u64);
+    } else if (e.kind == Kind::kCounterView) {
+      w.member(name, *e.u64_source);
+    }
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, e] : entries_) {
+    if (e.kind == Kind::kGauge) {
+      w.member(name, e.f64);
+    } else if (e.kind == Kind::kGaugeView) {
+      w.member(name, e.f64_source());
+    }
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, e] : entries_) {
+    if (e.kind != Kind::kHistogram) continue;
+    const stats::IntHistogram& h = *e.hist;
+    w.key(name).begin_object();
+    w.member("count", h.total());
+    w.member("mean", h.mean());
+    w.member("p50", h.quantile(0.50));
+    w.member("p90", h.quantile(0.90));
+    w.member("p99", h.quantile(0.99));
+    w.member("p999", h.quantile(0.999));
+    w.member("max", h.max_value());
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  return write_text_file(path, to_json());
+}
+
+}  // namespace clb::obs

@@ -1,0 +1,86 @@
+// Named metrics registry: counters, gauges, histograms, and zero-copy
+// "views" over counters that live elsewhere.
+//
+// The simulator's hot structs (sim::MessageCounters, core::PhaseStats)
+// remain the storage — balancers keep bumping plain uint64 fields exactly as
+// before, so instrumentation adds no indirection to hot paths. The registry
+// gives those quantities *names* and one machine-readable export:
+//
+//   * counter(name) / gauge(name) / histogram(name) — owned metrics,
+//     create-or-get: the same name always returns the same object, so
+//     re-registration is idempotent (and a name may never change kind —
+//     that is a CLB_CHECK failure, it means two call sites disagree about
+//     what the metric is).
+//   * expose_counter / expose_gauge — register a *view*: the registry
+//     stores a pointer/closure and reads the live value at export time.
+//     obs/views.hpp uses this to absorb MessageCounters, AggregateStats and
+//     engine aggregates wholesale. The referenced object must outlive every
+//     export.
+//
+// Export is a single JSON object {counters, gauges, histograms}; histograms
+// carry count/mean/p50/p90/p99/p999/max built on stats::IntHistogram's
+// quantile machinery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "stats/histogram.hpp"
+
+namespace clb::obs {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Create-or-get an owned counter. The returned reference stays valid for
+  /// the registry's lifetime (map nodes are stable).
+  std::uint64_t& counter(std::string_view name);
+  /// Create-or-get an owned gauge.
+  double& gauge(std::string_view name);
+  /// Create-or-get an owned histogram.
+  stats::IntHistogram& histogram(std::string_view name);
+
+  /// Registers a live view over an external counter; `source` must outlive
+  /// every export. Re-exposing the same name just swaps the source.
+  void expose_counter(std::string_view name, const std::uint64_t* source);
+  /// Registers a live computed gauge (e.g. a derived ratio).
+  void expose_gauge(std::string_view name, std::function<double()> source);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Current value of any counter-kind entry (owned or view).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  /// Current value of any gauge-kind entry (owned or view).
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCounterView, kGaugeView };
+
+  struct Entry {
+    Kind kind;
+    std::uint64_t u64 = 0;
+    double f64 = 0;
+    std::unique_ptr<stats::IntHistogram> hist;
+    const std::uint64_t* u64_source = nullptr;
+    std::function<double()> f64_source;
+  };
+
+  Entry& get_or_create(std::string_view name, Kind kind);
+
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace clb::obs

@@ -1,0 +1,52 @@
+#include "obs/recorder.hpp"
+
+namespace clb::obs {
+
+std::string jsonl_sibling(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + ".jsonl";
+  }
+  return path.substr(0, dot) + ".jsonl";
+}
+
+Recorder::Recorder(RecorderConfig cfg)
+    : cfg_(std::move(cfg)),
+      sink_(TraceSinkConfig{!cfg_.trace_path.empty(), cfg_.trace_sample}),
+      manifest_(cfg_.tool) {
+  manifest_.set_command(cfg_.command);
+  if (cfg_.trace_sample > 1) {
+    manifest_.set_param("trace_sample",
+                        static_cast<std::uint64_t>(cfg_.trace_sample));
+  }
+}
+
+bool Recorder::active() const {
+  return !cfg_.trace_path.empty() || !cfg_.metrics_path.empty() ||
+         !cfg_.manifest_path.empty();
+}
+
+bool Recorder::finish() {
+  if (finished_) return true;
+  finished_ = true;
+  bool ok = true;
+  if (!cfg_.trace_path.empty()) {
+    const std::string jsonl = jsonl_sibling(cfg_.trace_path);
+    ok &= sink_.write_chrome_trace(cfg_.trace_path);
+    ok &= sink_.write_jsonl(jsonl);
+    manifest_.add_output("chrome_trace", cfg_.trace_path);
+    manifest_.add_output("jsonl_trace", jsonl);
+  }
+  if (!cfg_.metrics_path.empty()) {
+    ok &= metrics_.write_json(cfg_.metrics_path);
+    manifest_.add_output("metrics", cfg_.metrics_path);
+  }
+  if (!cfg_.manifest_path.empty()) {
+    manifest_.set_wall_seconds(watch_.elapsed_seconds());
+    ok &= manifest_.write(cfg_.manifest_path);
+  }
+  return ok;
+}
+
+}  // namespace clb::obs

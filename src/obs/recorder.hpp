@@ -1,0 +1,71 @@
+// One-stop observability bundle for a run: owns a TraceSink, a
+// MetricsRegistry and a Manifest, knows the requested output paths, and
+// writes everything in finish().
+//
+// Benches construct one Recorder from their --trace/--metrics-json/
+// --manifest flags (bench::ObsFlags), hand `trace()` to the engine and
+// balancer configs, record parameters into `manifest()`, and call finish()
+// before exiting. Components never know about paths; the Recorder never
+// knows about protocol internals.
+//
+// Path conventions: --trace=PATH writes the Chrome trace at PATH and the
+// JSONL twin next to it (PATH with its extension swapped to .jsonl). The
+// manifest lists every file actually written.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+namespace clb::obs {
+
+struct RecorderConfig {
+  std::string tool;                  ///< manifest tool name
+  std::vector<std::string> command;  ///< full argv for replay
+  std::string trace_path;            ///< "" = tracing off
+  std::string metrics_path;          ///< "" = no metrics file
+  std::string manifest_path;         ///< "" = no manifest
+  std::uint32_t trace_sample = 1;    ///< TraceSinkConfig::sample_every
+};
+
+/// PATH with its extension swapped to .jsonl ("runs/a.json" -> "runs/a.jsonl",
+/// "trace" -> "trace.jsonl").
+[[nodiscard]] std::string jsonl_sibling(const std::string& path);
+
+class Recorder {
+ public:
+  explicit Recorder(RecorderConfig cfg);
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// The sink to wire into Engine/balancer configs. Always non-null; it is
+  /// enabled iff a trace path was requested, so callers can pass it along
+  /// unconditionally.
+  [[nodiscard]] TraceSink* trace() { return &sink_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] Manifest& manifest() { return manifest_; }
+
+  /// True when any output file was requested.
+  [[nodiscard]] bool active() const;
+
+  /// Writes every requested output (trace JSONL + Chrome, metrics JSON,
+  /// manifest JSON — manifest last so it can list the others) and stamps
+  /// wall time. Idempotent; returns false if any write failed.
+  bool finish();
+
+ private:
+  RecorderConfig cfg_;
+  TraceSink sink_;
+  MetricsRegistry metrics_;
+  Manifest manifest_;
+  util::Stopwatch watch_;
+  bool finished_ = false;
+};
+
+}  // namespace clb::obs

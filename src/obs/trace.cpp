@@ -1,0 +1,269 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/json.hpp"
+
+namespace clb::obs {
+
+namespace {
+
+std::uint64_t next_sink_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+// Field names per kind, in (proc, peer, v0, v1, v2) order; nullptr = omit.
+struct KindSchema {
+  const char* name;
+  const char* proc;
+  const char* peer;
+  const char* v0;
+  const char* v1;
+  const char* v2;
+};
+
+constexpr KindSchema kSchemas[] = {
+    {"phase_begin", nullptr, nullptr, "phase", "heavy", "light"},
+    {"phase_end", nullptr, nullptr, "phase", "matched", "unmatched"},
+    {"tree_level", "level", nullptr, "requests", "rounds", "messages"},
+    {"collision_round", "round", nullptr, "active", "queries", "accepts"},
+    {"query", "src", "dst", "phase", "level", nullptr},
+    {"accept", "src", "dst", "phase", "level", nullptr},
+    {"id_message", "root", "partner", "phase", "level", nullptr},
+    {"transfer", "from", "to", "count", nullptr, nullptr},
+    {"preround_match", "root", "partner", "phase", nullptr, nullptr},
+};
+static_assert(sizeof(kSchemas) / sizeof(kSchemas[0]) ==
+                  static_cast<std::size_t>(EventKind::kKindCount_),
+              "every EventKind needs a schema row");
+
+const KindSchema& schema_of(EventKind kind) {
+  return kSchemas[static_cast<std::size_t>(kind)];
+}
+
+// Chrome trace thread ids: one visual track per event family.
+constexpr int kTidPhases = 0;
+constexpr int kTidSearch = 1;
+constexpr int kTidMessages = 2;
+constexpr int kTidTransfers = 3;
+
+int chrome_tid(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPhaseBegin:
+    case EventKind::kPhaseEnd:
+      return kTidPhases;
+    case EventKind::kTreeLevel:
+    case EventKind::kCollisionRound:
+      return kTidSearch;
+    case EventKind::kTransfer:
+      return kTidTransfers;
+    default:
+      return kTidMessages;
+  }
+}
+
+void append_args(JsonWriter& w, const TraceEvent& e) {
+  const KindSchema& s = schema_of(e.kind);
+  w.begin_object();
+  if (s.proc != nullptr) w.member(s.proc, static_cast<std::uint64_t>(e.proc));
+  if (s.peer != nullptr) w.member(s.peer, static_cast<std::uint64_t>(e.peer));
+  if (s.v0 != nullptr) w.member(s.v0, e.v0);
+  if (s.v1 != nullptr) w.member(s.v1, e.v1);
+  if (s.v2 != nullptr) w.member(s.v2, e.v2);
+  w.end_object();
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  return schema_of(kind).name;
+}
+
+TraceSink::TraceSink(TraceSinkConfig cfg) : cfg_(cfg), id_(next_sink_id()) {
+  if (cfg_.sample_every == 0) cfg_.sample_every = 1;
+}
+
+TraceSink::Buffer& TraceSink::local_buffer() {
+  // Per-thread cache of (sink id -> buffer). Sink ids are process-unique,
+  // so a stale entry for a destroyed sink can never be matched by a new
+  // one. Linear scan: a thread talks to very few distinct sinks.
+  thread_local std::vector<std::pair<std::uint64_t, Buffer*>> cache;
+  for (const auto& [id, buf] : cache) {
+    if (id == id_) return *buf;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer* buf = buffers_.back().get();
+  cache.emplace_back(id_, buf);
+  return *buf;
+}
+
+std::uint64_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_) total += b->events.size();
+  return total;
+}
+
+std::uint64_t TraceSink::events_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_) total += b->seen;
+  return total;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t total = 0;
+    for (const auto& b : buffers_) total += b->events.size();
+    all.reserve(total);
+    for (const auto& b : buffers_) {
+      all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.step < b.step;
+                   });
+  return all;
+}
+
+void TraceSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& b : buffers_) {
+    b->events.clear();
+    b->seen = 0;
+  }
+}
+
+std::string TraceSink::to_jsonl() const {
+  std::string out;
+  for (const TraceEvent& e : snapshot()) {
+    JsonWriter w;
+    w.begin_object();
+    w.member("kind", event_kind_name(e.kind));
+    w.member("step", e.step);
+    const KindSchema& s = schema_of(e.kind);
+    if (s.proc != nullptr) w.member(s.proc, static_cast<std::uint64_t>(e.proc));
+    if (s.peer != nullptr) w.member(s.peer, static_cast<std::uint64_t>(e.peer));
+    if (s.v0 != nullptr) w.member(s.v0, e.v0);
+    if (s.v1 != nullptr) w.member(s.v1, e.v1);
+    if (s.v2 != nullptr) w.member(s.v2, e.v2);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+bool TraceSink::write_jsonl(const std::string& path) const {
+  return write_text_file(path, to_jsonl());
+}
+
+std::string TraceSink::to_chrome_trace() const {
+  const std::vector<TraceEvent> events = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  auto meta = [&w](const char* name, int tid, const char* label) {
+    w.begin_object();
+    w.member("name", name);
+    w.member("ph", "M");
+    w.member("pid", 0);
+    w.member("tid", tid);
+    w.key("args").begin_object().member("name", label).end_object();
+    w.end_object();
+  };
+  meta("process_name", 0, "clb simulation");
+  meta("thread_name", kTidPhases, "phases");
+  meta("thread_name", kTidSearch, "partner search");
+  meta("thread_name", kTidMessages, "protocol messages");
+  meta("thread_name", kTidTransfers, "task transfers");
+
+  // Pair phase begin/end events (they are sequential per run) into complete
+  // ("X") slices; an unpaired trailing begin gets a 1-step slice.
+  bool phase_open = false;
+  TraceEvent open_begin{};
+  auto flush_phase = [&](const TraceEvent* end) {
+    if (!phase_open) return;
+    const std::uint64_t end_step =
+        end != nullptr ? std::max(end->step, open_begin.step + 1)
+                       : open_begin.step + 1;
+    w.begin_object();
+    w.member("name", "phase " + std::to_string(open_begin.v0));
+    w.member("cat", "phase");
+    w.member("ph", "X");
+    w.member("ts", open_begin.step);
+    w.member("dur", end_step - open_begin.step);
+    w.member("pid", 0);
+    w.member("tid", kTidPhases);
+    w.key("args").begin_object();
+    w.member("phase", open_begin.v0);
+    w.member("heavy", open_begin.v1);
+    w.member("light", open_begin.v2);
+    if (end != nullptr) {
+      w.member("matched", end->v1);
+      w.member("unmatched", end->v2);
+    }
+    w.end_object();
+    w.end_object();
+    phase_open = false;
+  };
+
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kPhaseBegin: {
+        flush_phase(nullptr);  // defensive: back-to-back begins
+        phase_open = true;
+        open_begin = e;
+        // Classification counter track alongside the slice.
+        w.begin_object();
+        w.member("name", "classification");
+        w.member("ph", "C");
+        w.member("ts", e.step);
+        w.member("pid", 0);
+        w.member("tid", kTidPhases);
+        w.key("args").begin_object();
+        w.member("heavy", e.v1);
+        w.member("light", e.v2);
+        w.end_object();
+        w.end_object();
+        break;
+      }
+      case EventKind::kPhaseEnd:
+        flush_phase(&e);
+        break;
+      default: {
+        w.begin_object();
+        w.member("name", event_kind_name(e.kind));
+        w.member("cat", event_kind_name(e.kind));
+        w.member("ph", "i");
+        w.member("s", "t");
+        w.member("ts", e.step);
+        w.member("pid", 0);
+        w.member("tid", chrome_tid(e.kind));
+        w.key("args");
+        append_args(w, e);
+        w.end_object();
+        break;
+      }
+    }
+  }
+  flush_phase(nullptr);
+
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool TraceSink::write_chrome_trace(const std::string& path) const {
+  return write_text_file(path, to_chrome_trace());
+}
+
+}  // namespace clb::obs

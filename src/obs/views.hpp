@@ -1,0 +1,117 @@
+// Bridges between the simulator's hot accounting structs and the metrics
+// registry.
+//
+// sim::MessageCounters and core::PhaseStats/AggregateStats stay plain
+// structs — the hot paths keep bumping raw uint64 fields — and the registry
+// absorbs them either as
+//
+//   * live views (`expose_*`): the registry reads the struct at export
+//     time; zero copies, but the struct must outlive every export. Use for
+//     objects that live for the whole run.
+//   * snapshots (`snapshot_*`): one-time copies under a name prefix. Use
+//     inside sweep loops where the engine dies before the recorder.
+//
+// Header-only on purpose: it depends on sim/ and core/ headers, while the
+// compiled clb_obs library stays at the bottom of the dependency stack
+// (sim and core link *against* clb_obs for tracing).
+#pragma once
+
+#include <string>
+
+#include "core/phase_stats.hpp"
+#include "obs/metrics.hpp"
+#include "sim/counters.hpp"
+#include "sim/engine.hpp"
+
+namespace clb::obs {
+
+/// Live view over a MessageCounters instance (every field plus the derived
+/// protocol_total). `c` must outlive every registry export.
+inline void expose_message_counters(MetricsRegistry& m,
+                                    const sim::MessageCounters& c,
+                                    const std::string& prefix =
+                                        "sim.messages.") {
+  m.expose_counter(prefix + "queries", &c.queries);
+  m.expose_counter(prefix + "accepts", &c.accepts);
+  m.expose_counter(prefix + "id_messages", &c.id_messages);
+  m.expose_counter(prefix + "control", &c.control);
+  m.expose_counter(prefix + "transfers", &c.transfers);
+  m.expose_counter(prefix + "tasks_moved", &c.tasks_moved);
+  m.expose_gauge(prefix + "protocol_total", [&c] {
+    return static_cast<double>(c.protocol_total());
+  });
+}
+
+/// Live view over a balancer's aggregate phase statistics. `a` must outlive
+/// every registry export.
+inline void expose_aggregate_stats(MetricsRegistry& m,
+                                   const core::AggregateStats& a,
+                                   const std::string& prefix =
+                                       "core.phases.") {
+  m.expose_counter(prefix + "count", &a.phases);
+  m.expose_counter(prefix + "with_heavy", &a.phases_with_heavy);
+  m.expose_counter(prefix + "matched", &a.total_matched);
+  m.expose_counter(prefix + "unmatched", &a.total_unmatched);
+  m.expose_counter(prefix + "preround_matched", &a.total_preround_matched);
+  m.expose_counter(prefix + "failed_requests", &a.total_failed_requests);
+  m.expose_counter(prefix + "max_levels", &a.max_levels_used);
+  m.expose_gauge(prefix + "heavy_mean",
+                 [&a] { return a.heavy_per_phase.mean(); });
+  m.expose_gauge(prefix + "light_mean",
+                 [&a] { return a.light_per_phase.mean(); });
+  m.expose_gauge(prefix + "messages_mean",
+                 [&a] { return a.messages_per_phase.mean(); });
+  m.expose_gauge(prefix + "requests_per_heavy_mean",
+                 [&a] { return a.requests_per_heavy.mean(); });
+  m.expose_gauge(prefix + "match_rate_mean",
+                 [&a] { return a.match_rate.mean(); });
+}
+
+/// Live view over an engine's counters and load aggregates. `e` must
+/// outlive every registry export.
+inline void expose_engine(MetricsRegistry& m, const sim::Engine& e,
+                          const std::string& prefix = "sim.engine.") {
+  expose_message_counters(m, e.messages(), prefix + "messages.");
+  m.expose_gauge(prefix + "total_load",
+                 [&e] { return static_cast<double>(e.total_load()); });
+  m.expose_gauge(prefix + "step_max_load",
+                 [&e] { return static_cast<double>(e.step_max_load()); });
+  m.expose_gauge(prefix + "running_max_load",
+                 [&e] { return static_cast<double>(e.running_max_load()); });
+  m.expose_gauge(prefix + "locality", [&e] { return e.locality_fraction(); });
+  m.expose_gauge(prefix + "steps",
+                 [&e] { return static_cast<double>(e.step()); });
+}
+
+/// Point-in-time copy of an engine's headline quantities under `prefix`
+/// (safe after the engine is destroyed).
+inline void snapshot_engine(MetricsRegistry& m, const sim::Engine& e,
+                            const std::string& prefix) {
+  const sim::MessageCounters& c = e.messages();
+  m.counter(prefix + "messages.queries") = c.queries;
+  m.counter(prefix + "messages.accepts") = c.accepts;
+  m.counter(prefix + "messages.id_messages") = c.id_messages;
+  m.counter(prefix + "messages.control") = c.control;
+  m.counter(prefix + "messages.transfers") = c.transfers;
+  m.counter(prefix + "messages.tasks_moved") = c.tasks_moved;
+  m.counter(prefix + "messages.protocol_total") = c.protocol_total();
+  m.counter(prefix + "steps") = e.step();
+  m.counter(prefix + "total_generated") = e.total_generated();
+  m.counter(prefix + "total_consumed") = e.total_consumed();
+  m.counter(prefix + "running_max_load") = e.running_max_load();
+  m.gauge(prefix + "locality") = e.locality_fraction();
+}
+
+/// Feeds one finalised phase into per-phase distribution histograms. The
+/// threshold balancer calls this when a MetricsRegistry is attached.
+inline void record_phase(MetricsRegistry& m, const core::PhaseStats& p,
+                         const std::string& prefix = "core.phase.") {
+  m.histogram(prefix + "heavy").add(p.num_heavy);
+  m.histogram(prefix + "light").add(p.num_light);
+  m.histogram(prefix + "requests").add(p.requests);
+  m.histogram(prefix + "messages").add(p.messages);
+  m.histogram(prefix + "collision_rounds").add(p.collision_rounds);
+  m.histogram(prefix + "levels_used").add(p.levels_used);
+}
+
+}  // namespace clb::obs

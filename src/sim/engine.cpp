@@ -103,6 +103,8 @@ void Engine::apply_transfers() {
     dst.tasks_received += count;
     ++msg_.transfers;
     msg_.tasks_moved += count;
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kTransfer, step_, t.from, t.to,
+                    count);
   }
   pending_.clear();
 }

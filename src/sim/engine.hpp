@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/balancer.hpp"
 #include "sim/counters.hpp"
 #include "sim/model.hpp"
@@ -38,6 +39,9 @@ struct EngineConfig {
   /// Record task sojourn (waiting) times into a histogram. Costs one
   /// histogram update per consumed task and forces the serial path.
   bool track_sojourn = false;
+  /// Optional event-trace sink (borrowed; must outlive the engine). Null or
+  /// disabled costs one pointer test per traced site; see obs/trace.hpp.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct Transfer {
@@ -100,6 +104,8 @@ class Engine {
     return procs_[p].queue.count_from_back_for_weight(weight);
   }
   [[nodiscard]] const MessageCounters& messages() const { return msg_; }
+  /// The engine's trace sink (null when tracing is not wired up).
+  [[nodiscard]] obs::TraceSink* trace() const { return cfg_.trace; }
   [[nodiscard]] const stats::IntHistogram& sojourn_histogram() const {
     return sojourn_;
   }

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validates a run's observability outputs end to end.
+
+Run by ctest (obs_trace_check) against files produced by a real bench
+invocation, and usable by hand against any run:
+
+    tools/check_trace.py --chrome t.trace.json --jsonl t.trace.jsonl \
+                         --metrics m.json --manifest run.json
+
+Checks, per file:
+  * chrome  - parses; has displayTimeUnit + traceEvents; every event carries
+              name/ph/pid/tid/ts as Perfetto requires for its type; "X"
+              slices have dur >= 1; "i" instants have scope "t"; phase
+              slices do not overlap per thread.
+  * jsonl   - every line parses to an object with a "kind" and integer
+              "step"; steps are non-decreasing.
+  * metrics - parses; counters/gauges/histograms maps with numeric leaves;
+              histogram records carry count/mean/p50/p90/p99/p999/max.
+  * manifest- parses; schema clb.run.v1; has tool/command/build; every
+              listed output file exists on disk (next to the manifest or
+              absolute).
+
+Exit status 0 = all good, 1 = any check failed (details on stderr).
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+FAILURES: list[str] = []
+
+
+def fail(msg: str) -> None:
+    FAILURES.append(msg)
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+
+
+def load_json(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+        return None
+
+
+def check_chrome(path: str) -> None:
+    doc = load_json(path)
+    if doc is None:
+        return
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        fail(f"{path}: displayTimeUnit missing or invalid")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+        return
+    slices_by_tid: dict[tuple, list[tuple]] = {}
+    counts = {"X": 0, "i": 0, "C": 0, "M": 0}
+    for i, e in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(f"{where}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in counts:
+            fail(f"{where}: unexpected ph {ph!r}")
+            continue
+        counts[ph] += 1
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(f"{where}: missing name")
+        for k in ("pid", "tid"):
+            if not isinstance(e.get(k), int):
+                fail(f"{where}: missing integer {k}")
+        if ph == "M":
+            continue
+        if not isinstance(e.get("ts"), (int, float)):
+            fail(f"{where}: missing ts")
+            continue
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 1:
+                fail(f"{where}: X slice needs dur >= 1, got {dur!r}")
+            else:
+                key = (e.get("pid"), e.get("tid"))
+                slices_by_tid.setdefault(key, []).append((e["ts"], dur))
+        elif ph == "i" and e.get("s") != "t":
+            fail(f"{where}: instant must carry scope s='t'")
+        elif ph == "C" and not isinstance(e.get("args"), dict):
+            fail(f"{where}: counter event needs args")
+    for key, slices in slices_by_tid.items():
+        slices.sort()
+        for (ts_a, dur_a), (ts_b, _) in zip(slices, slices[1:]):
+            if ts_a + dur_a > ts_b:
+                fail(f"{path}: overlapping slices on pid/tid {key} "
+                     f"at ts={ts_a} (dur={dur_a}) and ts={ts_b}")
+                break
+    print(f"check_trace: {path}: "
+          + ", ".join(f"{v} {k}" for k, v in counts.items()))
+
+
+def check_jsonl(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+        return
+    last_step = -1
+    kinds: dict[str, int] = {}
+    for i, line in enumerate(lines, 1):
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i}: {e}")
+            return
+        if not isinstance(rec, dict) or not isinstance(rec.get("kind"), str):
+            fail(f"{path}:{i}: record needs a string 'kind'")
+            return
+        step = rec.get("step")
+        if not isinstance(step, int) or step < 0:
+            fail(f"{path}:{i}: record needs a non-negative integer 'step'")
+            return
+        if step < last_step:
+            fail(f"{path}:{i}: steps went backwards ({last_step} -> {step})")
+            return
+        last_step = step
+        kinds[rec["kind"]] = kinds.get(rec["kind"], 0) + 1
+    print(f"check_trace: {path}: {sum(kinds.values())} records, "
+          f"kinds: {dict(sorted(kinds.items()))}")
+
+
+def check_metrics(path: str) -> None:
+    doc = load_json(path)
+    if doc is None:
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: missing object section '{section}'")
+            return
+    for name, v in doc["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"{path}: counter {name} not a non-negative integer: {v!r}")
+    for name, v in doc["gauges"].items():
+        if not isinstance(v, (int, float)) and v is not None:
+            fail(f"{path}: gauge {name} not numeric/null: {v!r}")
+    required = {"count", "mean", "p50", "p90", "p99", "p999", "max"}
+    for name, h in doc["histograms"].items():
+        if not isinstance(h, dict) or not required.issubset(h):
+            fail(f"{path}: histogram {name} missing {required - set(h)}")
+    print(f"check_trace: {path}: {len(doc['counters'])} counters, "
+          f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms")
+
+
+def check_manifest(path: str) -> None:
+    doc = load_json(path)
+    if doc is None:
+        return
+    if doc.get("schema") != "clb.run.v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, want 'clb.run.v1'")
+    if not isinstance(doc.get("tool"), str) or not doc["tool"]:
+        fail(f"{path}: missing tool")
+    cmd = doc.get("command")
+    if not isinstance(cmd, list) or not all(isinstance(c, str) for c in cmd):
+        fail(f"{path}: command must be a list of strings")
+    build = doc.get("build")
+    if not isinstance(build, dict) or not isinstance(build.get("git_sha"), str):
+        fail(f"{path}: missing build provenance")
+    base = os.path.dirname(os.path.abspath(path))
+    for out in doc.get("outputs", []):
+        p = out.get("path", "")
+        resolved = p if os.path.isabs(p) else os.path.join(base, p)
+        if not os.path.exists(resolved):
+            fail(f"{path}: listed output does not exist: {p}")
+    print(f"check_trace: {path}: tool={doc.get('tool')} "
+          f"outputs={len(doc.get('outputs', []))}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--chrome", help="Chrome trace_event JSON file")
+    ap.add_argument("--jsonl", help="JSONL event trace file")
+    ap.add_argument("--metrics", help="metrics registry JSON file")
+    ap.add_argument("--manifest", help="run manifest JSON file")
+    args = ap.parse_args()
+    if not any(vars(args).values()):
+        ap.error("nothing to check; pass at least one file")
+    if args.chrome:
+        check_chrome(args.chrome)
+    if args.jsonl:
+        check_jsonl(args.jsonl)
+    if args.metrics:
+        check_metrics(args.metrics)
+    if args.manifest:
+        check_manifest(args.manifest)
+    if FAILURES:
+        print(f"check_trace: {len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("check_trace: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
