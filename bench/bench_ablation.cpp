@@ -12,7 +12,9 @@ int main(int argc, char** argv) {
   const auto n = cli.flag_u64("n", 1 << 13, "processors");
   const auto steps = cli.flag_u64("steps", 3000, "steps per run");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   auto run_cfg = [&](core::ThresholdBalancerConfig cfg, util::Table& table,
                      const std::string& label) {

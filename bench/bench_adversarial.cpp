@@ -9,7 +9,9 @@ int main(int argc, char** argv) {
   const auto n = cli.flag_u64("n", 1 << 13, "processors");
   const auto steps = cli.flag_u64("steps", 1500, "steps per run");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   util::print_banner("EXP-11  adversarial model: max load vs cap B (§1.2)");
   util::print_note("expect: balanced max ~ O(B/n + T) for every B; "

@@ -13,7 +13,15 @@ int main(int argc, char** argv) {
   const auto n = cli.flag_u64("n", 1 << 13, "processors");
   const auto steps = cli.flag_u64("steps", 4000, "steps per run");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::ObsFlags obs_flags(cli);
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
+
+  obs::Recorder rec(obs_flags.config("bench_baselines", argc, argv));
+  rec.manifest().set_seed(*seed);
+  rec.manifest().set_param("n", *n);
+  rec.manifest().set_param("steps", *steps);
 
   util::print_banner("EXP-13  all policies under Single(0.4, 0.1)");
   util::print_note("expect: threshold ~ all-in-air on max load, but with "
@@ -23,8 +31,22 @@ int main(int argc, char** argv) {
   util::Table table({"policy", "max load", "mean load", "msgs/task",
                      "moved/task", "locality", "p99 sojourn"});
 
-  auto report = [&](const std::string& name, sim::Engine& eng) {
+  // Per-policy gauges (exp13.<slug>.*) feed tools/statcheck.py's
+  // relational bands: threshold must beat all-in-air on msgs/task and
+  // locality at comparable max load (EXPERIMENTS.md, EXP-13).
+  auto report = [&](const std::string& name, const std::string& slug,
+                    sim::Engine& eng) {
     const auto tasks = eng.total_generated();
+    const std::string prefix = "exp13." + slug + ".";
+    rec.metrics().gauge(prefix + "max_load") =
+        static_cast<double>(eng.running_max_load());
+    rec.metrics().gauge(prefix + "msgs_per_task") =
+        static_cast<double>(eng.messages().protocol_total()) /
+        static_cast<double>(tasks);
+    rec.metrics().gauge(prefix + "moved_per_task") =
+        static_cast<double>(eng.messages().tasks_moved) /
+        static_cast<double>(tasks);
+    rec.metrics().gauge(prefix + "locality") = eng.locality_fraction();
     table.row()
         .cell(name)
         .cell(eng.running_max_load())
@@ -41,30 +63,31 @@ int main(int argc, char** argv) {
         .cell(eng.sojourn_histogram().quantile(0.99));
   };
 
-  auto run_with = [&](const std::string& name,
+  auto run_with = [&](const std::string& name, const std::string& slug,
                       std::unique_ptr<sim::Balancer> balancer) {
     models::SingleModel model(0.4, 0.1);
     sim::Engine eng({.n = *n, .seed = *seed, .track_sojourn = true}, &model,
                     balancer.get());
     eng.run(*steps);
-    report(name, eng);
+    report(name, slug, eng);
   };
 
-  run_with("none", nullptr);
-  run_with("threshold (ours)",
+  run_with("none", "none", nullptr);
+  run_with("threshold (ours)", "threshold",
            std::make_unique<core::ThresholdBalancer>(
                core::ThresholdBalancerConfig{
                    .params = core::PhaseParams::from_n(*n)}));
-  run_with("rsu91", std::make_unique<baselines::RsuBalancer>());
-  run_with("lm93", std::make_unique<baselines::LmBalancer>());
-  run_with("lauer95", std::make_unique<baselines::LauerBalancer>());
-  run_with("lauer95(est. avg)",
+  run_with("rsu91", "rsu91", std::make_unique<baselines::RsuBalancer>());
+  run_with("lm93", "lm93", std::make_unique<baselines::LmBalancer>());
+  run_with("lauer95", "lauer95", std::make_unique<baselines::LauerBalancer>());
+  run_with("lauer95(est. avg)", "lauer95_est_avg",
            std::make_unique<baselines::LauerBalancer>(
                baselines::LauerConfig{.estimate_average = true}));
-  run_with("random-seeking",
+  run_with("random-seeking", "random_seeking",
            std::make_unique<baselines::RandomSeekingBalancer>());
-  run_with("all-in-air", std::make_unique<baselines::AllInAirBalancer>());
-  run_with("all-in-air(2-choice)",
+  run_with("all-in-air", "all_in_air",
+           std::make_unique<baselines::AllInAirBalancer>());
+  run_with("all-in-air(2-choice)", "all_in_air_2choice",
            std::make_unique<baselines::AllInAirBalancer>(
                baselines::AllInAirConfig{.two_choice = true}));
   clb::bench::emit(table, "baselines_1");
@@ -84,5 +107,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sm.max_queue), sm.mean_sojourn,
               static_cast<double>(sm.messages) /
                   static_cast<double>(sm.arrivals));
+  rec.finish();
   return 0;
 }

@@ -12,7 +12,9 @@ int main(int argc, char** argv) {
   util::Cli cli("EXP-12: static balls-into-bins reference table");
   const auto trials = cli.flag_u64("trials", 5, "independent trials");
   const auto seed = cli.flag_u64("seed", 1, "base seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   util::print_banner("EXP-12  known results: m = n balls into n bins (§1.1)");
   util::print_note("expect: single-choice ~ log n/log log n; greedy-2 ~ "

@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   const auto beta = cli.flag_f64("beta", 0.01, "request fraction m/n");
   const auto seed = cli.flag_u64("seed", 1, "base seed");
   bench::ObsFlags obs_flags(cli);
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   obs::Recorder rec(obs_flags.config("bench_collision", argc, argv));
   rec.manifest().set_seed(*seed);

@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   const auto sizes_csv = cli.flag_str(
       "sizes", "1024,4096,16384,65536", "comma-separated machine sizes n");
   bench::ObsFlags obs_flags(cli);
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   obs::Recorder rec(obs_flags.config("bench_communication", argc, argv));
   rec.manifest().set_seed(*seed);

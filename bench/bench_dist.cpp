@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   const auto n = cli.flag_u64("n", 1 << 13, "processors");
   const auto steps = cli.flag_u64("steps", 3000, "steps per run");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   util::print_banner("EXP-19  per-processor protocol over a latency fabric");
   util::print_note("expect: max load degrades gracefully (~+latency worth "

@@ -4,6 +4,9 @@
 // Measures the per-root request distribution (one collision-game request =
 // the paper's "two balancing requests") across machine sizes, against the
 // geometric-series bound from the proof.
+//
+// With --metrics-json the per-size means land in gauges
+// exp07.n<k>.req_per_root_mean for tools/statcheck.py's flatness band.
 #include "common.hpp"
 
 int main(int argc, char** argv) {
@@ -12,7 +15,18 @@ int main(int argc, char** argv) {
   const auto steps = cli.flag_u64("steps", 3000, "steps per run");
   const auto trials = cli.flag_u64("trials", 2, "independent trials");
   const auto seed = cli.flag_u64("seed", 1, "base seed");
+  const auto sizes_csv = cli.flag_str(
+      "sizes", "1024,4096,16384,65536", "comma-separated machine sizes n");
+  bench::ObsFlags obs_flags(cli);
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
+
+  obs::Recorder rec(obs_flags.config("bench_expected_requests", argc, argv));
+  rec.manifest().set_seed(*seed);
+  rec.manifest().set_param("steps", *steps);
+  rec.manifest().set_param("sizes", *sizes_csv);
+  const std::vector<std::uint64_t> sizes = util::Cli::parse_u64_list(*sizes_csv);
 
   util::print_banner("EXP-07  requests per heavy root (Lemma 7)");
   util::print_note("expect: mean requests/root is a small constant, flat in "
@@ -20,7 +34,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"n", "mean req/root", "p50", "p99", "max",
                      "paper bound (x2 for request pairs)"});
-  for (const std::uint64_t n : bench::default_sizes()) {
+  for (const std::uint64_t n : sizes) {
     stats::IntHistogram per_root;
     bench::for_trials(*trials, *seed, [&](std::uint64_t s) {
       bench::ThresholdRun run(n, s);
@@ -32,6 +46,8 @@ int main(int argc, char** argv) {
           "-").cell("-").cell("-");
       continue;
     }
+    rec.metrics().gauge("exp07.n" + std::to_string(n) +
+                        ".req_per_root_mean") = per_root.mean();
     table.row()
         .cell(n)
         .cell(per_root.mean(), 3)
@@ -42,15 +58,16 @@ int main(int argc, char** argv) {
   }
   clb::bench::emit(table, "expected_requests_1");
 
-  // Distribution detail at one size.
-  const std::uint64_t n = 1 << 14;
+  // Distribution detail at the largest swept size.
+  const std::uint64_t n = sizes.back();
   stats::IntHistogram detail;
   bench::for_trials(*trials, *seed, [&](std::uint64_t s) {
     bench::ThresholdRun run(n, s);
     run.engine.run(*steps);
     detail.merge(run.balancer.requests_per_root());
   });
-  util::print_banner("EXP-07b  request-count distribution at n = 2^14");
+  util::print_banner("EXP-07b  request-count distribution at n = " +
+                     std::to_string(n));
   util::Table dist({"requests sent by root", "fraction of heavy roots"});
   for (std::uint64_t v = 0; v <= detail.max_value() && v <= 16; ++v) {
     if (detail.count_at(v) == 0) continue;
@@ -62,5 +79,6 @@ int main(int argc, char** argv) {
   clb::bench::emit(dist, "expected_requests_2");
   util::print_note("geometric decay by level = the active-path argument in "
                    "the Lemma 7 proof.");
+  rec.finish();
   return 0;
 }

@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   util::Cli cli("EXP-05: heavy/light processor counts (Lemma 4)");
   const auto steps = cli.flag_u64("steps", 3000, "steps per run");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   util::print_banner("EXP-05  heavy and light processors per phase (Lemma 4)");
   util::print_note("expect: heavy fraction small and shrinking with n; light "

@@ -5,6 +5,10 @@
 // same seeds. The reproduction target is the *shape*: the balanced curve is
 // flat/slowly-growing and tracks T = max(T_min, (log2 log2 n)^2), while the
 // unbalanced control grows like log n, with the gap widening in n.
+//
+// With --metrics-json the per-size results land in gauges
+// exp03.n<k>.{balanced_max_worst,T,unbalanced_max}; tools/statcheck.py
+// turns them into machine-checked tolerance bands (EXPERIMENTS.md).
 #include "common.hpp"
 
 int main(int argc, char** argv) {
@@ -15,7 +19,18 @@ int main(int argc, char** argv) {
   const auto p = cli.flag_f64("p", 0.4, "generation probability");
   const auto eps = cli.flag_f64("eps", 0.1, "consumption surplus");
   const auto seed = cli.flag_u64("seed", 1, "base seed");
+  const auto sizes_csv = cli.flag_str(
+      "sizes", "1024,4096,16384,65536", "comma-separated machine sizes n");
+  bench::ObsFlags obs_flags(cli);
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
+
+  obs::Recorder rec(obs_flags.config("bench_maxload_single", argc, argv));
+  rec.manifest().set_seed(*seed);
+  rec.manifest().set_param("steps", *steps);
+  rec.manifest().set_param("sizes", *sizes_csv);
+  const std::vector<std::uint64_t> sizes = util::Cli::parse_u64_list(*sizes_csv);
 
   util::print_banner("EXP-03  maximum load under Single (Theorem 1)");
   util::print_note("expect: balanced max <= ~T and ~flat in n; unbalanced "
@@ -25,7 +40,7 @@ int main(int argc, char** argv) {
   util::Table table({"n", "T (realised)", "balanced max (mean/worst)",
                      "unbalanced max (mean/worst)", "predicted unbal (log n)",
                      "bal steady mean load"});
-  for (const std::uint64_t n : bench::default_sizes()) {
+  for (const std::uint64_t n : sizes) {
     const auto params = core::PhaseParams::from_n(n);
     stats::OnlineMoments bal, unbal, mean_load;
     std::uint64_t bal_worst = 0, unbal_worst = 0;
@@ -47,6 +62,12 @@ int main(int argc, char** argv) {
       unbal.add(static_cast<double>(ue.running_max_load()));
       unbal_worst = std::max(unbal_worst, ue.running_max_load());
     }
+    const std::string prefix = "exp03.n" + std::to_string(n) + ".";
+    rec.metrics().gauge(prefix + "balanced_max_worst") =
+        static_cast<double>(bal_worst);
+    rec.metrics().gauge(prefix + "T") = static_cast<double>(params.T);
+    rec.metrics().gauge(prefix + "unbalanced_max") =
+        static_cast<double>(unbal_worst);
     table.row()
         .cell(n)
         .cell(params.T)
@@ -59,5 +80,6 @@ int main(int argc, char** argv) {
   util::print_note("Theorem 1 reproduced if every balanced worst-case entry "
                    "is <= its T and grows visibly slower than the unbalanced "
                    "column.");
+  rec.finish();
   return 0;
 }

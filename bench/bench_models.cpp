@@ -10,7 +10,9 @@ int main(int argc, char** argv) {
   const auto steps = cli.flag_u64("steps", 2500, "steps per run");
   const auto trials = cli.flag_u64("trials", 2, "independent trials");
   const auto seed = cli.flag_u64("seed", 1, "base seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   util::print_banner("EXP-10  max load under Geometric(k) / Multi(c)");
   util::print_note("expect: max load tracks the scaled bound k*T0 (resp. "

@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   const auto steps = cli.flag_u64("steps", 3000, "steps per run");
   const auto trials = cli.flag_u64("trials", 2, "independent trials");
   const auto seed = cli.flag_u64("seed", 1, "base seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   util::print_banner("EXP-06  every heavy finds a light (Lemmas 5-6)");
   util::print_note("expect: match rate ~1.0, unmatched ~0, levels used well "

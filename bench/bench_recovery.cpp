@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
   const auto n = cli.flag_u64("n", 1 << 12, "processors");
   const auto max_steps = cli.flag_u64("max-steps", 30000, "give-up budget");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   const auto params = core::PhaseParams::from_n(*n);
   util::print_banner("EXP-20  steps until max load <= 2T after a spike");

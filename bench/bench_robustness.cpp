@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   const auto n = cli.flag_u64("n", 1 << 13, "processors");
   const auto steps = cli.flag_u64("steps", 3000, "steps per run");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   util::print_banner("EXP-18  one algorithm, every model");
   util::print_note("expect: balanced max ~ O(T) for every model; unbalanced "

@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   const auto steps = cli.flag_u64("steps", 6000, "steps");
   const auto checkpoints = cli.flag_u64("checkpoints", 12, "rows printed");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   util::print_banner("EXP-04  system load stays O(n) (Lemma 3)");
   util::print_note("expect: both columns hover near E[load]*n = 2n; the "

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   const auto n = cli.flag_u64("n", 1 << 14, "processors (power of two)");
   const auto steps = cli.flag_u64("steps", 3000, "steps per run");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
   CLB_CHECK(util::is_pow2(*n), "n must be a power of two (hypercube)");
 
   util::print_banner("EXP-16  link traffic: threshold vs balls-into-bins");

@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   const auto p = cli.flag_f64("p", 0.4, "generation probability");
   const auto eps = cli.flag_f64("eps", 0.1, "consumption surplus");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   analysis::SingleModelChain chain(*p, *eps);
   util::print_banner("EXP-02  unbalanced system: load distribution (Lemma 2)");

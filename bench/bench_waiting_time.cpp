@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   const auto k = cli.flag_u64("k", 4, "Geometric model k");
   const auto seed = cli.flag_u64("seed", 1, "seed");
   bench::ObsFlags obs_flags(cli);
+  bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
+  smoke.apply();
 
   obs::Recorder rec(obs_flags.config("bench_waiting_time", argc, argv));
   rec.manifest().set_seed(*seed);

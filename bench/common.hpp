@@ -49,6 +49,35 @@ void for_trials(std::uint64_t trials, std::uint64_t base_seed, Fn&& fn) {
   }
 }
 
+/// The shared --smoke flag: a seconds-long sanity configuration so ctest
+/// can exercise every harness end-to-end on each build (label bench-smoke).
+/// Declare before cli.parse(), call apply() right after it; apply() shrinks
+/// whichever standard workload knobs the bench declared (explicit flags on
+/// the same command line are overridden — smoke means smoke).
+class SmokeFlag {
+ public:
+  explicit SmokeFlag(util::Cli& cli)
+      : cli_(&cli),
+        on_(cli.flag_bool("smoke", false,
+                          "shrink the workload to a sanity run")) {}
+
+  void apply() const {
+    if (!*on_) return;
+    cli_->override_u64("steps", 96);
+    cli_->override_u64("max-steps", 256);
+    cli_->override_u64("trials", 1);
+    cli_->override_u64("n", 512);
+    cli_->override_u64("checkpoints", 2);
+    cli_->override_str("sizes", "256,1024");
+  }
+
+  [[nodiscard]] bool on() const { return *on_; }
+
+ private:
+  util::Cli* cli_;
+  const bool* on_;
+};
+
 /// Standard observability flags for bench binaries. Declare before
 /// cli.parse(), then build the run's Recorder from the parsed values:
 ///

@@ -47,6 +47,9 @@ struct AggregateStats {
   stats::OnlineMoments match_rate;           // matched / heavy, per phase
   std::uint64_t phases = 0;
   std::uint64_t phases_with_heavy = 0;
+  /// Exact sum of per-phase protocol messages (the oracle cross-checks this
+  /// against the engine's global counters; OnlineMoments only keeps means).
+  std::uint64_t total_messages = 0;
   std::uint64_t total_unmatched = 0;
   std::uint64_t total_matched = 0;
   std::uint64_t total_preround_matched = 0;
@@ -55,6 +58,7 @@ struct AggregateStats {
 
   void absorb(const PhaseStats& p) {
     ++phases;
+    total_messages += p.messages;
     total_matched += p.matched_heavy;
     total_preround_matched += p.preround_matched;
     heavy_per_phase.add(static_cast<double>(p.num_heavy));

@@ -269,6 +269,10 @@ void ThresholdBalancer::run_levels(sim::Engine& engine, std::uint32_t count) {
 
 void ThresholdBalancer::finalize_phase(sim::Engine& engine) {
   if (!phase_open_) return;
+  // Phase boundaries are a cold path: the always-on conservation check costs
+  // one O(n) counter scan per phase, nothing per step (the per-step variant
+  // in Engine::step_once is debug-only).
+  engine.check_conservation();
   for (const std::uint32_t h : heavy_) {
     if (matched(h)) {
       ++open_phase_.matched_heavy;

@@ -93,6 +93,10 @@ class ThresholdBalancer final : public sim::Balancer {
   [[nodiscard]] const PhaseParams& params() const { return cfg_.params; }
   /// Statistics of the most recently *finalised* phase.
   [[nodiscard]] const PhaseStats& last_phase() const { return last_phase_; }
+  /// True while a begun phase has not been finalised (spread execution can
+  /// end a run mid-phase; the oracle's message-attribution cross-check only
+  /// applies when this is false).
+  [[nodiscard]] bool phase_open() const { return phase_open_; }
   [[nodiscard]] const AggregateStats& aggregate() const { return agg_; }
   /// Distribution of collision-game requests issued per heavy root per
   /// phase (Lemma 7's quantity; each request is the paper's "two balancing

@@ -298,6 +298,8 @@ void DistThresholdBalancer::evaluate_requests(sim::Engine& engine) {
 }
 
 void DistThresholdBalancer::finish_phase(sim::Engine& engine, bool forced) {
+  // Cold path: always-on conservation check, one O(n) scan per phase.
+  engine.check_conservation();
   ++stats_.phases;
   if (forced) {
     ++stats_.forced_phase_ends;

@@ -30,6 +30,8 @@ void Engine::reset() {
   step_max_weight_ = 0;
   running_max_weight_ = 0;
   clamped_ = 0;
+  deposited_ = 0;
+  drained_ = 0;
   if (balancer_ != nullptr) balancer_->on_reset(*this);
 }
 
@@ -77,6 +79,42 @@ void Engine::step_once() {
   apply_transfers();
   refresh_load_aggregates();
   ++step_;
+  // Per-step conservation is debug-only (O(n) counter scan every step);
+  // phase-structured balancers call check_conservation() on their own cold
+  // phase boundaries, which stays on in release builds.
+  CLB_DCHECK(conservation_holds(), "task conservation violated after step");
+}
+
+bool Engine::conservation_holds() const {
+  std::uint64_t queued = 0, generated = 0, consumed = 0;
+  for (const auto& p : procs_) {
+    queued += p.load();
+    generated += p.generated;
+    consumed += p.consumed;
+  }
+  return generated + deposited_ == consumed + queued + drained_;
+}
+
+void Engine::check_conservation() const {
+  CLB_CHECK(conservation_holds(),
+            "task conservation violated: generated + deposited != "
+            "consumed + queued + drained");
+}
+
+bool Engine::steal_newest_for_test(std::uint32_t p) {
+  CLB_CHECK(p < cfg_.n, "steal target out of range");
+  Processor& proc = procs_[p];
+  if (proc.queue.empty()) return false;
+  const Task t = proc.queue.pop_back();
+  proc.weight_load -= t.weight;
+  ++drained_;  // books the loss as a drain so count checks stay green
+  return true;
+}
+
+void Engine::swap_queue_entries_for_test(std::uint32_t p, std::uint64_t i,
+                                         std::uint64_t j) {
+  CLB_CHECK(p < cfg_.n, "swap target out of range");
+  procs_[p].queue.swap_positions(i, j);
 }
 
 void Engine::schedule_transfer(std::uint32_t from, std::uint32_t to,
@@ -136,6 +174,7 @@ std::vector<Task> Engine::drain_all() {
     while (!p.queue.empty()) all.push_back(p.queue.pop_front());
     p.weight_load = 0;
   }
+  drained_ += all.size();
   return all;
 }
 
@@ -143,6 +182,7 @@ void Engine::deposit(std::uint32_t p, Task t) {
   CLB_CHECK(p < cfg_.n, "deposit target out of range");
   procs_[p].queue.push_back(t);
   procs_[p].weight_load += t.weight;
+  ++deposited_;
 }
 
 stats::IntHistogram Engine::load_histogram() const {

@@ -137,13 +137,48 @@ class Engine {
   /// tasks at application time than when the transfer was scheduled).
   [[nodiscard]] std::uint64_t clamped_transfers() const { return clamped_; }
 
+  /// Transfers scheduled so far this step, in schedule order. Valid during
+  /// Balancer::on_step (the invariant oracle snapshots it from a wrapping
+  /// balancer after the inner policy has run); cleared once applied.
+  [[nodiscard]] const std::vector<Transfer>& pending_transfers() const {
+    return pending_;
+  }
+
+  // ---- Conservation ----------------------------------------------------
+  /// True iff every task ever injected is still accounted for:
+  ///   generated + deposited == consumed + queued + drained.
+  /// O(n); intended for step boundaries and cold paths.
+  [[nodiscard]] bool conservation_holds() const;
+  /// Always-on conservation check (CLB_CHECK). Balancers with a phase
+  /// structure call this once per phase boundary — a cold path, so the O(n)
+  /// scan is free relative to the phase itself; the per-step variant stays
+  /// debug-only inside step_once.
+  void check_conservation() const;
+
+  // ---- Test-only fault injection (the fuzzer's mutation checks) --------
+  /// Removes the newest task on `p` with *deliberately consistent-looking*
+  /// accounting (the task is booked as drained), simulating a balancer that
+  /// loses a task in flight while its counters still add up. Count-based
+  /// conservation checks stay green; only identity-tracking oracles can
+  /// catch it. Returns false when p's queue is empty.
+  bool steal_newest_for_test(std::uint32_t p);
+  /// Swaps two queue positions on `p`, violating FIFO order preservation.
+  void swap_queue_entries_for_test(std::uint32_t p, std::uint64_t i,
+                                   std::uint64_t j);
+
   // ---- Immediate-mode redistribution (global policies only) ------------
   /// Removes every task from every queue, in (processor, FIFO) order.
   /// Used by global redistribution baselines (AllInAir); message accounting
-  /// is the caller's responsibility.
+  /// is the caller's responsibility. Drained tasks are tracked so the
+  /// conservation check stays exact while they are held outside the engine.
   [[nodiscard]] std::vector<Task> drain_all();
-  /// Appends a task to the back of processor `p`'s queue.
+  /// Appends a task to the back of processor `p`'s queue. Counted as an
+  /// external injection for conservation purposes (spike harnesses deposit
+  /// tasks the engine never generated).
   void deposit(std::uint32_t p, Task t);
+  /// Lifetime totals of the immediate-mode API, for conservation checks.
+  [[nodiscard]] std::uint64_t total_deposited() const { return deposited_; }
+  [[nodiscard]] std::uint64_t total_drained() const { return drained_; }
 
  private:
   void generate_consume_block(std::uint64_t begin, std::uint64_t end,
@@ -168,6 +203,8 @@ class Engine {
   std::uint64_t step_max_weight_ = 0;
   std::uint64_t running_max_weight_ = 0;
   std::uint64_t clamped_ = 0;
+  std::uint64_t deposited_ = 0;
+  std::uint64_t drained_ = 0;
 };
 
 }  // namespace clb::sim

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -102,6 +103,14 @@ class FifoQueue {
       if (acc >= target_weight) break;
     }
     return cnt;
+  }
+
+  /// Swaps the tasks at FIFO positions i and j (0 = front). Deliberately
+  /// breaks FIFO order — exists for the testing subsystem's fault injection
+  /// (sim::Engine::swap_queue_entries_for_test); no production caller.
+  void swap_positions(std::uint64_t i, std::uint64_t j) {
+    CLB_DCHECK(i < size() && j < size(), "swap_positions out of range");
+    std::swap(buf_[(head_ + i) & mask_], buf_[(head_ + j) & mask_]);
   }
 
   void clear() { head_ = tail_ = 0; }

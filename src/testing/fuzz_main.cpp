@@ -1,0 +1,52 @@
+// clb_fuzz: scenario fuzzer + invariant oracle entry point.
+//
+// Default run checks `--count` scenarios sampled from `--scenario-seed`.
+// A failing scenario is shrunk (n, fault count, steps) and reported as one
+// replayable command line. `--mutate=<kind> --expect-failure` flips the
+// harness into self-test mode: it PASSES iff the oracle catches the
+// deliberately broken behaviour.
+#include <cstdint>
+
+#include "testing/fuzzer.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using clb::testing::FuzzOptions;
+  using clb::testing::kNoOverride;
+
+  clb::util::Cli cli(
+      "clb_fuzz: randomized scenario fuzzer with a full-state invariant "
+      "oracle (conservation by identity, FIFO order, collision-protocol "
+      "invariants, message attribution, cross-thread determinism)");
+  const auto* seed = cli.flag_u64("scenario-seed", 1, "scenario stream seed");
+  const auto* count = cli.flag_u64("count", 200, "scenarios to check");
+  const auto* index =
+      cli.flag_u64("index", kNoOverride, "replay exactly this index");
+  const auto* n = cli.flag_u64("n", kNoOverride, "override machine size");
+  const auto* steps = cli.flag_u64("steps", kNoOverride, "override run length");
+  const auto* max_faults =
+      cli.flag_u64("max-faults", kNoOverride, "cap fault events");
+  const auto* mutate = cli.flag_str(
+      "mutate", "none",
+      "inject a broken behaviour: drop-task|dup-task|reorder|phantom-msg");
+  const auto* expect_failure = cli.flag_bool(
+      "expect-failure", false,
+      "succeed iff the oracle catches at least one scenario (self-test)");
+  const auto* no_shrink =
+      cli.flag_bool("no-shrink", false, "report failures without shrinking");
+  const auto* verbose = cli.flag_bool("verbose", false, "per-scenario lines");
+  cli.parse(argc, argv);
+
+  FuzzOptions opt;
+  opt.scenario_seed = *seed;
+  opt.count = *count;
+  opt.index = *index;
+  opt.n = *n;
+  opt.steps = *steps;
+  opt.max_faults = *max_faults;
+  opt.mutate = clb::testing::mutation_from_string(*mutate);
+  opt.expect_failure = *expect_failure;
+  opt.shrink = !*no_shrink;
+  opt.verbose = *verbose;
+  return clb::testing::run_fuzz(opt);
+}

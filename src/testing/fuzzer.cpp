@@ -1,0 +1,159 @@
+#include "testing/fuzzer.hpp"
+
+#include <cstdio>
+
+namespace clb::testing {
+
+Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
+  Scenario s = Scenario::sample(opt.scenario_seed, index);
+
+  if (opt.mutate != MutationKind::kNone) {
+    s.mutation = opt.mutate;
+    // Mutations are engine-state faults; collision games have none. A
+    // scenario sampled as collision-only carries protocol constants from
+    // the wider standalone-game ranges — clamp them back into the
+    // threshold balancer's envelope (binary trees: b in {1, 2}).
+    s.collision_only = false;
+    if (s.a < 4) s.a = 5;
+    if (s.b > 2) s.b = 2;
+    if (s.c > 2) s.c = 2;
+    if (opt.mutate == MutationKind::kReorder &&
+        s.balancer == BalancerKind::kAllInAir) {
+      // AllInAir reshuffles queues wholesale, so the oracle runs in multiset
+      // mode and cannot see ordering — give reorder a scheduled-transfer
+      // balancer it can be convicted under.
+      s.balancer = BalancerKind::kThreshold;
+    }
+    if (opt.mutate == MutationKind::kPhantomMessage) {
+      // Only the threshold balancer's per-phase attribution can notice a
+      // message smuggled in outside every phase window; atomic execution
+      // guarantees no phase is left open at end of run.
+      s.balancer = BalancerKind::kThreshold;
+      s.spread_execution = false;
+    }
+  }
+
+  if (opt.n != kNoOverride) {
+    s.n = opt.n < 16 ? 16 : opt.n;
+    for (FaultEvent& ev : s.faults) ev.proc %= static_cast<std::uint32_t>(s.n);
+  }
+  if (opt.steps != kNoOverride) {
+    s.steps = opt.steps < 1 ? 1 : opt.steps;
+    std::vector<FaultEvent> kept;
+    for (const FaultEvent& ev : s.faults) {
+      if (ev.step < s.steps) kept.push_back(ev);
+    }
+    s.faults = std::move(kept);
+    if (s.mutation_step >= s.steps) s.mutation_step = s.steps - 1;
+  }
+  if (opt.max_faults != kNoOverride && s.faults.size() > opt.max_faults) {
+    s.faults.resize(opt.max_faults);
+  }
+  return s;
+}
+
+Scenario shrink_failure(const FuzzOptions& opt, const Scenario& failing) {
+  const auto fails = [](const Scenario& c) { return !check_scenario(c).ok; };
+  const auto candidate = [&](const Scenario& cur, std::uint64_t n,
+                             std::uint64_t steps, std::uint64_t max_faults) {
+    FuzzOptions o = opt;
+    o.n = n;
+    o.steps = steps;
+    o.max_faults = max_faults;
+    return materialize(o, cur.index);
+  };
+
+  Scenario cur = failing;
+
+  // Halve n while the failure persists (floor 16 keeps every component's
+  // preconditions — collision needs a < n, the threshold realisation needs
+  // a non-degenerate machine).
+  while (cur.n / 2 >= 16) {
+    Scenario cand = candidate(cur, cur.n / 2, cur.steps, cur.faults.size());
+    if (!fails(cand)) break;
+    cur = cand;
+  }
+
+  // Drop fault events: find the smallest prefix that still fails.
+  for (std::uint64_t k = 0; k < cur.faults.size(); ++k) {
+    Scenario cand = candidate(cur, cur.n, cur.steps, k);
+    if (fails(cand)) {
+      cur = cand;
+      break;
+    }
+  }
+
+  // Bisect steps down to the earliest still-failing run length.
+  std::uint64_t lo = 1, hi = cur.steps;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    Scenario cand = candidate(cur, cur.n, mid, cur.faults.size());
+    if (fails(cand)) {
+      cur = cand;
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return cur;
+}
+
+int run_fuzz(const FuzzOptions& opt) {
+  std::uint64_t checked = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t mutations_armed = 0;
+
+  const auto run_one = [&](std::uint64_t index) {
+    const Scenario s = materialize(opt, index);
+    if (s.mutation != MutationKind::kNone) ++mutations_armed;
+    const OracleReport r = check_scenario(s);
+    ++checked;
+    if (opt.verbose) {
+      std::printf("[%s] #%llu %s\n", r.ok ? "ok" : "FAIL",
+                  static_cast<unsigned long long>(index),
+                  s.describe().c_str());
+    }
+    if (r.ok) return;
+    ++failures;
+    std::printf("FAIL scenario #%llu (step %llu): %s\n",
+                static_cast<unsigned long long>(index),
+                static_cast<unsigned long long>(r.fail_step), r.what.c_str());
+    std::printf("  %s\n", s.describe().c_str());
+    Scenario minimal = opt.shrink ? shrink_failure(opt, s) : s;
+    if (opt.shrink) {
+      const OracleReport mr = check_scenario(minimal);
+      std::printf("  shrunk to: %s\n", minimal.describe().c_str());
+      std::printf("  minimal failure (step %llu): %s\n",
+                  static_cast<unsigned long long>(mr.fail_step),
+                  mr.what.c_str());
+    }
+    std::printf("  repro: %s\n", minimal.repro_command().c_str());
+  };
+
+  if (opt.index != kNoOverride) {
+    run_one(opt.index);
+  } else {
+    for (std::uint64_t i = 0; i < opt.count; ++i) run_one(i);
+  }
+
+  if (opt.expect_failure) {
+    if (failures > 0) {
+      std::printf("expect-failure: oracle convicted %llu of %llu mutated "
+                  "scenarios — harness self-test passed\n",
+                  static_cast<unsigned long long>(failures),
+                  static_cast<unsigned long long>(checked));
+      return 0;
+    }
+    std::printf("expect-failure: oracle caught NOTHING across %llu mutated "
+                "scenarios (%llu armed) — the oracle is blind\n",
+                static_cast<unsigned long long>(checked),
+                static_cast<unsigned long long>(mutations_armed));
+    return 1;
+  }
+  std::printf("fuzz: %llu scenarios checked, %llu failures\n",
+              static_cast<unsigned long long>(checked),
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace clb::testing

@@ -1,0 +1,268 @@
+#include "testing/scenario.hpp"
+
+#include <cstdio>
+
+#include "baselines/all_in_air.hpp"
+#include "baselines/lm.hpp"
+#include "baselines/random_seeking.hpp"
+#include "baselines/rsu.hpp"
+#include "core/params.hpp"
+#include "core/threshold_balancer.hpp"
+#include "dist/dist_balancer.hpp"
+#include "models/adversarial.hpp"
+#include "models/geometric.hpp"
+#include "models/multi.hpp"
+#include "models/onoff.hpp"
+#include "models/poisson_batch.hpp"
+#include "models/single.hpp"
+#include "models/weighted.hpp"
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace clb::testing {
+
+namespace {
+constexpr std::uint64_t kScenarioSalt = 0x7363656E6172ULL;  // "scenar"
+
+std::uint64_t pick(rng::CounterRng& rng, std::uint64_t lo, std::uint64_t hi) {
+  return lo + rng::bounded(rng, hi - lo + 1);
+}
+}  // namespace
+
+const char* to_string(ModelKind m) {
+  switch (m) {
+    case ModelKind::kSingle: return "single";
+    case ModelKind::kGeometric: return "geometric";
+    case ModelKind::kMulti: return "multi";
+    case ModelKind::kAdversarial: return "adversarial";
+    case ModelKind::kPoissonBatch: return "poisson-batch";
+    case ModelKind::kOnOff: return "on-off";
+    case ModelKind::kWeighted: return "weighted";
+  }
+  return "?";
+}
+
+const char* to_string(BalancerKind b) {
+  switch (b) {
+    case BalancerKind::kNone: return "none";
+    case BalancerKind::kThreshold: return "threshold";
+    case BalancerKind::kDist: return "dist";
+    case BalancerKind::kRsu: return "rsu91";
+    case BalancerKind::kLm: return "lm93";
+    case BalancerKind::kRandomSeeking: return "random-seeking";
+    case BalancerKind::kAllInAir: return "all-in-air";
+  }
+  return "?";
+}
+
+const char* to_string(MutationKind m) {
+  switch (m) {
+    case MutationKind::kNone: return "none";
+    case MutationKind::kDropTask: return "drop-task";
+    case MutationKind::kDupTask: return "dup-task";
+    case MutationKind::kReorder: return "reorder";
+    case MutationKind::kPhantomMessage: return "phantom-msg";
+  }
+  return "?";
+}
+
+MutationKind mutation_from_string(const std::string& name) {
+  if (name == "drop-task") return MutationKind::kDropTask;
+  if (name == "dup-task") return MutationKind::kDupTask;
+  if (name == "reorder") return MutationKind::kReorder;
+  if (name == "phantom-msg") return MutationKind::kPhantomMessage;
+  return MutationKind::kNone;
+}
+
+Scenario Scenario::sample(std::uint64_t scenario_seed, std::uint64_t index) {
+  Scenario s;
+  s.scenario_seed = scenario_seed;
+  s.index = index;
+  rng::CounterRng rng(scenario_seed, kScenarioSalt, index);
+
+  s.engine_seed = rng();
+  s.n = 1ULL << pick(rng, 5, 9);  // 32 .. 512
+  s.steps = pick(rng, 48, 320);
+  const unsigned thread_choices[] = {1, 1, 2, 4, 8};
+  s.threads = thread_choices[pick(rng, 0, 4)];
+  s.threads_replay = thread_choices[pick(rng, 0, 4)];
+
+  // Every 4th scenario is a standalone collision game (Figure 1 / Lemma 1
+  // invariants); the rest drive the full engine.
+  s.collision_only = (index % 4 == 3);
+  if (s.collision_only) {
+    s.a = static_cast<std::uint32_t>(pick(rng, 2, 6));
+    s.b = static_cast<std::uint32_t>(pick(rng, 1, s.a - 1));
+    s.c = static_cast<std::uint32_t>(pick(rng, 1, 3));
+    // Request densities from sparse to over-saturated; the protocol must
+    // keep its <= c acceptance invariant even when it cannot succeed.
+    s.collision_requests = pick(rng, 1, s.n);
+    return s;
+  }
+
+  const ModelKind models[] = {
+      ModelKind::kSingle,       ModelKind::kGeometric,
+      ModelKind::kMulti,        ModelKind::kAdversarial,
+      ModelKind::kPoissonBatch, ModelKind::kOnOff,
+      ModelKind::kWeighted,
+  };
+  s.model = models[pick(rng, 0, 6)];
+  s.p = 0.2 + 0.05 * static_cast<double>(pick(rng, 0, 8));       // 0.2..0.6
+  s.eps = 0.05 + 0.05 * static_cast<double>(pick(rng, 0, 3));    // 0.05..0.2
+  if (s.p + s.eps > 0.95) s.p = 0.95 - s.eps;
+  s.geometric_k = static_cast<std::uint32_t>(pick(rng, 2, 6));
+  s.multi_c = static_cast<std::uint32_t>(pick(rng, 2, 4));
+  s.lambda = 0.3 + 0.1 * static_cast<double>(pick(rng, 0, 4));   // 0.3..0.7
+
+  const BalancerKind balancers[] = {
+      BalancerKind::kNone,       BalancerKind::kThreshold,
+      BalancerKind::kThreshold,  BalancerKind::kThreshold,
+      BalancerKind::kDist,       BalancerKind::kRsu,
+      BalancerKind::kLm,         BalancerKind::kRandomSeeking,
+      BalancerKind::kAllInAir,
+  };
+  s.balancer = balancers[pick(rng, 0, 8)];
+  s.a = static_cast<std::uint32_t>(pick(rng, 4, 6));
+  s.b = static_cast<std::uint32_t>(pick(rng, 1, 2));
+  s.c = static_cast<std::uint32_t>(pick(rng, 1, 2));
+  s.spread_execution = pick(rng, 0, 3) == 0;
+  s.one_shot_preround = pick(rng, 0, 3) == 0;
+  s.prune_satisfied = pick(rng, 0, 1) == 0;
+  s.streaming_transfers = pick(rng, 0, 3) == 0;
+  s.weight_based = s.model == ModelKind::kWeighted && pick(rng, 0, 1) == 0;
+  s.t_min = pick(rng, 0, 2) == 0 ? 8 : 16;
+  s.latency = static_cast<std::uint32_t>(pick(rng, 1, 4));
+
+  // Fault schedule: up to 4 spikes (adversarial rows come from the
+  // Adversarial model itself).
+  const std::uint64_t fault_count = pick(rng, 0, 4);
+  for (std::uint64_t f = 0; f < fault_count; ++f) {
+    FaultEvent ev;
+    ev.step = pick(rng, 1, s.steps - 1);
+    ev.proc = static_cast<std::uint32_t>(rng::bounded(rng, s.n));
+    ev.tasks = static_cast<std::uint32_t>(pick(rng, 8, 96));
+    s.faults.push_back(ev);
+  }
+  s.mutation_step = pick(rng, 1, s.steps > 8 ? s.steps - 4 : s.steps);
+  return s;
+}
+
+std::string Scenario::describe() const {
+  char buf[256];
+  if (collision_only) {
+    std::snprintf(buf, sizeof buf,
+                  "collision n=%llu a=%u b=%u c=%u requests=%llu seed=%llu",
+                  static_cast<unsigned long long>(n), a, b, c,
+                  static_cast<unsigned long long>(collision_requests),
+                  static_cast<unsigned long long>(engine_seed));
+    return buf;
+  }
+  std::snprintf(
+      buf, sizeof buf,
+      "engine n=%llu steps=%llu model=%s balancer=%s threads=%u/%u "
+      "faults=%zu%s%s mutation=%s",
+      static_cast<unsigned long long>(n),
+      static_cast<unsigned long long>(steps), to_string(model),
+      to_string(balancer), threads, threads_replay, faults.size(),
+      spread_execution ? " spread" : "", streaming_transfers ? " stream" : "",
+      to_string(mutation));
+  return buf;
+}
+
+std::string Scenario::repro_command() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "clb_fuzz --scenario-seed=%llu --index=%llu --n=%llu "
+                "--steps=%llu --max-faults=%zu --mutate=%s",
+                static_cast<unsigned long long>(scenario_seed),
+                static_cast<unsigned long long>(index),
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(steps), faults.size(),
+                to_string(mutation));
+  return buf;
+}
+
+ScenarioRuntime build_runtime(const Scenario& s) {
+  CLB_CHECK(!s.collision_only, "collision scenarios have no engine runtime");
+  ScenarioRuntime rt;
+  switch (s.model) {
+    case ModelKind::kSingle:
+      rt.model = std::make_unique<models::SingleModel>(s.p, s.eps);
+      break;
+    case ModelKind::kGeometric:
+      rt.model = std::make_unique<models::GeometricModel>(s.geometric_k);
+      break;
+    case ModelKind::kMulti: {
+      // pmf over {0..multi_c-1} with mean < 1: mass 0.6 on zero, the rest
+      // split evenly.
+      std::vector<double> pmf(s.multi_c, 0.0);
+      pmf[0] = 0.6;
+      for (std::size_t i = 1; i < pmf.size(); ++i) {
+        pmf[i] = 0.4 / static_cast<double>(pmf.size() - 1);
+      }
+      rt.model = std::make_unique<models::MultiModel>(std::move(pmf));
+      break;
+    }
+    case ModelKind::kAdversarial: {
+      models::AdversarialConfig ac;
+      ac.cap = 4 * s.n;
+      rt.model = std::make_unique<models::AdversarialModel>(ac, s.n);
+      break;
+    }
+    case ModelKind::kPoissonBatch:
+      rt.model = std::make_unique<models::PoissonBatchModel>(s.lambda);
+      break;
+    case ModelKind::kOnOff:
+      rt.model = std::make_unique<models::OnOffModel>(models::OnOffConfig{},
+                                                      s.n);
+      break;
+    case ModelKind::kWeighted:
+      rt.model = std::make_unique<models::WeightedSingleModel>(
+          s.p, s.eps, std::vector<double>{0.5, 0.25, 0.15, 0.1});
+      break;
+  }
+
+  switch (s.balancer) {
+    case BalancerKind::kNone:
+      break;
+    case BalancerKind::kThreshold: {
+      core::ThresholdBalancerConfig cfg;
+      core::Fractions fr;
+      fr.t_min = s.t_min;
+      cfg.params = core::PhaseParams::from_n(s.n, fr);
+      cfg.game = collision::CollisionConfig{s.a, s.b, s.c, 0};
+      cfg.execution = s.spread_execution ? core::PhaseExecution::kSpread
+                                         : core::PhaseExecution::kAtomic;
+      cfg.one_shot_preround = s.one_shot_preround;
+      cfg.prune_satisfied = s.prune_satisfied;
+      cfg.streaming_transfers = s.streaming_transfers;
+      cfg.weight_based = s.weight_based;
+      rt.balancer = std::make_unique<core::ThresholdBalancer>(cfg);
+      break;
+    }
+    case BalancerKind::kDist: {
+      dist::DistConfig cfg;
+      cfg.params = core::PhaseParams::from_n(s.n);
+      cfg.latency = s.latency;
+      rt.balancer = std::make_unique<dist::DistThresholdBalancer>(cfg);
+      break;
+    }
+    case BalancerKind::kRsu:
+      rt.balancer = std::make_unique<baselines::RsuBalancer>();
+      break;
+    case BalancerKind::kLm:
+      rt.balancer = std::make_unique<baselines::LmBalancer>();
+      break;
+    case BalancerKind::kRandomSeeking:
+      rt.balancer = std::make_unique<baselines::RandomSeekingBalancer>();
+      break;
+    case BalancerKind::kAllInAir:
+      rt.balancer = std::make_unique<baselines::AllInAirBalancer>();
+      break;
+  }
+  return rt;
+}
+
+}  // namespace clb::testing

@@ -1,0 +1,134 @@
+// Seed-driven scenario sampling for the fuzzing harness.
+//
+// A Scenario is a complete, value-typed description of one randomized run:
+// machine size, load model (all six §1.2 models plus the weighted
+// extension), balancing policy (the paper's algorithm in oracle and
+// distributed form, every baseline, or none), protocol constants, latency,
+// a fault schedule (load spikes deposited mid-run), and an optional
+// deliberate mutation (a known-broken behaviour the invariant oracle must
+// catch — the harness's self-test).
+//
+// Scenarios are sampled as a pure function of (scenario_seed, index), so
+//   clb_fuzz --scenario-seed=S --index=I [--n=..] [--steps=..] ...
+// replays any failure exactly; the shrinker only ever changes the three
+// override dimensions (n, steps, fault count), which keeps repro command
+// lines short.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/balancer.hpp"
+#include "sim/model.hpp"
+
+namespace clb::testing {
+
+enum class ModelKind {
+  kSingle,
+  kGeometric,
+  kMulti,
+  kAdversarial,
+  kPoissonBatch,
+  kOnOff,
+  kWeighted,  // weighted extension; pairs with weight_based balancing
+};
+
+enum class BalancerKind {
+  kNone,
+  kThreshold,
+  kDist,
+  kRsu,
+  kLm,
+  kRandomSeeking,
+  kAllInAir,  // immediate-mode redistribution: oracle runs in multiset mode
+};
+
+/// Deliberately broken behaviours, injected through the engine's test hooks
+/// with *consistent-looking accounting* — count-based checks stay green and
+/// only the identity/order-tracking oracle can object.
+enum class MutationKind {
+  kNone,
+  kDropTask,        // lose one queued task in flight
+  kDupTask,         // deliver one task twice
+  kReorder,         // swap two tasks in one FIFO queue
+  kPhantomMessage,  // bump a protocol counter outside any phase window
+};
+
+/// A load spike deposited onto one processor before `step` executes.
+struct FaultEvent {
+  std::uint64_t step = 0;
+  std::uint32_t proc = 0;
+  std::uint32_t tasks = 0;
+};
+
+struct Scenario {
+  // Provenance (how to regenerate this scenario).
+  std::uint64_t scenario_seed = 1;
+  std::uint64_t index = 0;
+
+  // Machine + run shape.
+  std::uint64_t n = 64;
+  std::uint64_t steps = 128;
+  std::uint64_t engine_seed = 1;
+  unsigned threads = 1;        // first run
+  unsigned threads_replay = 1; // determinism re-run (may differ!)
+
+  // Either a standalone collision game...
+  bool collision_only = false;
+  std::uint32_t a = 5, b = 2, c = 1;
+  std::uint64_t collision_requests = 0;  // requester count (with repetition)
+
+  // ...or a full engine run.
+  ModelKind model = ModelKind::kSingle;
+  double p = 0.4, eps = 0.1;      // Single / Weighted
+  std::uint32_t geometric_k = 4;  // Geometric
+  std::uint32_t multi_c = 3;      // Multi: pmf over {0..multi_c-1}
+  double lambda = 0.5;            // PoissonBatch
+
+  BalancerKind balancer = BalancerKind::kThreshold;
+  bool spread_execution = false;
+  bool one_shot_preround = false;
+  bool prune_satisfied = false;
+  bool streaming_transfers = false;
+  bool weight_based = false;
+  std::uint64_t t_min = 16;
+  std::uint32_t latency = 1;  // DistThresholdBalancer fabric latency
+
+  std::vector<FaultEvent> faults;
+
+  MutationKind mutation = MutationKind::kNone;
+  std::uint64_t mutation_step = 0;  // applied at first opportunity >= this
+
+  /// Pure function of (seed, index): every field above is derived with
+  /// counter RNG, so the same pair always yields the same scenario.
+  static Scenario sample(std::uint64_t scenario_seed, std::uint64_t index);
+
+  /// One-line human summary (model/balancer/sizes/faults/mutation).
+  [[nodiscard]] std::string describe() const;
+
+  /// Exact command line that replays this scenario through clb_fuzz,
+  /// including the shrinker's override dimensions.
+  [[nodiscard]] std::string repro_command() const;
+};
+
+const char* to_string(ModelKind m);
+const char* to_string(BalancerKind b);
+const char* to_string(MutationKind m);
+/// Inverse of to_string(MutationKind); returns kNone for unknown names.
+MutationKind mutation_from_string(const std::string& name);
+
+/// Owns the model + balancer a scenario describes. The engine is built by
+/// the oracle (which wraps the balancer to capture scheduled transfers), so
+/// the runtime only carries the two plug-ins.
+struct ScenarioRuntime {
+  std::unique_ptr<sim::LoadModel> model;
+  std::unique_ptr<sim::Balancer> balancer;  // null for BalancerKind::kNone
+};
+
+/// Instantiates fresh model/balancer objects for `s` (stateful models make
+/// reuse across runs unsound; always build a new runtime per run).
+ScenarioRuntime build_runtime(const Scenario& s);
+
+}  // namespace clb::testing

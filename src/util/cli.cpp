@@ -113,6 +113,20 @@ void Cli::parse(int argc, char** argv) {
   }
 }
 
+bool Cli::override_u64(const std::string& name, std::uint64_t value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.kind != Flag::Kind::U64) return false;
+  it->second.u64 = value;
+  return true;
+}
+
+bool Cli::override_str(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.kind != Flag::Kind::Str) return false;
+  it->second.str = value;
+  return true;
+}
+
 std::vector<std::uint64_t> Cli::parse_u64_list(const std::string& csv) {
   std::vector<std::uint64_t> out;
   std::size_t pos = 0;

@@ -43,6 +43,13 @@ class Cli {
   /// Comma-separated list helper: parses flag value "1024,4096" into numbers.
   static std::vector<std::uint64_t> parse_u64_list(const std::string& csv);
 
+  /// Overwrites a declared flag's value in place (the pointers handed out by
+  /// flag_*() observe the change). Returns false when no flag of that name
+  /// and kind exists — used by bench::SmokeFlag to shrink whatever standard
+  /// workload knobs a given bench happens to declare.
+  bool override_u64(const std::string& name, std::uint64_t value);
+  bool override_str(const std::string& name, const std::string& value);
+
  private:
   struct Flag {
     enum class Kind { U64, F64, Bool, Str } kind;
