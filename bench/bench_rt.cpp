@@ -1,0 +1,201 @@
+// EXP-21 (extension) — the concurrent runtime: scaling and latency.
+//
+// rt::Runtime executes the paper's protocol on real worker threads
+// (shared-nothing shards, lock-free MPSC mailboxes, barrier-separated
+// supersteps). This bench free-runs it — no determinism sequencing, spin
+// work attached to every consumed task so "consume" costs real CPU — and
+// sweeps worker counts for Threshold vs NoBalancing vs AllInAir under the
+// Single and Burst models. Measured: wall-clock throughput (tasks/sec),
+// speedup over the 1-worker run of the same configuration, task sojourn
+// latency (p50/p95/p99 in microseconds), and mailbox contention exposure
+// (fraction of messages pushed into another worker's mailbox).
+//
+// tools/perfbench.py drives this binary once per worker count and distils
+// the emitted metrics into BENCH_rt.json; run it directly for tables.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace clb;
+
+std::unique_ptr<sim::LoadModel> make_model(const std::string& name,
+                                           std::uint64_t n) {
+  if (name == "burst") {
+    models::BurstConfig bc;
+    bc.period = 64;
+    bc.burst_len = 16;
+    bc.hot_fraction = 0.05;
+    bc.burst_rate = 8;
+    return std::make_unique<models::BurstModel>(bc, n);
+  }
+  return std::make_unique<models::SingleModel>(0.45, 0.1);
+}
+
+rt::RtPolicy policy_of(const std::string& name) {
+  if (name == "none") return rt::RtPolicy::kNone;
+  if (name == "all-in-air") return rt::RtPolicy::kAllInAir;
+  return rt::RtPolicy::kThreshold;
+}
+
+/// Worker counts to sweep: powers of two up to hardware_concurrency, plus
+/// the concurrency itself when it is not a power of two. Always includes 2
+/// so mailbox traffic is exercised even on a single-core host.
+std::vector<unsigned> auto_workers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<unsigned> w;
+  for (unsigned k = 1; k <= hw; k *= 2) w.push_back(k);
+  if (w.back() != hw) w.push_back(hw);
+  if (w.size() < 2) w.push_back(2);
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("EXP-21: concurrent runtime scaling (threads + mailboxes)");
+  const auto n = cli.flag_u64("n", 1 << 12, "logical processors");
+  const auto steps = cli.flag_u64("steps", 2000, "runtime steps per run");
+  const auto seed = cli.flag_u64("seed", 1, "seed");
+  const auto spin = cli.flag_u64(
+      "spin", 64, "spin-work iterations per consumed task (free-running)");
+  const auto workers_csv = cli.flag_str(
+      "workers", "", "comma-separated worker counts (default: 1,2,4,..,hw)");
+  const auto models_csv =
+      cli.flag_str("models", "single,burst", "models: single,burst");
+  const auto policies_csv = cli.flag_str(
+      "policies", "threshold,none,all-in-air",
+      "policies: threshold,none,all-in-air");
+  bench::SmokeFlag smoke(cli);
+  bench::ObsFlags obs_flags(cli);
+  cli.parse(argc, argv);
+  smoke.apply();
+  if (smoke.on()) {
+    cli.override_str("workers", "1,2");
+    cli.override_str("models", "single");
+  }
+
+  obs::Recorder rec(obs_flags.config("bench_rt", argc, argv));
+  rec.manifest().set_seed(*seed);
+  rec.manifest().set_param("n", *n);
+  rec.manifest().set_param("steps", *steps);
+  rec.manifest().set_param("spin", *spin);
+
+  std::vector<unsigned> workers;
+  if (workers_csv->empty()) {
+    workers = auto_workers();
+  } else {
+    for (std::uint64_t w : util::Cli::parse_u64_list(*workers_csv)) {
+      workers.push_back(static_cast<unsigned>(w));
+    }
+  }
+
+  std::vector<std::string> model_names;
+  for (const std::string& m : {std::string("single"), std::string("burst")}) {
+    if (models_csv->find(m) != std::string::npos) model_names.push_back(m);
+  }
+  std::vector<std::string> policy_names;
+  for (const std::string& p :
+       {std::string("threshold"), std::string("none"),
+        std::string("all-in-air")}) {
+    if (policies_csv->find(p) != std::string::npos) policy_names.push_back(p);
+  }
+
+  util::print_banner("EXP-21  runtime scaling: threads, mailboxes, supersteps");
+  util::print_note("expect: tasks/sec grows with workers until the core "
+                   "count; threshold holds p99 sojourn near the unbalanced "
+                   "p50 at a few percent remote-message overhead");
+
+  util::Table table({"model", "policy", "workers", "tasks/sec", "speedup",
+                     "p50 us", "p95 us", "p99 us", "remote %", "msgs/task"});
+
+  for (const std::string& model_name : model_names) {
+    for (const std::string& policy_name : policy_names) {
+      double base_rate = 0;
+      for (unsigned w : workers) {
+        auto model = make_model(model_name, *n);
+        rt::RtConfig cfg;
+        cfg.n = *n;
+        cfg.seed = *seed;
+        cfg.workers = w;
+        cfg.deterministic = false;  // free-running: arrival order wins
+        cfg.policy = policy_of(policy_name);
+        if (cfg.policy == rt::RtPolicy::kThreshold) {
+          cfg.params = core::PhaseParams::from_n(*n);
+        }
+        cfg.spin_work = static_cast<std::uint32_t>(*spin);
+        cfg.time_sojourn = true;
+        rt::Runtime run(cfg, model.get());
+        run.run(*steps);
+
+        const double secs = std::max(run.wall_seconds(), 1e-9);
+        const double rate =
+            static_cast<double>(run.total_consumed()) / secs;
+        if (w == workers.front()) base_rate = rate;
+        const stats::IntHistogram soj = run.sojourn_us();
+        const std::uint64_t remote = run.remote_pushes();
+        const std::uint64_t self = run.self_pushes();
+        const double remote_pct =
+            remote + self > 0
+                ? 100.0 * static_cast<double>(remote) /
+                      static_cast<double>(remote + self)
+                : 0.0;
+        const double msgs_per_task =
+            run.total_generated() > 0
+                ? static_cast<double>(run.messages().protocol_total()) /
+                      static_cast<double>(run.total_generated())
+                : 0.0;
+
+        table.row()
+            .cell(model_name)
+            .cell(policy_name)
+            .cell(static_cast<std::uint64_t>(w))
+            .cell(rate, 0)
+            .cell(base_rate > 0 ? rate / base_rate : 1.0, 2)
+            .cell(soj.quantile(0.50))
+            .cell(soj.quantile(0.95))
+            .cell(soj.quantile(0.99))
+            .cell(remote_pct, 2)
+            .cell(msgs_per_task, 4);
+
+        const std::string prefix = "rt." + model_name + "." + policy_name +
+                                   ".w" + std::to_string(w) + ".";
+        rec.metrics().gauge(prefix + "tasks_per_sec") = rate;
+        rec.metrics().gauge(prefix + "wall_seconds") = secs;
+        rec.metrics().gauge(prefix + "sojourn_p50_us") =
+            static_cast<double>(soj.quantile(0.50));
+        rec.metrics().gauge(prefix + "sojourn_p95_us") =
+            static_cast<double>(soj.quantile(0.95));
+        rec.metrics().gauge(prefix + "sojourn_p99_us") =
+            static_cast<double>(soj.quantile(0.99));
+        rec.metrics().gauge(prefix + "remote_push_fraction") =
+            remote_pct / 100.0;
+        rec.metrics().gauge(prefix + "msgs_per_task") = msgs_per_task;
+        rec.metrics().gauge(prefix + "consumed") =
+            static_cast<double>(run.total_consumed());
+
+        if (!run.conservation_holds()) {
+          std::fprintf(stderr, "FATAL: conservation violated (%s/%s/w%u)\n",
+                       model_name.c_str(), policy_name.c_str(), w);
+          return 1;
+        }
+      }
+    }
+  }
+  clb::bench::emit(table, "rt_1");
+
+  rec.metrics().gauge("rt.hardware_concurrency") =
+      static_cast<double>(std::thread::hardware_concurrency());
+  util::print_note("speedup is relative to the first worker count of the "
+                   "same (model, policy) row group; on an oversubscribed "
+                   "host expect flat or sub-linear curves.");
+  rec.finish();
+  return 0;
+}

@@ -28,17 +28,47 @@ CollisionGame::CollisionGame(std::uint64_t n, CollisionConfig cfg)
   accepted_stamp_.resize(n_, 0);
 }
 
-std::uint32_t CollisionGame::paper_round_bound() const {
-  const std::uint64_t spread = static_cast<std::uint64_t>(cfg_.c) *
-                               (cfg_.a - cfg_.b);
-  if (spread < 2 || n_ < 4) {
+void draw_targets(std::uint64_t n, std::uint64_t seed, std::uint64_t slot,
+                  std::uint32_t requester, std::uint32_t a,
+                  std::uint32_t* out_targets) {
+  rng::CounterRng rng(seed, rng::hash_combine(kTargetSalt, slot), requester);
+  for (std::uint32_t j = 0; j < a; ++j) {
+    for (;;) {
+      const auto cand = static_cast<std::uint32_t>(rng::bounded(rng, n));
+      if (cand == requester) continue;
+      bool dup = false;
+      for (std::uint32_t k = 0; k < j; ++k) {
+        if (out_targets[k] == cand) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        out_targets[j] = cand;
+        break;
+      }
+    }
+  }
+}
+
+std::uint32_t round_bound(std::uint64_t n, const CollisionConfig& cfg) {
+  if (cfg.max_rounds != 0) return cfg.max_rounds;
+  const std::uint64_t spread =
+      static_cast<std::uint64_t>(cfg.c) * (cfg.a - cfg.b);
+  if (spread < 2 || n < 4) {
     // The analysis requires c(a-b) >= 2; fall back to a generous linear
     // budget so the protocol still terminates deterministically.
     return 32;
   }
   const double rounds =
-      util::log2log2(n_) / std::log2(static_cast<double>(spread)) + 3.0;
+      util::log2log2(n) / std::log2(static_cast<double>(spread)) + 3.0;
   return static_cast<std::uint32_t>(std::ceil(rounds));
+}
+
+std::uint32_t CollisionGame::paper_round_bound() const {
+  CollisionConfig no_override = cfg_;
+  no_override.max_rounds = 0;
+  return round_bound(n_, no_override);
 }
 
 bool CollisionGame::conditions_hold(double beta, double xi) const {
@@ -82,26 +112,7 @@ CollisionOutcome CollisionGame::run(
   // the requester itself; no fresh randomness in later rounds (Figure 1).
   std::vector<std::uint32_t> targets(m * a);
   for (std::size_t r = 0; r < m; ++r) {
-    rng::CounterRng rng(seed, rng::hash_combine(kTargetSalt, r),
-                        requesters[r]);
-    for (std::uint32_t j = 0; j < a; ++j) {
-      for (;;) {
-        const auto cand =
-            static_cast<std::uint32_t>(rng::bounded(rng, n_));
-        if (cand == requesters[r]) continue;
-        bool dup = false;
-        for (std::uint32_t k = 0; k < j; ++k) {
-          if (targets[r * a + k] == cand) {
-            dup = true;
-            break;
-          }
-        }
-        if (!dup) {
-          targets[r * a + j] = cand;
-          break;
-        }
-      }
-    }
+    draw_targets(n_, seed, r, requesters[r], a, targets.data() + r * a);
   }
 
   std::vector<std::uint32_t> accepted_mask(m, 0);  // bit j: target j accepted

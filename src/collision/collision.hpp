@@ -52,6 +52,23 @@ struct CollisionOutcome {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> per_proc_accepts;
 };
 
+/// Draws request `slot`'s fixed target set: `a` distinct processors in
+/// [0, n), excluding `requester`, written to out_targets[0..a). This is the
+/// exact keying (CounterRng(seed, hash(salt, slot), requester)) and rejection
+/// loop CollisionGame::run uses — exported so the message-passing runtime
+/// (src/rt) reproduces the simulator's randomness bit-for-bit. `slot` is the
+/// request's index in the requesters vector, NOT its processor id; callers
+/// that shard requests across threads must agree on a global slot numbering.
+void draw_targets(std::uint64_t n, std::uint64_t seed, std::uint64_t slot,
+                  std::uint32_t requester, std::uint32_t a,
+                  std::uint32_t* out_targets);
+
+/// The paper's round budget log2 log2 n / log2(c(a-b)) + 3 for this n and
+/// config (32 when the analysis precondition c(a-b) >= 2 fails or n < 4).
+/// cfg.max_rounds, when non-zero, overrides it.
+[[nodiscard]] std::uint32_t round_bound(std::uint64_t n,
+                                        const CollisionConfig& cfg);
+
 /// One standalone collision game over `n` processors.
 class CollisionGame {
  public:

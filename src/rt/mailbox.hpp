@@ -1,0 +1,123 @@
+// Lock-free MPSC mailbox (Vyukov-style intrusive queue) and the message
+// vocabulary of the concurrent runtime.
+//
+// Every worker owns exactly one mailbox; any worker (including the owner)
+// may push, only the owner pops. Push is a single XCHG on the head plus one
+// release store to link the predecessor — wait-free, no CAS loop, no locks.
+// Pop is single-consumer and lock-free. The runtime drains mailboxes only at
+// superstep boundaries (after a barrier, when all producers have quiesced),
+// so the transient "pushed but not yet linked" window Vyukov's pop can
+// observe never makes drain() miss a message.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/check.hpp"
+
+namespace clb::rt {
+
+/// A task in flight through the runtime. Wraps the simulator's Task (so
+/// equivalence checks compare the exact same identity triple) and adds the
+/// wall-clock birth stamp free-running mode needs for sojourn latency.
+struct RtTask {
+  sim::Task task;
+  std::uint32_t birth_us = 0;  ///< microseconds since Runtime construction
+};
+
+enum class MsgKind : std::uint8_t {
+  kQuery,        ///< collision game: request slot queries a target
+  kAccept,       ///< collision game: target accepted the query
+  kChild,        ///< tree: parent node announces child q (coordination)
+  kChildStatus,  ///< tree: child reports applicative / non-applicative
+  kId,           ///< an applicative light sends its id to the root
+  kForward,      ///< tree: child becomes a node at the next level
+  kTransfer,     ///< T/4 tasks moving from a matched root to its light
+  kScatter,      ///< all-in-air: one task thrown to a random processor
+};
+
+/// One runtime message. `key` is the message's canonical processing key —
+/// a total order that depends only on protocol state (slots, tree edges),
+/// never on which worker sent it or when it arrived — so deterministic mode
+/// can sort a drained batch into a partition-invariant order. Field use per
+/// kind (slots/edges are recovered from `key`):
+///
+///   kQuery        key = slot<<4 | j      a = target, b = requester proc
+///   kAccept       key = slot<<4 | j      a = requester proc (routing)
+///   kChild        key = g<<1 | s         a = child q, b = root, c = parent
+///   kChildStatus  key = g<<1 | s         a = parent, b = applicative flag
+///   kId           key = g<<1 | s         a = root, b = partner (light)
+///   kForward      key = child slot       a = child proc, b = root
+///   kTransfer     key = from             a = from, b = to, payload = tasks
+///   kScatter      key = from<<32 | seq   a = from, b = to, payload = task
+struct Message {
+  std::atomic<Message*> next{nullptr};  // intrusive MPSC link
+  MsgKind kind = MsgKind::kQuery;
+  std::uint64_t key = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::vector<RtTask> payload;  // kTransfer / kScatter only
+};
+
+/// Intrusive multi-producer single-consumer queue after Vyukov. The queue
+/// does not own messages in steady state (producers allocate, the consumer
+/// deletes after processing); the destructor deletes anything still queued.
+class Mailbox {
+ public:
+  Mailbox() : head_(&stub_), tail_(&stub_) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  ~Mailbox() {
+    while (Message* m = pop()) delete m;
+  }
+
+  /// Wait-free from any thread.
+  void push(Message* m) {
+    m->next.store(nullptr, std::memory_order_relaxed);
+    Message* prev = head_.exchange(m, std::memory_order_acq_rel);
+    // Between the exchange and this store the chain is broken; pop() reports
+    // empty rather than blocking if it catches the window.
+    prev->next.store(m, std::memory_order_release);
+  }
+
+  /// Owner thread only. Returns nullptr when empty — or when a producer is
+  /// mid-push (the runtime never pops concurrently with pushes, so there a
+  /// null really means empty).
+  Message* pop() {
+    Message* tail = tail_;
+    Message* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return nullptr;
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    // tail is the last linked node. If a producer has exchanged head_ but
+    // not linked yet, report empty; otherwise re-insert the stub behind the
+    // final node so it can be handed out.
+    if (tail != head_.load(std::memory_order_acquire)) return nullptr;
+    push(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    return nullptr;
+  }
+
+ private:
+  alignas(64) std::atomic<Message*> head_;  // producers XCHG here
+  alignas(64) Message* tail_;               // consumer-private cursor
+  Message stub_;
+};
+
+}  // namespace clb::rt

@@ -1,0 +1,888 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace clb::rt {
+
+namespace {
+
+// Must match the threshold balancer's game-seed derivation bit for bit.
+constexpr std::uint64_t kGameSalt = 0x70686173656761ULL;  // "phasega"
+// rt-only stream for all-in-air scatter targets (per processor, so the
+// draw order is partition-invariant; the sim baseline draws from one global
+// stream, which no sharded runtime can reproduce — documented non-goal).
+constexpr std::uint64_t kScatterSalt = 0x727473636174ULL;  // "rtscat"
+
+constexpr std::uint32_t kMaxA = 16;  // target slots per node (key packs j in 4 bits)
+
+/// Busy work standing in for a task's compute cost. The asm constraint keeps
+/// the loop from being optimised away without touching memory.
+inline void spin(std::uint32_t iters) {
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (std::uint32_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+#if defined(__GNUC__) || defined(__clang__)
+    asm volatile("" : "+r"(x));
+#endif
+  }
+}
+
+bool key_less(const Message* a, const Message* b) {
+  if (a->key != b->key) return a->key < b->key;
+  return static_cast<int>(a->kind) < static_cast<int>(b->kind);
+}
+
+unsigned resolve_workers(const RtConfig& cfg) {
+  unsigned w = cfg.workers != 0
+                   ? cfg.workers
+                   : std::max(1u, std::thread::hardware_concurrency());
+  if (static_cast<std::uint64_t>(w) > cfg.n) {
+    w = static_cast<unsigned>(cfg.n);
+  }
+  return w;
+}
+
+}  // namespace
+
+const char* policy_name(RtPolicy p) {
+  switch (p) {
+    case RtPolicy::kNone: return "none";
+    case RtPolicy::kThreshold: return "threshold";
+    case RtPolicy::kAllInAir: return "all-in-air";
+  }
+  return "?";
+}
+
+/// One query-tree node hosted at owner(proc). `slot` is the node's global
+/// index at its level (dense, ascending across workers), which keys the
+/// collision game's target draws exactly like the simulator's requesters
+/// vector index.
+struct Runtime::RtNode {
+  std::uint64_t slot = 0;
+  std::uint32_t proc = 0;
+  std::uint32_t root = 0;
+  std::uint32_t targets[kMaxA] = {};
+  std::uint32_t accepted_mask = 0;
+  std::uint32_t accept_count = 0;
+  std::uint32_t round_replies = 0;
+  bool active = false;
+  std::uint8_t pending_children = 0;
+  std::uint8_t status_nonapp = 0;
+  std::vector<std::uint32_t> accepted;  // acceptance order (round, then j)
+};
+
+/// A forwarding parent's contribution to the next level: the leader's scan
+/// assigns `base` = the global slot of child s=0.
+struct Runtime::ScanEntry {
+  std::uint64_t g = 0;  // parent slot
+  std::uint64_t base = 0;
+  std::uint32_t root = 0;
+  std::uint32_t count = 0;  // 1 or 2
+  std::uint32_t child[2] = {};
+};
+
+struct alignas(64) Runtime::Worker {
+  unsigned index = 0;
+  std::uint64_t begin = 0, end = 0;  // owned processor shard [begin, end)
+  Mailbox inbox;
+
+  // Scratch.
+  std::vector<Message*> batch;
+  std::vector<RtNode> nodes, next_nodes;
+  std::vector<std::uint32_t> heavy_local;
+  std::vector<ScanEntry> scan;
+
+  // Lockstep epochs — every worker advances these at the same points of the
+  // superstep schedule, so a stamp comparison means the same thing anywhere.
+  std::uint64_t phase_epoch = 0;
+  std::uint64_t level_epoch = 0;
+  std::uint64_t round_epoch = 0;
+  std::uint64_t phase_count = 0;
+  std::uint64_t sys_load = 0;  // total system load at start of current step
+  std::uint64_t scatter_count = 0;
+
+  // Per-phase stats tracked by all workers in lockstep (leader's copy is
+  // the one that lands in RtPhaseSummary).
+  std::uint64_t ph_requests = 0;
+  std::uint32_t ph_levels = 0;
+  std::uint32_t ph_rounds = 0;
+
+  // Outputs, merged by the main thread after runs.
+  sim::MessageCounters msg;
+  std::uint64_t clamped = 0;
+  std::vector<LedgerEntry> ledger;
+  stats::IntHistogram sojourn_steps, sojourn_us;
+  std::uint64_t remote_pushes = 0;
+  std::uint64_t self_pushes = 0;
+
+  std::thread thread;
+};
+
+Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
+    : cfg_(cfg),
+      model_(model),
+      step_barrier_(resolve_workers(cfg)),
+      cmd_barrier_(resolve_workers(cfg) + 1),
+      start_tp_(std::chrono::steady_clock::now()) {
+  CLB_CHECK(model_ != nullptr, "runtime needs a load model");
+  CLB_CHECK(!model_->serial_generation(),
+            "runtime requires a parallel-safe (counter-RNG) model");
+  CLB_CHECK(cfg_.n >= 1 && cfg_.n <= (1ULL << 31),
+            "runtime processor ids must fit comfortably in 32 bits");
+  const unsigned w = resolve_workers(cfg_);
+  cfg_.workers = w;
+  if (cfg_.policy == RtPolicy::kThreshold) {
+    CLB_CHECK(cfg_.params.n == cfg_.n,
+              "phase params must be realised for this n (PhaseParams::from_n)");
+    CLB_CHECK(cfg_.game.b >= 1 && cfg_.game.b <= 2,
+              "query trees are binary: b must be 1 or 2");
+    CLB_CHECK(cfg_.game.a >= 2 && cfg_.game.a <= kMaxA &&
+                  static_cast<std::uint64_t>(cfg_.game.a) < cfg_.n,
+              "collision fan-out a out of range");
+    CLB_CHECK(cfg_.game.c >= 1, "collision capacity c must be >= 1");
+  }
+  if (cfg_.policy == RtPolicy::kAllInAir) {
+    air_interval_ = cfg_.n >= 4
+                        ? util::round_at_least(util::log2log2(cfg_.n), 1)
+                        : 1;
+  }
+
+  procs_.resize(cfg_.n);
+  chunk_ = cfg_.n / w;
+  extra_ = cfg_.n % w;
+  split_ = extra_ * (chunk_ + 1);
+  load_slots_[0].resize(w);
+  load_slots_[1].resize(w);
+  class_slots_.resize(w);
+  active_slots_.resize(w);
+  match_slots_.resize(w);
+
+  workers_.reserve(w);
+  for (unsigned i = 0; i < w; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = i;
+    auto [b, e] = util::block_range(cfg_.n, w, i);
+    worker->begin = b;
+    worker->end = e;
+    workers_.push_back(std::move(worker));
+  }
+  for (unsigned i = 0; i < w; ++i) {
+    Worker* wp = workers_[i].get();
+    wp->thread = std::thread([this, wp] { worker_main(*wp); });
+  }
+}
+
+Runtime::~Runtime() {
+  cmd_stop_ = true;
+  cmd_barrier_.arrive_and_wait();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void Runtime::run(std::uint64_t steps) {
+  if (steps == 0) return;
+  cmd_steps_ = steps;
+  const auto t0 = std::chrono::steady_clock::now();
+  cmd_barrier_.arrive_and_wait();  // release the workers
+  cmd_barrier_.arrive_and_wait();  // wait for completion
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  step_base_ += steps;
+}
+
+void Runtime::worker_main(Worker& w) {
+  for (;;) {
+    cmd_barrier_.arrive_and_wait();
+    if (cmd_stop_) return;
+    const std::uint64_t base = step_base_;
+    const std::uint64_t count = cmd_steps_;
+    for (std::uint64_t s = 0; s < count; ++s) step_once(w, base + s);
+    cmd_barrier_.arrive_and_wait();
+  }
+}
+
+unsigned Runtime::owner_of(std::uint64_t p) const {
+  if (p < split_) return static_cast<unsigned>(p / (chunk_ + 1));
+  return static_cast<unsigned>(extra_ + (p - split_) / chunk_);
+}
+
+std::uint32_t Runtime::now_us() const {
+  return static_cast<std::uint32_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_tp_)
+          .count());
+}
+
+void Runtime::send(Worker& w, std::uint32_t dest_proc, Message* m) {
+  Worker& dst = *workers_[owner_of(dest_proc)];
+  if (&dst == &w) {
+    ++w.self_pushes;
+  } else {
+    ++w.remote_pushes;
+  }
+  dst.inbox.push(m);
+}
+
+void Runtime::apply_transfer([[maybe_unused]] Worker& w, const Message& m) {
+  RtProcessor& dst = procs_[m.b];
+  CLB_DCHECK(m.b >= w.begin && m.b < w.end, "transfer routed to wrong worker");
+  dst.tasks_received += m.payload.size();
+  for (const RtTask& t : m.payload) dst.queue.push_back(t);
+}
+
+void Runtime::drain(Worker& w, std::vector<Message*>& out) {
+  out.clear();
+  while (Message* m = w.inbox.pop()) {
+    if (m->kind == MsgKind::kTransfer) {
+      // Order-insensitive: at most one transfer reaches a given light per
+      // phase (the assigned flag), so applying on drain keeps determinism.
+      apply_transfer(w, *m);
+      delete m;
+      continue;
+    }
+    out.push_back(m);
+  }
+}
+
+void Runtime::send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
+                            std::uint32_t partner) {
+  RtProcessor& src = procs_[root];
+  std::uint64_t count = cfg_.params.transfer_amount;
+  if (count == 0) return;
+  if (count > src.queue.size()) {
+    count = src.queue.size();
+    ++w.clamped;
+  }
+  auto* m = new Message;
+  m->kind = MsgKind::kTransfer;
+  m->key = root;
+  m->a = root;
+  m->b = partner;
+  m->payload.assign(src.queue.end() - static_cast<std::ptrdiff_t>(count),
+                    src.queue.end());
+  src.queue.erase(src.queue.end() - static_cast<std::ptrdiff_t>(count),
+                  src.queue.end());
+  src.tasks_sent += count;
+  ++w.msg.transfers;
+  w.msg.tasks_moved += count;
+  w.ledger.push_back(LedgerEntry{step, root, partner,
+                                 static_cast<std::uint32_t>(count)});
+  CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kTransfer, step, root, partner,
+                  count);
+  if (cfg_.drop_transfer_message != 0) {
+    const std::uint64_t ordinal =
+        transfer_send_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (ordinal == cfg_.drop_transfer_message) {
+      // The broken mailbox: the sender's books all say the transfer
+      // happened, the receiver never sees it.
+      dropped_messages_ += 1;
+      dropped_tasks_ += count;
+      delete m;
+      return;
+    }
+  }
+  send(w, partner, m);
+}
+
+void Runtime::step_once(Worker& w, std::uint64_t step) {
+  // ---- generate / consume (mirrors Engine::generate_consume_block) ----
+  const std::uint64_t system_load = w.sys_load;
+  for (std::uint64_t p = w.begin; p < w.end; ++p) {
+    RtProcessor& proc = procs_[p];
+    const sim::StepAction act = model_->step_action(
+        cfg_.seed, p, step, proc.queue.size(), system_load);
+    for (std::uint32_t i = 0; i < act.generate; ++i) {
+      proc.queue.push_back(
+          RtTask{sim::Task{static_cast<std::uint32_t>(step),
+                           static_cast<std::uint32_t>(p), act.weight},
+                 cfg_.time_sojourn ? now_us() : 0});
+    }
+    proc.generated += act.generate;
+    std::uint32_t c = act.consume;
+    while (c > 0 && !proc.queue.empty()) {
+      const RtTask t = proc.queue.front();
+      proc.queue.pop_front();
+      ++proc.consumed;
+      if (t.task.origin == p) ++proc.consumed_on_origin;
+      if (cfg_.track_sojourn) w.sojourn_steps.add(step - t.task.birth_step);
+      if (cfg_.time_sojourn) w.sojourn_us.add(now_us() - t.birth_us);
+      if (cfg_.spin_work != 0) spin(cfg_.spin_work);
+      --c;
+    }
+  }
+
+  // ---- balancing policy ----
+  bool phase_step = false;
+  std::uint64_t scattered = 0;
+  if (cfg_.policy == RtPolicy::kThreshold &&
+      step % cfg_.params.phase_len == 0) {
+    phase_step = true;
+    run_phase(w, step);
+  } else if (cfg_.policy == RtPolicy::kAllInAir &&
+             step % air_interval_ == 0) {
+    run_scatter(w, step);
+    scattered = w.scatter_count;
+  }
+
+  // ---- end-of-step load reduction (the engine's refresh_load_aggregates) --
+  std::uint64_t local_load = 0, local_max = 0;
+  for (std::uint64_t p = w.begin; p < w.end; ++p) {
+    const std::uint64_t l = procs_[p].queue.size();
+    local_load += l;
+    if (l > local_max) local_max = l;
+  }
+  Slot& slot = load_slots_[step & 1][w.index];
+  slot.v0 = local_load;
+  slot.v1 = local_max;
+  slot.v2 = scattered;
+  step_barrier_.arrive_and_wait();
+  std::uint64_t sys = 0, mx = 0, scat = 0;
+  for (const Slot& s : load_slots_[step & 1]) {
+    sys += s.v0;
+    if (s.v1 > mx) mx = s.v1;
+    scat += s.v2;
+  }
+  w.sys_load = sys;
+  if (w.index == 0) {
+    if (mx > running_max_load_) running_max_load_ = mx;
+    if (scat > 0) ++w.msg.transfers;  // the sim baseline's one global action
+  }
+  if (phase_step) {
+    if (w.index == 0) {
+      // Compose the phase summary from the slots and per-worker heavy lists
+      // published before the load barrier; the extra barrier below keeps the
+      // other workers from mutating them until the leader is done.
+      RtPhaseSummary ps;
+      ps.phase_index = w.phase_count - 1;
+      ps.start_step = step;
+      for (const auto& worker : workers_) {
+        ps.heavy_procs.insert(ps.heavy_procs.end(),
+                              worker->heavy_local.begin(),
+                              worker->heavy_local.end());
+      }
+      ps.num_heavy = ps.heavy_procs.size();
+      std::uint64_t matched = 0, light = 0;
+      for (unsigned i = 0; i < worker_count(); ++i) {
+        matched += match_slots_[i].v0;
+        light += class_slots_[i].v1;
+      }
+      ps.num_light = light;
+      ps.matched = matched;
+      ps.unmatched = ps.num_heavy - matched;
+      ps.requests = w.ph_requests;
+      ps.levels_used = w.ph_levels;
+      ps.collision_rounds = w.ph_rounds;
+      CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kPhaseEnd, step, 0, 0,
+                      ps.phase_index, ps.matched, ps.unmatched);
+      phases_.push_back(std::move(ps));
+    }
+    step_barrier_.arrive_and_wait();
+  }
+}
+
+void Runtime::run_scatter(Worker& w, std::uint64_t step) {
+  // Pop every task in the shard front-to-back and throw it at an i.u.a.r.
+  // processor. Targets come from a per-processor counter stream keyed by
+  // (proc, step) so the draw sequence is partition-invariant.
+  std::uint64_t scattered = 0;
+  for (std::uint64_t p = w.begin; p < w.end; ++p) {
+    RtProcessor& proc = procs_[p];
+    rng::CounterRng rng(cfg_.seed, rng::hash_combine(kScatterSalt, p), step);
+    std::uint64_t seq = 0;
+    while (!proc.queue.empty()) {
+      RtTask t = proc.queue.front();
+      proc.queue.pop_front();
+      const auto target = static_cast<std::uint32_t>(rng::bounded(rng, cfg_.n));
+      auto* m = new Message;
+      m->kind = MsgKind::kScatter;
+      m->key = (p << 32) | seq;
+      m->a = static_cast<std::uint32_t>(p);
+      m->b = target;
+      m->payload.push_back(t);
+      send(w, target, m);
+      ++seq;
+    }
+    scattered += seq;
+  }
+  w.msg.control += scattered;     // one routing message per task (as in sim)
+  w.msg.tasks_moved += scattered;
+  step_barrier_.arrive_and_wait();
+  drain(w, w.batch);
+  if (cfg_.deterministic) {
+    std::sort(w.batch.begin(), w.batch.end(), key_less);
+  }
+  for (Message* m : w.batch) {
+    CLB_DCHECK(m->kind == MsgKind::kScatter, "unexpected message in scatter");
+    procs_[m->b].queue.push_back(m->payload[0]);
+    delete m;
+  }
+  w.batch.clear();
+  // step_once folds scatter_count into the end-of-step slot publication so
+  // the leader can count the one global balancing action.
+  w.scatter_count = scattered;
+}
+
+void Runtime::run_phase(Worker& w, std::uint64_t step) {
+  ++w.phase_epoch;
+  const std::uint64_t phase_index = w.phase_count++;
+  const core::PhaseParams& pp = cfg_.params;
+  w.ph_requests = 0;
+  w.ph_levels = 0;
+  w.ph_rounds = 0;
+
+  // Classification from post-generation loads — the balancer's begin_phase.
+  w.heavy_local.clear();
+  std::uint64_t light_count = 0;
+  for (std::uint64_t p = w.begin; p < w.end; ++p) {
+    const std::uint64_t load = procs_[p].queue.size();
+    if (load >= pp.heavy_threshold) {
+      w.heavy_local.push_back(static_cast<std::uint32_t>(p));
+      ++procs_[p].balance_initiations;
+    } else if (load <= pp.light_threshold) {
+      procs_[p].light_epoch = w.phase_epoch;
+      ++light_count;
+    }
+  }
+  class_slots_[w.index].v0 = w.heavy_local.size();
+  class_slots_[w.index].v1 = light_count;
+  step_barrier_.arrive_and_wait();
+
+  std::uint64_t heavy_base = 0, total_heavy = 0;
+  for (unsigned i = 0; i < worker_count(); ++i) {
+    if (i < w.index) heavy_base += class_slots_[i].v0;
+    total_heavy += class_slots_[i].v0;
+  }
+  if (w.index == 0) {
+    std::uint64_t total_light = 0;
+    for (unsigned i = 0; i < worker_count(); ++i) {
+      total_light += class_slots_[i].v1;
+    }
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kPhaseBegin, step, 0, 0,
+                    phase_index, total_heavy, total_light);
+  }
+
+  // Level-1 nodes: the heavy processors themselves, slots in ascending
+  // processor order (worker order = processor order by construction).
+  w.nodes.clear();
+  for (std::size_t i = 0; i < w.heavy_local.size(); ++i) {
+    RtNode node;
+    node.slot = heavy_base + i;
+    node.proc = w.heavy_local[i];
+    node.root = w.heavy_local[i];
+    w.nodes.push_back(std::move(node));
+  }
+
+  std::uint64_t node_count = total_heavy;
+  std::uint32_t level = 0;
+  while (level < pp.tree_depth && node_count > 0) {
+    ++level;
+    node_count = run_level(w, step, phase_index, level, node_count);
+  }
+
+  std::uint64_t matched = 0;
+  for (const std::uint32_t h : w.heavy_local) {
+    if (procs_[h].matched_epoch == w.phase_epoch) ++matched;
+  }
+  match_slots_[w.index].v0 = matched;
+  // No barrier here: the end-of-step load barrier publishes these slots.
+}
+
+std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
+                                 std::uint64_t phase_index,
+                                 std::uint32_t level,
+                                 std::uint64_t node_count) {
+  const collision::CollisionConfig& game = cfg_.game;
+  const std::uint64_t game_seed = rng::hash_combine(
+      rng::hash_combine(cfg_.seed, kGameSalt),
+      rng::hash_combine(phase_index, level));
+  ++w.level_epoch;
+  w.ph_levels = level;
+  w.ph_requests += node_count;
+
+  for (RtNode& node : w.nodes) {
+    collision::draw_targets(cfg_.n, game_seed, node.slot, node.proc, game.a,
+                            node.targets);
+    node.accepted_mask = 0;
+    node.accept_count = 0;
+    node.round_replies = 0;
+    node.active = true;
+    node.pending_children = 0;
+    node.status_nonapp = 0;
+    node.accepted.clear();
+  }
+
+  // ---- collision rounds (Figure 1) as 3-superstep exchanges ----
+  const std::uint32_t max_rounds = collision::round_bound(cfg_.n, game);
+  std::uint64_t active_total = node_count;
+  std::uint32_t round = 0;
+  while (round < max_rounds && active_total > 0) {
+    ++round;
+    ++w.round_epoch;
+
+    // R1: active requests query their not-yet-accepted targets.
+    for (const RtNode& node : w.nodes) {
+      if (!node.active) continue;
+      for (std::uint32_t j = 0; j < game.a; ++j) {
+        if (node.accepted_mask & (1u << j)) continue;
+        auto* m = new Message;
+        m->kind = MsgKind::kQuery;
+        m->key = (node.slot << 4) | j;
+        m->a = node.targets[j];
+        m->b = node.proc;
+        send(w, node.targets[j], m);
+        ++w.msg.queries;
+      }
+    }
+    step_barrier_.arrive_and_wait();
+
+    // R2: each queried processor counts arrivals, then accepts all or none
+    // (count-based, so no sort is needed for determinism), replying per
+    // accepted query.
+    //
+    // Every drain whose segment also *sends* must close with a barrier
+    // before the first send: without it a fast worker's replies land in a
+    // slow worker's still-draining inbox and contaminate the batch with
+    // next-exchange messages (the entry barrier only orders the *previous*
+    // segment's sends). Same pattern at L2, L4 and L5 below.
+    drain(w, w.batch);
+    step_barrier_.arrive_and_wait();
+    for (const Message* m : w.batch) {
+      CLB_DCHECK(m->kind == MsgKind::kQuery, "unexpected message in R2");
+      RtProcessor& t = procs_[m->a];
+      if (t.incoming_epoch != w.round_epoch) {
+        t.incoming_epoch = w.round_epoch;
+        t.incoming = 0;
+      }
+      ++t.incoming;
+    }
+    for (Message* m : w.batch) {
+      RtProcessor& t = procs_[m->a];
+      if (t.decide_epoch != w.round_epoch) {
+        t.decide_epoch = w.round_epoch;
+        const std::uint32_t prior =
+            t.accept_epoch == w.level_epoch ? t.accepted_total : 0;
+        t.accepts_round =
+            t.incoming <= game.c && prior + t.incoming <= game.c;
+        if (t.accepts_round) {
+          t.accept_epoch = w.level_epoch;
+          t.accepted_total = prior + t.incoming;
+          w.msg.accepts += t.incoming;
+        }
+      }
+      if (t.accepts_round) {
+        auto* r = new Message;
+        r->kind = MsgKind::kAccept;
+        r->key = m->key;
+        r->a = m->b;  // route back to the requesting node's processor
+        send(w, m->b, r);
+      }
+      delete m;
+    }
+    w.batch.clear();
+    step_barrier_.arrive_and_wait();
+
+    // R3: requests collect accepts — mark reply bits first, then append in
+    // j order (the simulator's pass-3 order); >= b accepts leaves the game.
+    drain(w, w.batch);
+    for (Message* m : w.batch) {
+      CLB_DCHECK(m->kind == MsgKind::kAccept, "unexpected message in R3");
+      const std::uint64_t slot = m->key >> 4;
+      auto it = std::lower_bound(
+          w.nodes.begin(), w.nodes.end(), slot,
+          [](const RtNode& n, std::uint64_t s) { return n.slot < s; });
+      CLB_DCHECK(it != w.nodes.end() && it->slot == slot,
+                 "accept for unknown node");
+      it->round_replies |= 1u << (m->key & 15);
+      delete m;
+    }
+    w.batch.clear();
+    std::uint64_t local_active = 0;
+    for (RtNode& node : w.nodes) {
+      if (!node.active) continue;
+      if (node.round_replies != 0) {
+        for (std::uint32_t j = 0; j < game.a; ++j) {
+          if (node.round_replies & (1u << j)) {
+            node.accepted_mask |= 1u << j;
+            ++node.accept_count;
+            node.accepted.push_back(node.targets[j]);
+          }
+        }
+        node.round_replies = 0;
+      }
+      if (node.accept_count >= game.b) node.active = false;
+      if (node.active) ++local_active;
+    }
+    active_slots_[w.index].v0 = local_active;
+    step_barrier_.arrive_and_wait();
+    active_total = 0;
+    for (unsigned i = 0; i < worker_count(); ++i) {
+      active_total += active_slots_[i].v0;
+    }
+  }
+  w.ph_rounds += round;
+
+  // ---- children announcement (first two accepts become tree children) ----
+  for (RtNode& node : w.nodes) {
+    const auto k =
+        static_cast<std::uint8_t>(std::min<std::size_t>(node.accepted.size(), 2));
+    node.pending_children = k;
+    for (std::uint8_t s = 0; s < k; ++s) {
+      auto* m = new Message;
+      m->kind = MsgKind::kChild;
+      m->key = (node.slot << 1) | s;
+      m->a = node.accepted[s];
+      m->b = node.root;
+      m->c = node.proc;
+      send(w, node.accepted[s], m);
+    }
+  }
+  step_barrier_.arrive_and_wait();
+
+  // ---- applicative decision at the children (the balancer's set_assigned
+  // walk). Sorted by (g, s): the first edge in global (request, child)
+  // order reserves a still-light, still-unassigned processor — exactly the
+  // simulator's iteration order.
+  drain(w, w.batch);
+  step_barrier_.arrive_and_wait();  // id/status sends below; see R2
+  if (cfg_.deterministic) std::sort(w.batch.begin(), w.batch.end(), key_less);
+  for (Message* m : w.batch) {
+    CLB_DCHECK(m->kind == MsgKind::kChild, "unexpected message in L2");
+    const std::uint32_t q = m->a;
+    RtProcessor& qp = procs_[q];
+    const bool applicative = qp.light_epoch == w.phase_epoch &&
+                             qp.assigned_epoch != w.phase_epoch;
+    if (applicative) {
+      qp.assigned_epoch = w.phase_epoch;
+      auto* id = new Message;
+      id->kind = MsgKind::kId;
+      id->key = m->key;
+      id->a = m->b;  // root
+      id->b = q;
+      send(w, m->b, id);
+      ++w.msg.id_messages;
+    }
+    auto* st = new Message;
+    st->kind = MsgKind::kChildStatus;
+    st->key = m->key;
+    st->a = m->c;  // parent
+    st->b = applicative ? 1 : 0;
+    send(w, m->c, st);
+    delete m;
+  }
+  w.batch.clear();
+  step_barrier_.arrive_and_wait();
+
+  // ---- roots match on the first id (sorted: lowest (g, s) edge wins, as
+  // in the simulator); parents apply the sibling rule and stage forwards.
+  drain(w, w.batch);
+  if (cfg_.deterministic) std::sort(w.batch.begin(), w.batch.end(), key_less);
+  for (Message* m : w.batch) {
+    if (m->kind == MsgKind::kId) {
+      RtProcessor& root = procs_[m->a];
+      if (root.matched_epoch != w.phase_epoch) {
+        root.matched_epoch = w.phase_epoch;
+        root.matched_partner = m->b;
+        send_transfer(w, step, m->a, m->b);
+      }
+    } else {
+      CLB_DCHECK(m->kind == MsgKind::kChildStatus, "unexpected message in L3");
+      const std::uint64_t g = m->key >> 1;
+      auto it = std::lower_bound(
+          w.nodes.begin(), w.nodes.end(), g,
+          [](const RtNode& n, std::uint64_t s) { return n.slot < s; });
+      CLB_DCHECK(it != w.nodes.end() && it->slot == g,
+                 "status for unknown node");
+      if (m->b == 0) ++it->status_nonapp;
+    }
+    delete m;
+  }
+  w.batch.clear();
+  w.scan.clear();
+  for (RtNode& node : w.nodes) {
+    const std::uint8_t k = node.pending_children;
+    std::uint32_t forward = 0;
+    if (k == 2 && node.status_nonapp == 2) {
+      // Sibling rule: both children learn (two control messages) that
+      // neither was applicative and carry the search down.
+      w.msg.control += 2;
+      forward = 2;
+    } else if (k == 1 && node.status_nonapp == 1) {
+      forward = 1;
+    }
+    if (forward != 0) {
+      ScanEntry e;
+      e.g = node.slot;
+      e.root = node.root;
+      e.count = forward;
+      e.child[0] = node.accepted[0];
+      if (forward == 2) e.child[1] = node.accepted[1];
+      w.scan.push_back(e);
+    }
+  }
+  step_barrier_.arrive_and_wait();
+
+  // ---- leader scan: dense global numbering for next-level nodes. Merging
+  // the per-worker scan lists by parent slot g makes the child numbering
+  // identical for every worker count.
+  if (w.index == 0) {
+    std::vector<std::size_t> idx(worker_count(), 0);
+    std::uint64_t base = 0;
+    for (;;) {
+      std::size_t best = worker_count();
+      std::uint64_t best_g = 0;
+      for (std::size_t i = 0; i < worker_count(); ++i) {
+        Worker& other = *workers_[i];
+        if (idx[i] >= other.scan.size()) continue;
+        const std::uint64_t g = other.scan[idx[i]].g;
+        if (best == worker_count() || g < best_g) {
+          best = i;
+          best_g = g;
+        }
+      }
+      if (best == worker_count()) break;
+      ScanEntry& e = workers_[best]->scan[idx[best]++];
+      e.base = base;
+      base += e.count;
+    }
+    next_node_count_ = base;
+  }
+  step_barrier_.arrive_and_wait();
+
+  // ---- forward children into next-level nodes (any transfers sent while
+  // matching above are drained and applied here).
+  drain(w, w.batch);
+  CLB_DCHECK(w.batch.empty(), "only transfers may be in flight after L3");
+  step_barrier_.arrive_and_wait();  // forward sends below; see R2
+  for (const ScanEntry& e : w.scan) {
+    for (std::uint32_t s = 0; s < e.count; ++s) {
+      auto* m = new Message;
+      m->kind = MsgKind::kForward;
+      m->key = e.base + s;
+      m->a = e.child[s];
+      m->b = e.root;
+      send(w, e.child[s], m);
+    }
+  }
+  step_barrier_.arrive_and_wait();
+
+  drain(w, w.batch);
+  // The next level's queries go out with no intervening drain, so this
+  // drain too must be fenced off from them; see R2.
+  step_barrier_.arrive_and_wait();
+  w.next_nodes.clear();
+  for (Message* m : w.batch) {
+    CLB_DCHECK(m->kind == MsgKind::kForward, "unexpected message in L5");
+    RtNode node;
+    node.slot = m->key;
+    node.proc = m->a;
+    node.root = m->b;
+    w.next_nodes.push_back(std::move(node));
+    delete m;
+  }
+  w.batch.clear();
+  std::sort(w.next_nodes.begin(), w.next_nodes.end(),
+            [](const RtNode& a, const RtNode& b) { return a.slot < b.slot; });
+  w.nodes.swap(w.next_nodes);
+  return next_node_count_;
+}
+
+// ---- main-thread aggregation ----
+
+std::uint64_t Runtime::total_load() const {
+  std::uint64_t s = 0;
+  for (const auto& p : procs_) s += p.queue.size();
+  return s;
+}
+
+std::uint64_t Runtime::total_generated() const {
+  std::uint64_t s = 0;
+  for (const auto& p : procs_) s += p.generated;
+  return s;
+}
+
+std::uint64_t Runtime::total_consumed() const {
+  std::uint64_t s = 0;
+  for (const auto& p : procs_) s += p.consumed;
+  return s;
+}
+
+bool Runtime::conservation_holds() const {
+  return total_generated() + deposited_ ==
+         total_consumed() + total_load() + dropped_tasks_;
+}
+
+sim::MessageCounters Runtime::messages() const {
+  sim::MessageCounters total;
+  for (const auto& w : workers_) {
+    total.queries += w->msg.queries;
+    total.accepts += w->msg.accepts;
+    total.id_messages += w->msg.id_messages;
+    total.control += w->msg.control;
+    total.transfers += w->msg.transfers;
+    total.tasks_moved += w->msg.tasks_moved;
+  }
+  return total;
+}
+
+std::uint64_t Runtime::clamped_transfers() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->clamped;
+  return s;
+}
+
+std::vector<LedgerEntry> Runtime::ledger() const {
+  std::vector<LedgerEntry> all;
+  for (const auto& w : workers_) {
+    all.insert(all.end(), w->ledger.begin(), w->ledger.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const LedgerEntry& a, const LedgerEntry& b) {
+              if (a.step != b.step) return a.step < b.step;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  return all;
+}
+
+stats::IntHistogram Runtime::sojourn_steps() const {
+  stats::IntHistogram h;
+  for (const auto& w : workers_) h.merge(w->sojourn_steps);
+  return h;
+}
+
+stats::IntHistogram Runtime::sojourn_us() const {
+  stats::IntHistogram h;
+  for (const auto& w : workers_) h.merge(w->sojourn_us);
+  return h;
+}
+
+std::uint64_t Runtime::remote_pushes() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->remote_pushes;
+  return s;
+}
+
+std::uint64_t Runtime::self_pushes() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->self_pushes;
+  return s;
+}
+
+void Runtime::deposit(std::uint32_t p, sim::Task t) {
+  CLB_CHECK(p < cfg_.n, "deposit target out of range");
+  procs_[p].queue.push_back(RtTask{t, cfg_.time_sojourn ? now_us() : 0});
+  ++deposited_;
+}
+
+}  // namespace clb::rt

@@ -1,0 +1,275 @@
+// The concurrent runtime: the paper's protocol on real worker threads.
+//
+// Shared-nothing design: the n logical processors are split into contiguous
+// groups, each owned by one worker thread (util::block_range, so worker
+// order = ascending processor order). Workers exchange protocol messages
+// through lock-free MPSC mailboxes and advance in supersteps separated by a
+// util::PhaseBarrier — messages sent in one superstep are drained at the
+// start of the next, and there is no global lock anywhere on the hot path.
+//
+// One runtime step executes the same schedule as sim::Engine::step_once:
+// generate/consume over the own shard (identical code path, identical
+// per-processor Philox streams), then the balancing policy as message
+// exchanges — for the threshold balancer on a phase boundary: classify
+// heavy/light from post-generation loads, run the query tree level by level
+// (each collision round = query superstep, accept superstep, collect
+// superstep), deliver id messages to roots, move T/4 tasks per match — then
+// one closing barrier that doubles as the total-load reduction (each worker
+// publishes its shard load to a padded slot; everyone sums all slots, which
+// reproduces the engine's start-of-step system_load snapshot).
+//
+// Determinism contract (RtConfig::deterministic): drained batches whose
+// processing order matters (child assignment, id matching, scatter arrival)
+// are sorted by the message's canonical key before processing. Those keys
+// encode protocol positions (global node slots, tree edges (g, s)), and the
+// global node numbering is computed by leader-assisted prefix scans over the
+// per-worker counts — so the order is partition-invariant and a run is
+// bit-for-bit reproducible for ANY worker count, matching sim::Engine with
+// the same seed (heavy/light classifications, transfer ledger, message
+// counters; verified by test_rt_equivalence). Free-running mode skips the
+// sorts (arrival order wins), attaches spin-work to each consumed task so
+// "consume" costs real CPU, and measures wall-clock throughput and sojourn.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "collision/collision.hpp"
+#include "core/params.hpp"
+#include "obs/trace.hpp"
+#include "rt/mailbox.hpp"
+#include "sim/counters.hpp"
+#include "sim/model.hpp"
+#include "stats/histogram.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clb::rt {
+
+enum class RtPolicy {
+  kNone,       ///< no balancing; the scaling baseline
+  kThreshold,  ///< the paper's threshold balancer (atomic phases, defaults)
+  kAllInAir,   ///< periodic global scatter (Concluding Remarks baseline)
+};
+
+[[nodiscard]] const char* policy_name(RtPolicy p);
+
+struct RtConfig {
+  std::uint64_t n = 1024;
+  std::uint64_t seed = 1;
+  /// Worker threads; 0 = hardware_concurrency, clamped to n.
+  unsigned workers = 1;
+  /// Sequenced message delivery + canonical tie-breaks (see file header).
+  bool deterministic = true;
+  RtPolicy policy = RtPolicy::kThreshold;
+  /// Realised phase parameters; required (from_n) when policy==kThreshold.
+  core::PhaseParams params{};
+  collision::CollisionConfig game{};
+  /// Iterations of register-churn work per consumed task (free-running mode;
+  /// 0 = consume is just the queue pop, as in the simulator).
+  std::uint32_t spin_work = 0;
+  /// Record step-counted sojourn (consume step - birth step) per task.
+  bool track_sojourn = false;
+  /// Record wall-clock sojourn in microseconds per task (one steady_clock
+  /// read per generated and consumed task; meant for free-running benches).
+  bool time_sojourn = false;
+  /// Optional trace sink (borrowed); emits kPhaseBegin/kPhaseEnd/kTransfer.
+  obs::TraceSink* trace = nullptr;
+  /// Test-only fault injection: silently drop the k-th kTransfer message
+  /// (1-based; 0 = off). The sender's side-effects (pop, counters, ledger)
+  /// stay — exactly the "broken mailbox" a conservation oracle must convict.
+  std::uint64_t drop_transfer_message = 0;
+};
+
+/// One applied transfer, for cross-validation against the simulator.
+struct LedgerEntry {
+  std::uint64_t step = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t count = 0;
+};
+
+/// Per-phase record the leader worker assembles (threshold policy).
+struct RtPhaseSummary {
+  std::uint64_t phase_index = 0;
+  std::uint64_t start_step = 0;
+  std::uint64_t num_heavy = 0;
+  std::uint64_t num_light = 0;
+  std::uint64_t matched = 0;    ///< heavy roots that found a light partner
+  std::uint64_t unmatched = 0;
+  std::uint64_t requests = 0;   ///< collision-game requests over all levels
+  std::uint32_t levels_used = 0;
+  std::uint32_t collision_rounds = 0;
+  std::vector<std::uint32_t> heavy_procs;  ///< ascending processor ids
+};
+
+/// Per-processor state. Owned exclusively by the shard's worker while a
+/// run() is in flight; the main thread may inspect between runs (the
+/// command barrier orders the accesses).
+struct RtProcessor {
+  std::deque<RtTask> queue;
+  std::uint64_t generated = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t consumed_on_origin = 0;
+  std::uint64_t tasks_sent = 0;
+  std::uint64_t tasks_received = 0;
+  std::uint64_t balance_initiations = 0;
+  // Protocol flags, stamped with lockstep epochs so phases need no clears.
+  std::uint64_t light_epoch = 0;     ///< light at phase start
+  std::uint64_t assigned_epoch = 0;  ///< reserved by an id message
+  std::uint64_t matched_epoch = 0;   ///< (roots) matched this phase
+  std::uint32_t matched_partner = 0;
+  std::uint64_t accept_epoch = 0;    ///< collision: accepted_total validity
+  std::uint32_t accepted_total = 0;
+  std::uint64_t incoming_epoch = 0;  ///< collision: incoming validity
+  std::uint32_t incoming = 0;
+  std::uint64_t decide_epoch = 0;    ///< collision: round decision validity
+  bool accepts_round = false;
+};
+
+class Runtime {
+ public:
+  /// Spawns cfg.workers threads, each parked on the command barrier. The
+  /// model must be parallel-safe (!serial_generation()); it is shared by all
+  /// workers and must therefore be stateless across step_action calls, which
+  /// every counter-RNG model in src/models is.
+  Runtime(RtConfig cfg, sim::LoadModel* model);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Executes `steps` runtime steps on the worker threads; blocks until
+  /// done. Callable repeatedly; state carries over (step numbering included).
+  void run(std::uint64_t steps);
+
+  // ---- Inspection (main thread, between run() calls) ----
+  [[nodiscard]] const RtConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t n() const { return cfg_.n; }
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+  [[nodiscard]] std::uint64_t step() const { return step_base_; }
+  [[nodiscard]] std::uint64_t load(std::uint64_t p) const {
+    return procs_[p].queue.size();
+  }
+  [[nodiscard]] const RtProcessor& processor(std::uint64_t p) const {
+    return procs_[p];
+  }
+  [[nodiscard]] std::uint64_t total_load() const;
+  [[nodiscard]] std::uint64_t total_generated() const;
+  [[nodiscard]] std::uint64_t total_consumed() const;
+  [[nodiscard]] std::uint64_t running_max_load() const {
+    return running_max_load_;
+  }
+  /// generated + deposited == consumed + queued + dropped? Count-based only
+  /// — identity-blind, which is precisely why the fuzzer's FIFO oracle and
+  /// not this check must convict the mailbox-drop mutation.
+  [[nodiscard]] bool conservation_holds() const;
+
+  /// Message counters summed over workers (same attribution rules as the
+  /// simulator: queries/accepts/ids/control from the protocol, transfers
+  /// and tasks_moved from applied transfers).
+  [[nodiscard]] sim::MessageCounters messages() const;
+  [[nodiscard]] std::uint64_t clamped_transfers() const;
+
+  /// All applied transfers, sorted by (step, from, to). Within one step
+  /// sources are unique, so this order is canonical and directly comparable
+  /// against the engine's per-step pending-transfer capture.
+  [[nodiscard]] std::vector<LedgerEntry> ledger() const;
+
+  [[nodiscard]] const std::vector<RtPhaseSummary>& phases() const {
+    return phases_;
+  }
+
+  [[nodiscard]] stats::IntHistogram sojourn_steps() const;
+  [[nodiscard]] stats::IntHistogram sojourn_us() const;
+
+  /// Wall-clock seconds spent inside run() so far.
+  [[nodiscard]] double wall_seconds() const { return wall_seconds_; }
+
+  /// Mailbox traffic: messages pushed to another worker's mailbox vs the
+  /// sender's own. The remote fraction is the contention exposure.
+  [[nodiscard]] std::uint64_t remote_pushes() const;
+  [[nodiscard]] std::uint64_t self_pushes() const;
+
+  /// Fault-injection bookkeeping (drop_transfer_message).
+  [[nodiscard]] std::uint64_t dropped_messages() const {
+    return dropped_messages_;
+  }
+  [[nodiscard]] std::uint64_t dropped_tasks() const { return dropped_tasks_; }
+
+  /// Appends a task to p's queue (main thread, between runs) — the fault
+  /// hook the fuzzer's load spikes use, mirroring sim::Engine::deposit.
+  void deposit(std::uint32_t p, sim::Task t);
+
+ private:
+  struct alignas(64) Slot {
+    std::uint64_t v0 = 0;
+    std::uint64_t v1 = 0;
+    std::uint64_t v2 = 0;
+  };
+
+  struct RtNode;
+  struct ScanEntry;
+  struct Worker;
+
+  void worker_main(Worker& w);
+  void step_once(Worker& w, std::uint64_t step);
+  void run_phase(Worker& w, std::uint64_t step);
+  std::uint64_t run_level(Worker& w, std::uint64_t step,
+                          std::uint64_t phase_index, std::uint32_t level,
+                          std::uint64_t node_count);
+  void run_scatter(Worker& w, std::uint64_t step);
+  void send(Worker& w, std::uint32_t dest_proc, Message* m);
+  void send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
+                     std::uint32_t partner);
+  void drain(Worker& w, std::vector<Message*>& out);
+  void apply_transfer(Worker& w, const Message& m);
+  [[nodiscard]] unsigned owner_of(std::uint64_t p) const;
+  [[nodiscard]] std::uint32_t now_us() const;
+
+  RtConfig cfg_;
+  sim::LoadModel* model_;
+  std::vector<RtProcessor> procs_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Shard partition (block_range layout, precomputed for owner_of).
+  std::uint64_t chunk_ = 1;
+  std::uint64_t extra_ = 0;
+  std::uint64_t split_ = 0;
+
+  // Superstep coordination.
+  util::PhaseBarrier step_barrier_;  // workers only
+  util::PhaseBarrier cmd_barrier_;   // workers + main
+  std::uint64_t cmd_steps_ = 0;
+  bool cmd_stop_ = false;
+  std::uint64_t step_base_ = 0;
+
+  // Published reduction slots (plain values; the barriers order them).
+  std::vector<Slot> load_slots_[2];  // parity by step: v0 load, v1 max, v2 scattered
+  std::vector<Slot> class_slots_;    // v0 heavy count, v1 light count
+  std::vector<Slot> active_slots_;   // v0 active collision requests
+  std::vector<Slot> match_slots_;    // v0 matched roots
+  std::uint64_t next_node_count_ = 0;  // leader-written between scan barriers
+
+  // Leader-owned aggregates (worker 0 writes, main reads between runs).
+  std::vector<RtPhaseSummary> phases_;
+  std::uint64_t running_max_load_ = 0;
+  std::uint64_t air_interval_ = 1;
+
+  // Fault injection.
+  std::atomic<std::uint64_t> transfer_send_ordinal_{0};
+  std::uint64_t dropped_messages_ = 0;
+  std::uint64_t dropped_tasks_ = 0;
+
+  std::uint64_t deposited_ = 0;
+  double wall_seconds_ = 0;
+  std::chrono::steady_clock::time_point start_tp_;
+};
+
+}  // namespace clb::rt

@@ -17,6 +17,17 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
     if (s.a < 4) s.a = 5;
     if (s.b > 2) s.b = 2;
     if (s.c > 2) s.c = 2;
+    if (opt.mutate == MutationKind::kMailboxDrop) {
+      // The broken-mailbox fault lives in rt::Runtime; conviction needs the
+      // threshold policy, whose rt runs are cross-validated task-by-task
+      // against the simulator.
+      s.balancer = BalancerKind::kThreshold;
+      clamp_to_runtime(s);
+    } else {
+      // The remaining mutations inject through sim::Engine's test hooks,
+      // which the runtime path never calls.
+      s.runtime = false;
+    }
     if (opt.mutate == MutationKind::kReorder &&
         s.balancer == BalancerKind::kAllInAir) {
       // AllInAir reshuffles queues wholesale, so the oracle runs in multiset

@@ -130,6 +130,10 @@ void arm_mutation(const Scenario& s, CaptureBalancer& cap, bool* applied) {
         e.mutable_messages().control += 1;
         *applied = true;
         break;
+      case MutationKind::kMailboxDrop:
+        // Runtime-only fault; the fuzzer routes it through run_rt_scenario
+        // (rt_oracle.cpp), so the engine hook never sees it.
+        break;
     }
   });
 }
@@ -418,7 +422,9 @@ OracleReport run_collision_scenario(const Scenario& s) {
 }
 
 OracleReport check_scenario(const Scenario& s) {
-  return s.collision_only ? run_collision_scenario(s) : run_engine_scenario(s);
+  if (s.collision_only) return run_collision_scenario(s);
+  if (s.runtime) return run_rt_scenario(s);
+  return run_engine_scenario(s);
 }
 
 }  // namespace clb::testing

@@ -104,6 +104,15 @@ class CaptureBalancer final : public sim::Balancer {
 /// collision_only.
 OracleReport run_engine_scenario(const Scenario& s);
 
+/// Runs a runtime (rt::Runtime) scenario. Threshold and unbalanced runs
+/// execute in lockstep with a shadow sim::Engine and are compared
+/// task-by-task (per-queue identity in FIFO order — the check that convicts
+/// the kMailboxDrop mutation, whose sender-side books stay consistent);
+/// all-in-air runs (whose per-processor scatter streams deliberately differ
+/// from the serial baseline) are checked for count conservation and
+/// bit-identical determinism under a different worker count.
+OracleReport run_rt_scenario(const Scenario& s);
+
 /// Runs a standalone collision-game scenario: <= c accepts per processor,
 /// valid => >= b distinct non-self acceptors per request, round budget
 /// respected, message counts consistent, and an identical replay.

@@ -10,6 +10,7 @@
 #include "core/threshold_balancer.hpp"
 #include "dist/dist_balancer.hpp"
 #include "models/adversarial.hpp"
+#include "models/burst.hpp"
 #include "models/geometric.hpp"
 #include "models/multi.hpp"
 #include "models/onoff.hpp"
@@ -40,6 +41,7 @@ const char* to_string(ModelKind m) {
     case ModelKind::kPoissonBatch: return "poisson-batch";
     case ModelKind::kOnOff: return "on-off";
     case ModelKind::kWeighted: return "weighted";
+    case ModelKind::kBurst: return "burst";
   }
   return "?";
 }
@@ -64,6 +66,7 @@ const char* to_string(MutationKind m) {
     case MutationKind::kDupTask: return "dup-task";
     case MutationKind::kReorder: return "reorder";
     case MutationKind::kPhantomMessage: return "phantom-msg";
+    case MutationKind::kMailboxDrop: return "mailbox-drop";
   }
   return "?";
 }
@@ -73,7 +76,61 @@ MutationKind mutation_from_string(const std::string& name) {
   if (name == "dup-task") return MutationKind::kDupTask;
   if (name == "reorder") return MutationKind::kReorder;
   if (name == "phantom-msg") return MutationKind::kPhantomMessage;
+  if (name == "mailbox-drop") return MutationKind::kMailboxDrop;
   return MutationKind::kNone;
+}
+
+void clamp_to_runtime(Scenario& s) {
+  s.runtime = true;
+  s.collision_only = false;
+  // The runtime shares load models with the engine but runs generation on
+  // worker threads, so serial-generation models are out; the weighted
+  // extension has no runtime policy either. Adversarial pressure maps to
+  // the bursty hot-spot model, which stresses the same trigger.
+  switch (s.model) {
+    case ModelKind::kAdversarial:
+      s.model = ModelKind::kBurst;
+      break;
+    case ModelKind::kWeighted:
+      s.model = ModelKind::kSingle;
+      break;
+    default:
+      break;
+  }
+  switch (s.balancer) {
+    case BalancerKind::kNone:
+    case BalancerKind::kThreshold:
+    case BalancerKind::kAllInAir:
+      break;
+    default:
+      s.balancer = BalancerKind::kThreshold;
+      break;
+  }
+  s.spread_execution = false;
+  s.one_shot_preround = false;
+  s.prune_satisfied = false;
+  s.streaming_transfers = false;
+  s.weight_based = false;
+  // A runtime step can cost dozens of barrier crossings (phase_len is 1 at
+  // fuzz sizes); keep the grid small so 200-scenario sweeps stay fast.
+  // Fault events sampled against the original machine must be remapped (and
+  // truncated) into the clamped envelope.
+  if (s.n > 256) s.n = 256;
+  if (s.steps > 96) s.steps = 96;
+  std::vector<FaultEvent> kept;
+  for (FaultEvent ev : s.faults) {
+    if (ev.step >= s.steps) continue;
+    ev.proc %= static_cast<std::uint32_t>(s.n);
+    kept.push_back(ev);
+  }
+  s.faults = std::move(kept);
+  // Protocol constants within the runtime's query-width limit (a <= 16)
+  // and the binary-tree envelope, mirroring the engine-mutation clamps.
+  if (s.a < 4) s.a = 5;
+  if (s.a > 16) s.a = 16;
+  if (s.b < 1) s.b = 1;
+  if (s.b > 2) s.b = 2;
+  if (s.c < 1) s.c = 1;
 }
 
 Scenario Scenario::sample(std::uint64_t scenario_seed, std::uint64_t index) {
@@ -146,6 +203,11 @@ Scenario Scenario::sample(std::uint64_t scenario_seed, std::uint64_t index) {
     s.faults.push_back(ev);
   }
   s.mutation_step = pick(rng, 1, s.steps > 8 ? s.steps - 4 : s.steps);
+
+  // Every ~4th engine scenario exercises the concurrent runtime instead of
+  // the simulator. Drawn last so the runtime dimension does not perturb the
+  // sampling streams of pre-existing scenario fields.
+  if (pick(rng, 0, 3) == 0) clamp_to_runtime(s);
   return s;
 }
 
@@ -161,9 +223,9 @@ std::string Scenario::describe() const {
   }
   std::snprintf(
       buf, sizeof buf,
-      "engine n=%llu steps=%llu model=%s balancer=%s threads=%u/%u "
+      "%s n=%llu steps=%llu model=%s balancer=%s threads=%u/%u "
       "faults=%zu%s%s mutation=%s",
-      static_cast<unsigned long long>(n),
+      runtime ? "runtime" : "engine", static_cast<unsigned long long>(n),
       static_cast<unsigned long long>(steps), to_string(model),
       to_string(balancer), threads, threads_replay, faults.size(),
       spread_execution ? " spread" : "", streaming_transfers ? " stream" : "",
@@ -222,6 +284,15 @@ ScenarioRuntime build_runtime(const Scenario& s) {
       rt.model = std::make_unique<models::WeightedSingleModel>(
           s.p, s.eps, std::vector<double>{0.5, 0.25, 0.15, 0.1});
       break;
+    case ModelKind::kBurst: {
+      models::BurstConfig bc;
+      bc.period = 16;
+      bc.burst_len = 8;
+      bc.hot_fraction = 0.1;
+      bc.burst_rate = 6;
+      rt.model = std::make_unique<models::BurstModel>(bc, s.n);
+      break;
+    }
   }
 
   switch (s.balancer) {

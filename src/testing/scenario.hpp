@@ -33,6 +33,7 @@ enum class ModelKind {
   kPoissonBatch,
   kOnOff,
   kWeighted,  // weighted extension; pairs with weight_based balancing
+  kBurst,     // bursty hot-spot model (runtime scenarios)
 };
 
 enum class BalancerKind {
@@ -54,6 +55,7 @@ enum class MutationKind {
   kDupTask,         // deliver one task twice
   kReorder,         // swap two tasks in one FIFO queue
   kPhantomMessage,  // bump a protocol counter outside any phase window
+  kMailboxDrop,     // rt runtime: silently drop one transfer message
 };
 
 /// A load spike deposited onto one processor before `step` executes.
@@ -88,6 +90,11 @@ struct Scenario {
   double lambda = 0.5;            // PoissonBatch
 
   BalancerKind balancer = BalancerKind::kThreshold;
+  /// Run on rt::Runtime (worker threads + mailboxes, deterministic mode)
+  /// instead of sim::Engine. Runtime scenarios are clamped to the runtime's
+  /// envelope (parallel-safe model, none/threshold/all-in-air policy, small
+  /// n and steps); see clamp_to_runtime.
+  bool runtime = false;
   bool spread_execution = false;
   bool one_shot_preround = false;
   bool prune_satisfied = false;
@@ -118,6 +125,14 @@ const char* to_string(BalancerKind b);
 const char* to_string(MutationKind m);
 /// Inverse of to_string(MutationKind); returns kNone for unknown names.
 MutationKind mutation_from_string(const std::string& name);
+
+/// Forces `s` into rt::Runtime's envelope: a parallel-safe model, a policy
+/// the runtime implements (none / threshold / all-in-air), protocol
+/// constants within the runtime's query-width limit, and sizes small enough
+/// that a phase-per-step schedule stays affordable under fuzzing. Called by
+/// Scenario::sample for scenarios drawn as runtime, and by the fuzzer when
+/// a runtime-only mutation (kMailboxDrop) is requested.
+void clamp_to_runtime(Scenario& s);
 
 /// Owns the model + balancer a scenario describes. The engine is built by
 /// the oracle (which wraps the balancer to capture scheduled transfers), so

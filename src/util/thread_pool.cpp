@@ -1,13 +1,19 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace clb::util {
 
 namespace {
 
-// Splits [0, count) into `parts` contiguous blocks; returns [begin, end) of
-// block `index`. Blocks differ in size by at most 1.
+// Worker ID of the current thread. Pool threads set this once at spawn;
+// everything else (main thread, detached helpers) keeps the default 0.
+thread_local unsigned t_worker_index = 0;
+
+}  // namespace
+
 std::pair<std::uint64_t, std::uint64_t> block_range(std::uint64_t count,
                                                     unsigned parts,
                                                     unsigned index) {
@@ -19,7 +25,26 @@ std::pair<std::uint64_t, std::uint64_t> block_range(std::uint64_t count,
   return {begin, begin + size};
 }
 
-}  // namespace
+PhaseBarrier::PhaseBarrier(unsigned parties) : parties_(parties) {
+  CLB_CHECK(parties >= 1, "PhaseBarrier needs at least one party");
+}
+
+void PhaseBarrier::arrive_and_wait() {
+  std::unique_lock lock(mu_);
+  const std::uint64_t my_generation = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+}
+
+std::uint64_t PhaseBarrier::generation() const {
+  std::lock_guard lock(mu_);
+  return generation_;
+}
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == 0) {
@@ -28,7 +53,10 @@ ThreadPool::ThreadPool(unsigned workers) {
   // The calling thread is worker 0; spawn the rest.
   threads_.reserve(workers - 1);
   for (unsigned i = 1; i < workers; ++i) {
-    threads_.emplace_back([this, i] { worker_loop(i); });
+    threads_.emplace_back([this, i] {
+      t_worker_index = i;
+      worker_loop(i);
+    });
   }
 }
 
@@ -40,6 +68,8 @@ ThreadPool::~ThreadPool() {
   cv_start_.notify_all();
   for (auto& t : threads_) t.join();
 }
+
+unsigned ThreadPool::worker_index() { return t_worker_index; }
 
 void ThreadPool::parallel_for(
     std::uint64_t count,

@@ -1,4 +1,6 @@
-// Fixed-size thread pool with a blocking parallel_for.
+// Fixed-size thread pool with a blocking parallel_for, plus the two
+// primitives the concurrent runtime (src/rt) builds its supersteps from:
+// a reusable phase barrier and stable per-thread worker IDs.
 //
 // The simulator's per-step work (task generation, query placement) is data
 // parallel over processors. Per-processor counter-based RNG streams make the
@@ -12,9 +14,56 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace clb::util {
+
+/// Splits [0, count) into `parts` contiguous blocks; returns [begin, end) of
+/// block `index`. Blocks differ in size by at most 1, and earlier blocks get
+/// the larger sizes, so concatenating blocks 0..parts-1 walks [0, count) in
+/// order. Both ThreadPool::parallel_for and the rt shard partition use this,
+/// which is what makes "worker order = ascending processor order" a property
+/// the runtime can rely on.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> block_range(
+    std::uint64_t count, unsigned parts, unsigned index);
+
+/// Reusable cyclic barrier with std::barrier's core API (arrive_and_wait).
+/// All `parties` threads block until the last one arrives, then all proceed;
+/// the barrier resets itself for the next cycle (sense-reversing via a
+/// generation counter). Unlike std::barrier it is copy-free to embed, has no
+/// completion function, and — because it synchronises through one mutex —
+/// every write made before arrive_and_wait() happens-before every read made
+/// after it in any other party. The rt runtime leans on that: plain (non-
+/// atomic) per-worker slots published before a barrier are safe to read
+/// after it.
+///
+/// Deliberately blocking (condvar), not spinning: oversubscribed hosts
+/// (CI runners, the 1-core container this repo is often built in) are the
+/// common case, and a spinning barrier inverts priorities there.
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(unsigned parties);
+
+  PhaseBarrier(const PhaseBarrier&) = delete;
+  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
+
+  /// Blocks until all parties have arrived at this cycle.
+  void arrive_and_wait();
+
+  [[nodiscard]] unsigned parties() const { return parties_; }
+
+  /// Number of completed cycles. Only meaningful when the caller knows the
+  /// barrier is quiescent (e.g. between rt run() commands); used by tests.
+  [[nodiscard]] std::uint64_t generation() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const unsigned parties_;
+  unsigned waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
 
 class ThreadPool {
  public:
@@ -29,9 +78,19 @@ class ThreadPool {
     return static_cast<unsigned>(threads_.size() + 1);  // workers + caller
   }
 
+  /// Stable ID of the calling thread within its owning pool: the caller of
+  /// parallel_for is worker 0, spawned threads are 1..worker_count()-1, and
+  /// a given pool thread reports the same index for its whole lifetime (IDs
+  /// are pinned at spawn, not assigned per job). Threads that belong to no
+  /// pool — including the main thread — report 0, matching their role as
+  /// "worker 0" when they call parallel_for.
+  [[nodiscard]] static unsigned worker_index();
+
   /// Runs body(begin, end) over [0, count) split into contiguous blocks, one
   /// per worker (the calling thread participates). Blocks until all finish.
-  /// `body` must be safe to call concurrently on disjoint ranges.
+  /// `body` must be safe to call concurrently on disjoint ranges. Inside
+  /// `body`, worker_index() identifies the executing worker, and worker i
+  /// always receives block i (block_range(count, worker_count(), i)).
   void parallel_for(std::uint64_t count,
                     const std::function<void(std::uint64_t, std::uint64_t)>& body);
 

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <numeric>
+#include <set>
+#include <thread>
 
 #include "util/cli.hpp"
 #include "util/math.hpp"
@@ -127,6 +130,101 @@ TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
     sum += e - b;
   });
   EXPECT_EQ(sum.load(), 3u);
+}
+
+TEST(BlockRange, PartitionsInOrderWithBalancedSizes) {
+  // Concatenating blocks 0..parts-1 must walk [0, count) in order, with
+  // sizes differing by at most one and larger blocks first — the property
+  // the rt shard layout relies on for "worker order = processor order".
+  for (std::uint64_t count : {0ull, 1ull, 7ull, 64ull, 97ull, 1000ull}) {
+    for (unsigned parts : {1u, 2u, 3u, 8u, 13u}) {
+      std::uint64_t expect_begin = 0;
+      std::uint64_t prev_size = ~0ull;
+      for (unsigned i = 0; i < parts; ++i) {
+        const auto [b, e] = block_range(count, parts, i);
+        EXPECT_EQ(b, expect_begin) << count << "/" << parts << " blk " << i;
+        EXPECT_GE(e, b);
+        EXPECT_LE(e - b, prev_size);
+        EXPECT_LE(prev_size - (e - b), prev_size == ~0ull ? ~0ull : 1ull);
+        prev_size = e - b;
+        expect_begin = e;
+      }
+      EXPECT_EQ(expect_begin, count);
+    }
+  }
+}
+
+TEST(PhaseBarrier, SinglePartyNeverBlocks) {
+  PhaseBarrier b(1);
+  for (int i = 0; i < 10; ++i) b.arrive_and_wait();
+  EXPECT_EQ(b.generation(), 10u);
+}
+
+TEST(PhaseBarrier, SeparatesWritePhasesAcrossThreads) {
+  // Each of 4 threads increments a plain (non-atomic) counter once per
+  // cycle; the barrier's happens-before must make every increment of cycle
+  // k visible before any thread starts cycle k+1.
+  constexpr unsigned kParties = 4;
+  constexpr int kCycles = 200;
+  PhaseBarrier barrier(kParties);
+  std::uint64_t slots[kParties] = {};
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (unsigned t = 0; t < kParties; ++t) {
+    threads.emplace_back([&, t] {
+      for (int cycle = 1; cycle <= kCycles; ++cycle) {
+        slots[t] += 1;
+        barrier.arrive_and_wait();
+        std::uint64_t sum = 0;
+        for (const std::uint64_t s : slots) sum += s;
+        if (sum != static_cast<std::uint64_t>(cycle) * kParties)
+          mismatches.fetch_add(1);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(barrier.generation(), 2u * kCycles);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndCoversAllWorkers) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.worker_count(), 4u);
+  // The caller is worker 0, pool threads are 1..3, and a given thread must
+  // report the same index on every job (IDs pinned at spawn).
+  std::mutex mu;
+  std::map<std::thread::id, std::set<unsigned>> seen;
+  for (int round = 0; round < 20; ++round) {
+    // count >= 2 * workers, or the small-range fast path runs inline on the
+    // caller and no pool thread ever participates.
+    pool.parallel_for(64, [&](std::uint64_t, std::uint64_t) {
+      std::lock_guard lock(mu);
+      seen[std::this_thread::get_id()].insert(ThreadPool::worker_index());
+    });
+  }
+  std::set<unsigned> indices;
+  for (const auto& [tid, idx] : seen) {
+    EXPECT_EQ(idx.size(), 1u) << "a thread changed its worker index";
+    indices.insert(*idx.begin());
+  }
+  EXPECT_EQ(indices, (std::set<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(ThreadPool::worker_index(), 0u);  // main thread = worker 0
+}
+
+TEST(ThreadPool, WorkerIndexMatchesBlockIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<unsigned>> owner(300);
+  pool.parallel_for(300, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i)
+      owner[i].store(ThreadPool::worker_index());
+  });
+  for (unsigned i = 0; i < 3; ++i) {
+    const auto [b, e] = block_range(300, 3, i);
+    for (std::uint64_t j = b; j < e; ++j) {
+      EXPECT_EQ(owner[j].load(), i) << "index " << j;
+    }
+  }
 }
 
 TEST(ThreadPool, ReusableAcrossManyJobs) {

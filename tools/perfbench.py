@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""perfbench: drives bench_rt (EXP-21) and distils the runtime's scaling
+profile into BENCH_rt.json.
+
+One bench_rt invocation sweeps worker counts for each (model, policy)
+configuration and exports per-run gauges via --metrics-json; this tool runs
+it, reshapes the gauges into a stable, diff-friendly document, derives the
+scaling ratios, and (optionally) gates on them:
+
+    tools/perfbench.py --bench build/bench/bench_rt --out BENCH_rt.json
+    tools/perfbench.py --smoke          # reduced matrix, schema gate only
+
+Document schema (clb.bench_rt.v1):
+
+  {
+    "schema": "clb.bench_rt.v1",
+    "host": {"hardware_concurrency": <int>},
+    "config": {"n": .., "steps": .., "spin": .., "seed": ..,
+               "workers": [..], "models": [..], "policies": [..],
+               "smoke": <bool>},
+    "runs": [{"model": .., "policy": .., "workers": ..,
+              "tasks_per_sec": .., "wall_seconds": ..,
+              "sojourn_p50_us": .., "sojourn_p95_us": ..,
+              "sojourn_p99_us": .., "remote_push_fraction": ..,
+              "msgs_per_task": .., "consumed": ..}, ...],
+    "derived": {"<model>.<policy>.speedup_at_max_workers": .., ...}
+  }
+
+The >1.5x speedup gate (threshold policy, max vs 1 worker) only arms when
+the host has at least --min-cores-for-gate real cores: worker threads on a
+single-core CI box are concurrency, not parallelism, and a throughput
+assertion there measures the scheduler, not the runtime.
+
+Exit status: 0 = document written (and every armed gate passed);
+1 = bench failed, schema invalid, or an armed gate tripped.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "clb.bench_rt.v1"
+
+RUN_FIELDS = [
+    "tasks_per_sec",
+    "wall_seconds",
+    "sojourn_p50_us",
+    "sojourn_p95_us",
+    "sojourn_p99_us",
+    "remote_push_fraction",
+    "msgs_per_task",
+    "consumed",
+]
+
+
+def fail(msg: str) -> "sys.NoReturn":
+    print(f"perfbench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_bench(bench: str, args: argparse.Namespace, metrics_path: str) -> None:
+    cmd = [
+        bench,
+        f"--n={args.n}",
+        f"--steps={args.steps}",
+        f"--spin={args.spin}",
+        f"--seed={args.seed}",
+        f"--workers={','.join(str(w) for w in args.worker_list)}",
+        f"--models={','.join(args.model_list)}",
+        f"--policies={','.join(args.policy_list)}",
+        f"--metrics-json={metrics_path}",
+    ]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout, file=sys.stderr)
+        fail(f"bench_rt exited {proc.returncode}")
+
+
+def assemble(gauges: dict, args: argparse.Namespace) -> dict:
+    hw = int(gauges.get("rt.hardware_concurrency", 0))
+    runs = []
+    for model in args.model_list:
+        for policy in args.policy_list:
+            for w in args.worker_list:
+                prefix = f"rt.{model}.{policy}.w{w}."
+                if prefix + "tasks_per_sec" not in gauges:
+                    fail(f"bench_rt emitted no gauges for {prefix}*")
+                run = {"model": model, "policy": policy, "workers": w}
+                for field in RUN_FIELDS:
+                    run[field] = gauges[prefix + field]
+                runs.append(run)
+
+    derived = {}
+    for model in args.model_list:
+        for policy in args.policy_list:
+            rates = {
+                r["workers"]: r["tasks_per_sec"]
+                for r in runs
+                if r["model"] == model and r["policy"] == policy
+            }
+            base = rates.get(min(rates))
+            peak = rates.get(max(rates))
+            if base and base > 0:
+                derived[f"{model}.{policy}.speedup_at_max_workers"] = (
+                    peak / base)
+
+    return {
+        "schema": SCHEMA,
+        "host": {"hardware_concurrency": hw},
+        "config": {
+            "n": args.n,
+            "steps": args.steps,
+            "spin": args.spin,
+            "seed": args.seed,
+            "workers": args.worker_list,
+            "models": args.model_list,
+            "policies": args.policy_list,
+            "smoke": bool(args.smoke),
+        },
+        "runs": runs,
+        "derived": derived,
+    }
+
+
+def validate(doc: dict) -> None:
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    hw = doc.get("host", {}).get("hardware_concurrency")
+    if not isinstance(hw, int) or hw < 0:
+        fail("host.hardware_concurrency missing or not an int")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs missing or empty")
+    for i, run in enumerate(runs):
+        for key in ("model", "policy", "workers", *RUN_FIELDS):
+            if key not in run:
+                fail(f"runs[{i}] missing {key!r}")
+        for field in RUN_FIELDS:
+            if not isinstance(run[field], (int, float)):
+                fail(f"runs[{i}].{field} is not numeric")
+        if run["tasks_per_sec"] < 0 or run["wall_seconds"] <= 0:
+            fail(f"runs[{i}] has nonsensical throughput/wall time")
+    if not isinstance(doc.get("derived"), dict):
+        fail("derived missing")
+
+
+def gate(doc: dict, args: argparse.Namespace) -> None:
+    hw = doc["host"]["hardware_concurrency"]
+    if hw < args.min_cores_for_gate:
+        print(f"perfbench: speedup gate disarmed "
+              f"({hw} cores < {args.min_cores_for_gate} required)")
+        return
+    for model in args.model_list:
+        key = f"{model}.threshold.speedup_at_max_workers"
+        speedup = doc["derived"].get(key)
+        if speedup is None:
+            continue
+        if speedup < args.min_speedup:
+            fail(f"{key} = {speedup:.2f} < required {args.min_speedup}")
+        print(f"perfbench: {key} = {speedup:.2f} (>= {args.min_speedup}) ok")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="Run bench_rt and write BENCH_rt.json")
+    ap.add_argument("--bench", default="build/bench/bench_rt",
+                    help="path to the bench_rt binary")
+    ap.add_argument("--out", default="BENCH_rt.json",
+                    help="output document path")
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced matrix; schema validation only")
+    ap.add_argument("--n", type=int, default=4096)
+    ap.add_argument("--steps", type=int, default=2000)
+    ap.add_argument("--spin", type=int, default=64)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--workers", default="",
+                    help="comma-separated worker counts "
+                         "(default: 1,2,4,..,hardware_concurrency)")
+    ap.add_argument("--models", default="single,burst")
+    ap.add_argument("--policies", default="threshold,none,all-in-air")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="required threshold-policy speedup, max vs 1 worker")
+    ap.add_argument("--min-cores-for-gate", type=int, default=8,
+                    help="arm the speedup gate only at this many real cores")
+    args = ap.parse_args()
+
+    if args.smoke:
+        args.n = 512
+        args.steps = 96
+        args.models = "single"
+        if not args.workers:
+            args.workers = "1,2"
+
+    if args.workers:
+        args.worker_list = [int(w) for w in args.workers.split(",") if w]
+    else:
+        hw = os.cpu_count() or 1
+        ws = []
+        k = 1
+        while k <= hw:
+            ws.append(k)
+            k *= 2
+        if ws[-1] != hw:
+            ws.append(hw)
+        if len(ws) < 2:
+            ws.append(2)
+        args.worker_list = ws
+    args.model_list = [m for m in args.models.split(",") if m]
+    args.policy_list = [p for p in args.policies.split(",") if p]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics_path = os.path.join(tmp, "bench_rt.metrics.json")
+        run_bench(args.bench, args, metrics_path)
+        try:
+            with open(metrics_path, encoding="utf-8") as f:
+                gauges = json.load(f).get("gauges", {})
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"cannot read bench metrics: {e}")
+
+    doc = assemble(gauges, args)
+    validate(doc)
+    if not args.smoke:
+        gate(doc, args)
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"perfbench: wrote {args.out} "
+          f"({len(doc['runs'])} runs, schema {SCHEMA})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
