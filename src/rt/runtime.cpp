@@ -554,7 +554,7 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
     // before the first send: without it a fast worker's replies land in a
     // slow worker's still-draining inbox and contaminate the batch with
     // next-exchange messages (the entry barrier only orders the *previous*
-    // segment's sends). Same pattern at L2, L4 and L5 below.
+    // segment's sends). Same pattern at L2, L3, L4 and L5 below.
     drain(w, w.batch);
     step_barrier_.arrive_and_wait();
     for (const Message* m : w.batch) {
@@ -686,6 +686,7 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
   // ---- roots match on the first id (sorted: lowest (g, s) edge wins, as
   // in the simulator); parents apply the sibling rule and stage forwards.
   drain(w, w.batch);
+  step_barrier_.arrive_and_wait();  // transfer sends below; see R2
   if (cfg_.deterministic) std::sort(w.batch.begin(), w.batch.end(), key_less);
   for (Message* m : w.batch) {
     if (m->kind == MsgKind::kId) {

@@ -82,6 +82,12 @@ struct RtConfig {
   /// Test-only fault injection: silently drop the k-th kTransfer message
   /// (1-based; 0 = off). The sender's side-effects (pop, counters, ledger)
   /// stay — exactly the "broken mailbox" a conservation oracle must convict.
+  /// The ordinal counts transfers in *arrival order* at the send site, which
+  /// with more than one worker is a race: workers sending in the same
+  /// superstep interleave nondeterministically, so WHICH transfer is dropped
+  /// can differ across runs and worker counts. Conservation totals (dropped
+  /// message/task counts) are deterministic regardless; for a replayable
+  /// victim, run with workers = 1 (as rt_oracle's mutation probe does).
   std::uint64_t drop_transfer_message = 0;
 };
 
