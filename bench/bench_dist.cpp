@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   const auto n = cli.flag_u64("n", 1 << 13, "processors");
   const auto steps = cli.flag_u64("steps", 3000, "steps per run");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  const auto latencies_csv = cli.flag_str(
+      "latencies", "1,2,4,8", "uniform fabric latencies to sweep");
   bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
   smoke.apply();
@@ -53,7 +55,9 @@ int main(int argc, char** argv) {
               4);
   }
 
-  for (const std::uint32_t latency : {1u, 2u, 4u, 8u}) {
+  for (const std::uint64_t latency_u64 :
+       util::Cli::parse_u64_list(*latencies_csv)) {
+    const auto latency = static_cast<std::uint32_t>(latency_u64);
     models::SingleModel model(0.4, 0.1);
     dist::DistThresholdBalancer balancer(
         {.params = params, .latency = latency});

@@ -12,6 +12,13 @@
 //
 // tools/perfbench.py drives this binary once per worker count and distils
 // the emitted metrics into BENCH_rt.json; run it directly for tables.
+//
+// EXP-22 (second section) — the latency fabric on real threads. With
+// --latencies the runtime re-runs in deterministic mode with a message
+// latency attached to every protocol send (the dist:: delay-queue policy,
+// executed by worker threads), and the table reports per-phase durations:
+// EXP-19's phase-duration ∝ latency result, reproduced on the concurrent
+// runtime. tools/statcheck.py --exp22 gates the exp22.* gauges.
 #include <algorithm>
 #include <cstdint>
 #include <memory>
@@ -73,6 +80,13 @@ int main(int argc, char** argv) {
   const auto policies_csv = cli.flag_str(
       "policies", "threshold,none,all-in-air",
       "policies: threshold,none,all-in-air");
+  const auto latencies_csv = cli.flag_str(
+      "latencies", "1,2,4,8",
+      "EXP-22 deterministic latency sweep (empty disables)");
+  const auto lat_steps = cli.flag_u64(
+      "lat-steps", 512, "runtime steps per latency-sweep run");
+  const auto lat_workers =
+      cli.flag_u64("lat-workers", 4, "worker threads in the latency sweep");
   bench::SmokeFlag smoke(cli);
   bench::ObsFlags obs_flags(cli);
   cli.parse(argc, argv);
@@ -80,6 +94,8 @@ int main(int argc, char** argv) {
   if (smoke.on()) {
     cli.override_str("workers", "1,2");
     cli.override_str("models", "single");
+    cli.override_str("latencies", "1,4");
+    cli.override_u64("lat-steps", 192);
   }
 
   obs::Recorder rec(obs_flags.config("bench_rt", argc, argv));
@@ -190,6 +206,106 @@ int main(int argc, char** argv) {
     }
   }
   clb::bench::emit(table, "rt_1");
+
+  // ---- EXP-22: the latency fabric on real threads (deterministic) ----
+  // Same protocol, but every send is delayed by the dist:: delivery policy;
+  // phases span supersteps and their duration tracks the message latency
+  // (EXP-19's result, executed by worker threads instead of the simulator).
+  std::vector<std::uint32_t> latencies;
+  for (std::uint64_t l : util::Cli::parse_u64_list(*latencies_csv)) {
+    latencies.push_back(static_cast<std::uint32_t>(l));
+  }
+  if (!latencies.empty()) {
+    util::print_banner(
+        "EXP-22  latency fabric: phase duration on real threads");
+    util::print_note("expect: mean phase duration grows ~linearly with the "
+                     "message latency while the match rate holds; runs are "
+                     "deterministic and worker-count invariant (lockstep "
+                     "with dist/, see rt_latency_equivalence)");
+    util::Table lt({"latency", "phases", "phase steps (mean)", "match %",
+                    "forced", "max load"});
+    core::Fractions lat_fr;
+    lat_fr.t_min = 64;
+    const core::PhaseParams lat_params = core::PhaseParams::from_n(*n, lat_fr);
+    for (const std::uint32_t latency : latencies) {
+      auto model = make_model("single", *n);
+      rt::RtConfig cfg;
+      cfg.n = *n;
+      cfg.seed = *seed;
+      cfg.workers = static_cast<unsigned>(*lat_workers);
+      cfg.deterministic = true;
+      cfg.policy = rt::RtPolicy::kThreshold;
+      cfg.params = lat_params;
+      cfg.latency = latency;
+      rt::Runtime run(cfg, model.get());
+
+      // Periodic load spikes guarantee heavy processors, so every phase
+      // does real matching work — the same pattern at every latency.
+      std::uint64_t done = 0;
+      for (std::uint64_t s = 0; s < *lat_steps; s += 37) {
+        if (s > done) {
+          run.run(s - done);
+          done = s;
+        }
+        const std::uint32_t proc =
+            static_cast<std::uint32_t>((*seed * 7 + s * 13) % *n);
+        for (std::uint32_t i = 0; i < 48; ++i) {
+          run.deposit(proc,
+                      sim::Task{static_cast<std::uint32_t>(s), proc, 1});
+        }
+      }
+      run.run(*lat_steps - done);
+      // A phase may be mid-flight at the nominal end (task payloads riding
+      // the fabric are neither queued nor consumed); step on to the next
+      // phase boundary so the conservation check sees a drained fabric.
+      for (std::uint64_t extra = 0;
+           run.fabric_in_flight() != 0 && extra < 4096; ++extra) {
+        run.run(1);
+      }
+
+      std::uint64_t phases = 0, duration = 0, matched = 0, unmatched = 0,
+                    forced = 0;
+      for (const rt::RtPhaseSummary& ps : run.phases()) {
+        if (!ps.completed || ps.num_heavy == 0) continue;
+        ++phases;
+        duration += ps.end_step - ps.start_step;
+        matched += ps.matched;
+        unmatched += ps.unmatched;
+        if (ps.forced) ++forced;
+      }
+      const double mean_dur =
+          phases > 0
+              ? static_cast<double>(duration) / static_cast<double>(phases)
+              : 0.0;
+      const double total_heavy = static_cast<double>(matched + unmatched);
+      const double match_pct =
+          total_heavy > 0
+              ? 100.0 * static_cast<double>(matched) / total_heavy
+              : 100.0;
+
+      lt.row()
+          .cell(static_cast<std::uint64_t>(latency))
+          .cell(phases)
+          .cell(mean_dur, 2)
+          .cell(match_pct, 2)
+          .cell(forced)
+          .cell(run.running_max_load());
+
+      const std::string prefix = "exp22.lat" + std::to_string(latency) + ".";
+      rec.metrics().gauge(prefix + "phase_duration_mean") = mean_dur;
+      rec.metrics().gauge(prefix + "phases") = static_cast<double>(phases);
+      rec.metrics().gauge(prefix + "match_pct") = match_pct;
+      rec.metrics().gauge(prefix + "forced") = static_cast<double>(forced);
+
+      if (!run.conservation_holds() || run.fabric_in_flight() != 0) {
+        std::fprintf(stderr,
+                     "FATAL: latency-sweep invariants violated (lat=%u)\n",
+                     latency);
+        return 1;
+      }
+    }
+    clb::bench::emit(lt, "rt_2");
+  }
 
   rec.metrics().gauge("rt.hardware_concurrency") =
       static_cast<double>(std::thread::hardware_concurrency());

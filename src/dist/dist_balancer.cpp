@@ -12,10 +12,6 @@
 
 namespace clb::dist {
 
-namespace {
-constexpr std::uint64_t kTargetSalt = 0x64697374746172ULL;  // "disttar"
-}
-
 DistThresholdBalancer::DistThresholdBalancer(DistConfig cfg) : cfg_(cfg) {
   CLB_CHECK(cfg_.a >= 2 && cfg_.a <= kMaxA, "dist: a in [2, 8]");
   CLB_CHECK(cfg_.b >= 1 && cfg_.b <= 2, "dist: binary trees need b in [1, 2]");
@@ -56,6 +52,11 @@ void DistThresholdBalancer::on_reset(sim::Engine& engine) {
   req_.assign(n, Request{});
   active_list_.clear();
   heavy_.clear();
+}
+
+void DistThresholdBalancer::send_seq(Message m, std::uint64_t now) {
+  m.seq = net::SeqKey{now, seq_stage_, seq_major_, seq_minor_++};
+  net_->send(m, now);
 }
 
 void DistThresholdBalancer::on_step(sim::Engine& engine) {
@@ -103,6 +104,9 @@ void DistThresholdBalancer::start_phase(sim::Engine& engine) {
                   phase_index_, heavy_.size(), num_light);
   for (const std::uint32_t h : heavy_) {
     engine.note_balance_initiation(h);
+    seq_stage_ = net::SendStage::kPhaseStart;
+    seq_major_ = h;
+    seq_minor_ = 0;
     start_request(engine, h, h, 1);
   }
 }
@@ -115,12 +119,13 @@ void DistThresholdBalancer::start_request(sim::Engine& engine,
   CLB_DCHECK(!r.active, "processor already runs a request this phase");
   r = Request{};
   r.root = root;
+  r.act_step = engine.step();
   r.level = static_cast<std::uint8_t>(level);
   r.active = true;
   // Fixed i.u.a.r. target set, excluding self (Figure 1: no new random
   // choices in later rounds).
   rng::CounterRng rng(engine.seed(),
-                      rng::hash_combine(kTargetSalt,
+                      rng::hash_combine(net::kDistTargetSalt,
                                         rng::hash_combine(proc, level)),
                       phase_index_);
   const std::uint64_t n = engine.n();
@@ -153,8 +158,8 @@ void DistThresholdBalancer::send_pending_queries(sim::Engine& engine,
   std::uint64_t worst_delay = 1;
   for (std::uint32_t j = 0; j < cfg_.a; ++j) {
     if (r.accepted_mask & (1u << j)) continue;
-    net_->send(Message{MsgKind::kQuery, proc, r.targets[j], r.root, r.level},
-               engine.step());
+    send_seq(Message{MsgKind::kQuery, proc, r.targets[j], r.root, r.level},
+             engine.step());
     ++msg.queries;
     CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kQuery, engine.step(), proc,
                     r.targets[j], phase_index_, r.level);
@@ -181,15 +186,15 @@ void DistThresholdBalancer::handle_query_batch(sim::Engine& engine,
       applicative = true;
       set_assigned(target);
       // Announce directly to the boss (its id rode in the query).
-      net_->send(Message{MsgKind::kId, target, q.payload_a, 0, 0},
-                 engine.step());
+      send_seq(Message{MsgKind::kId, target, q.payload_a, 0, 0},
+               engine.step());
       ++mc.id_messages;
       CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kIdMessage, engine.step(),
                       q.payload_a, target, phase_index_, q.payload_b);
     }
-    net_->send(Message{MsgKind::kAccept, target, q.from, q.payload_a,
-                       applicative ? 1u : 0u},
-               engine.step());
+    send_seq(Message{MsgKind::kAccept, target, q.from, q.payload_a,
+                     applicative ? 1u : 0u},
+             engine.step());
     ++mc.accepts;
     CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kAccept, engine.step(), target,
                     q.from, phase_index_, q.payload_b);
@@ -202,6 +207,9 @@ void DistThresholdBalancer::handle_deliveries(sim::Engine& engine) {
   std::size_t i = 0;
   while (i < due.size()) {
     const std::uint32_t recipient = due[i].to;
+    seq_stage_ = net::SendStage::kDeliver;
+    seq_major_ = recipient;
+    seq_minor_ = 0;
     query_batch_.clear();
     std::size_t j = i;
     for (; j < due.size() && due[j].to == recipient; ++j) {
@@ -230,9 +238,9 @@ void DistThresholdBalancer::handle_deliveries(sim::Engine& engine) {
           if (!matched(recipient)) {
             matched_stamp_[recipient] = epoch_;
             // Ship the block; the payload lands `latency` steps from now.
-            net_->send(Message{MsgKind::kTransfer, recipient, m.from,
-                               cfg_.params.transfer_amount, 0},
-                       engine.step());
+            send_seq(Message{MsgKind::kTransfer, recipient, m.from,
+                             cfg_.params.transfer_amount, 0},
+                     engine.step());
           }
           break;
         }
@@ -268,6 +276,9 @@ void DistThresholdBalancer::evaluate_requests(sim::Engine& engine) {
       active_list_[w++] = proc;
       continue;
     }
+    seq_stage_ = net::SendStage::kEvaluate;
+    seq_major_ = net::evaluate_major(r.act_step, proc);
+    seq_minor_ = 0;
     if (r.accept_count >= cfg_.b) {
       // Request complete. Applicative children already announced
       // themselves; a fully non-applicative pair forwards the search
@@ -279,9 +290,9 @@ void DistThresholdBalancer::evaluate_requests(sim::Engine& engine) {
       }
       if (!any_applicative && r.level < cfg_.params.tree_depth) {
         for (std::uint32_t k = 0; k < kids; ++k) {
-          net_->send(Message{MsgKind::kForward, proc, r.child[k], r.root,
-                             static_cast<std::uint32_t>(r.level + 1)},
-                     now);
+          send_seq(Message{MsgKind::kForward, proc, r.child[k], r.root,
+                           static_cast<std::uint32_t>(r.level + 1)},
+                   now);
         }
       }
       r.active = false;
@@ -308,8 +319,8 @@ void DistThresholdBalancer::finish_phase(sim::Engine& engine, bool forced) {
     active_list_.clear();
     net_->reset();
   }
-  [[maybe_unused]] std::uint64_t phase_matched = 0;
-  [[maybe_unused]] std::uint64_t phase_unmatched = 0;
+  std::uint64_t phase_matched = 0;
+  std::uint64_t phase_unmatched = 0;
   for (const std::uint32_t h : heavy_) {
     if (matched(h)) {
       ++stats_.matched;
@@ -321,6 +332,9 @@ void DistThresholdBalancer::finish_phase(sim::Engine& engine, bool forced) {
   }
   stats_.phase_duration.add(
       static_cast<double>(engine.step() - phase_start_step_));
+  stats_.phase_log.push_back(DistPhaseRecord{
+      phase_index_, phase_start_step_, engine.step(), heavy_.size(),
+      phase_matched, phase_unmatched, forced});
   CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kPhaseEnd, engine.step(), 0, 0,
                   phase_index_, phase_matched, phase_unmatched);
   phase_state_ = PhaseState::kIdle;

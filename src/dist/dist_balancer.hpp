@@ -60,6 +60,18 @@ struct DistConfig {
   obs::TraceSink* trace = nullptr;
 };
 
+/// One completed phase, for cross-validation (rt's latency mode must
+/// reproduce this record exactly, phase by phase).
+struct DistPhaseRecord {
+  std::uint64_t phase_index = 0;
+  std::uint64_t start_step = 0;
+  std::uint64_t end_step = 0;
+  std::uint64_t num_heavy = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t unmatched = 0;
+  bool forced = false;
+};
+
 struct DistStats {
   std::uint64_t phases = 0;
   std::uint64_t matched = 0;
@@ -68,6 +80,7 @@ struct DistStats {
   std::uint64_t forced_phase_ends = 0;
   stats::OnlineMoments phase_duration;   // steps per completed phase
   stats::OnlineMoments heavy_per_phase;
+  std::vector<DistPhaseRecord> phase_log;
 };
 
 class DistThresholdBalancer final : public sim::Balancer {
@@ -88,6 +101,7 @@ class DistThresholdBalancer final : public sim::Balancer {
   struct Request {
     std::uint32_t targets[kMaxA] = {};
     std::uint32_t root = 0;
+    std::uint64_t act_step = 0;  ///< activation step (canonical seq major)
     std::uint64_t await_until = 0;
     std::uint8_t accepted_mask = 0;
     std::uint8_t accept_count = 0;
@@ -131,9 +145,19 @@ class DistThresholdBalancer final : public sim::Balancer {
     accept_cnt_[p] += k;
   }
 
+  /// Stamps `m.seq` from the current send context and bumps the minor
+  /// counter, then puts the message on the fabric.
+  void send_seq(Message m, std::uint64_t now);
+
   DistConfig cfg_;
   std::uint32_t round_budget_ = 0;   // Lemma 1 rounds per level
   std::uint64_t max_phase_steps_ = 0;
+
+  // Canonical send context (see net/delivery.hpp): set before each
+  // processing unit, consumed by send_seq.
+  net::SendStage seq_stage_ = net::SendStage::kDeliver;
+  std::uint64_t seq_major_ = 0;
+  std::uint32_t seq_minor_ = 0;
 
   std::unique_ptr<Network> net_;
   DistStats stats_;

@@ -4,36 +4,13 @@
 
 namespace clb::dist {
 
-Network::Network(std::uint64_t n, std::uint32_t latency)
-    : n_(n), latency_(latency) {
-  CLB_CHECK(latency_ >= 1, "network latency must be >= 1 step");
-  max_delay_ = latency_;
-  slots_.resize(max_delay_ + 1);
-}
-
-Network::Network(std::uint64_t n, std::uint32_t latency_per_hop,
-                 const net::Topology* topology)
-    : n_(n), latency_(latency_per_hop), topology_(topology) {
-  CLB_CHECK(latency_ >= 1, "per-hop latency must be >= 1 step");
-  CLB_CHECK(topology_ != nullptr && topology_->n() == n,
-            "topology must cover all n processors");
-  max_delay_ = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(latency_) * topology_->diameter());
-  slots_.resize(max_delay_ + 1);
-}
-
-std::uint64_t Network::delay(std::uint32_t from, std::uint32_t to) const {
-  if (topology_ == nullptr) return latency_;
-  return std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(latency_) * topology_->hops(from, to));
-}
-
 void Network::send(const Message& m, std::uint64_t now) {
-  CLB_DCHECK(m.to < n_ && m.from < n_, "message endpoint out of range");
-  slots_[(now + delay(m.from, m.to)) % slots_.size()].push_back(m);
+  CLB_DCHECK(m.to < policy_.n() && m.from < policy_.n(),
+             "message endpoint out of range");
+  slots_[(now + policy_.delay(m.from, m.to)) % slots_.size()].push_back(m);
   ++in_flight_;
   ++total_sent_;
-  total_hops_ += topology_ ? topology_->hops(m.from, m.to) : 1;
+  total_hops_ += policy_.hops(m.from, m.to);
 }
 
 const std::vector<Message>& Network::deliver(std::uint64_t now) {
@@ -41,10 +18,12 @@ const std::vector<Message>& Network::deliver(std::uint64_t now) {
   due_.clear();
   due_.swap(slot);
   in_flight_ -= due_.size();
-  // Group by recipient, keeping send order within a recipient.
+  // Group by recipient; within a recipient the canonical seq stamp orders
+  // processing (stable, so unstamped messages keep their send order).
   std::stable_sort(due_.begin(), due_.end(),
                    [](const Message& a, const Message& b) {
-                     return a.to < b.to;
+                     if (a.to != b.to) return a.to < b.to;
+                     return a.seq < b.seq;
                    });
   return due_;
 }

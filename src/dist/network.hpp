@@ -1,14 +1,19 @@
 // Message-passing substrate for the distributed protocol implementation.
 //
-// Messages sent at step t are delivered at step t + latency. Delivery order
-// is deterministic: messages due at the same step are handed over grouped
-// by recipient, in (recipient, send order) order, so protocol runs replay
-// bit-identically.
+// Messages sent at step t are delivered at step t + delay(from, to), where
+// the delay comes from the shared net::DeliveryPolicy (uniform latency or
+// per-hop Topology routing) — the same policy the concurrent runtime's
+// delay queues use, so the two fabrics cannot drift. Delivery order is
+// deterministic: messages due at the same step are handed over grouped by
+// recipient, within a recipient ordered by their canonical net::SeqKey
+// stamp (send order for unstamped messages), so protocol runs replay
+// bit-identically at any sharding.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "net/delivery.hpp"
 #include "net/topology.hpp"
 #include "util/check.hpp"
 
@@ -30,23 +35,27 @@ struct Message {
   std::uint32_t to = 0;
   std::uint32_t payload_a = 0;  ///< root id / task count
   std::uint32_t payload_b = 0;  ///< level / applicative flag
+  net::SeqKey seq{};            ///< canonical send position (see delivery.hpp)
 };
 
-/// Delivery fabric. Uniform mode: every message takes `latency` steps.
-/// Topology mode: a message from src to dst takes
-/// `max(1, latency * topology->hops(src, dst))` steps — per-hop latency on
-/// a concrete machine graph. Ring buffer of `max_delay + 1` step slots.
+/// Delivery fabric over a net::DeliveryPolicy. Ring buffer of
+/// `policy.slots()` step slots.
 class Network {
  public:
   /// Uniform-latency fabric (the paper's any-to-any machine).
-  Network(std::uint64_t n, std::uint32_t latency);
+  Network(std::uint64_t n, std::uint32_t latency)
+      : policy_(n, latency), slots_(policy_.slots()) {}
   /// Topology-routed fabric: `latency` is the per-hop delay. The topology
   /// is borrowed and must outlive the network.
   Network(std::uint64_t n, std::uint32_t latency_per_hop,
-          const net::Topology* topology);
+          const net::Topology* topology)
+      : policy_(n, latency_per_hop, topology), slots_(policy_.slots()) {}
 
-  [[nodiscard]] std::uint32_t latency() const { return latency_; }
-  [[nodiscard]] const net::Topology* topology() const { return topology_; }
+  [[nodiscard]] const net::DeliveryPolicy& policy() const { return policy_; }
+  [[nodiscard]] std::uint32_t latency() const { return policy_.latency(); }
+  [[nodiscard]] const net::Topology* topology() const {
+    return policy_.topology();
+  }
   [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
   [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
   /// Cumulative link traversals of all sent messages.
@@ -54,25 +63,24 @@ class Network {
 
   /// Delivery delay for a (src, dst) pair under the current mode.
   [[nodiscard]] std::uint64_t delay(std::uint32_t from,
-                                    std::uint32_t to) const;
+                                    std::uint32_t to) const {
+    return policy_.delay(from, to);
+  }
   /// Worst-case delay over any pair (sizes timeouts).
-  [[nodiscard]] std::uint64_t max_delay() const { return max_delay_; }
+  [[nodiscard]] std::uint64_t max_delay() const { return policy_.max_delay(); }
 
   /// Queues `m` for delivery at `now + delay(m.from, m.to)`.
   void send(const Message& m, std::uint64_t now);
 
-  /// Returns all messages due at `now`, sorted by (recipient, send order),
-  /// and removes them from the fabric. The returned reference is valid
-  /// until the next call.
+  /// Returns all messages due at `now`, sorted by (recipient, seq), and
+  /// removes them from the fabric. The returned reference is valid until
+  /// the next call.
   const std::vector<Message>& deliver(std::uint64_t now);
 
   void reset();
 
  private:
-  std::uint64_t n_;
-  std::uint32_t latency_;
-  const net::Topology* topology_ = nullptr;
-  std::uint64_t max_delay_ = 1;
+  net::DeliveryPolicy policy_;
   std::vector<std::vector<Message>> slots_;  // index: step % slots
   std::vector<Message> due_;
   std::uint64_t in_flight_ = 0;

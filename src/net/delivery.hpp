@@ -1,0 +1,122 @@
+// Delivery-time policy and canonical send sequencing, shared by every
+// message fabric in the repo.
+//
+// Two implementations exist of "messages take time": the serial
+// dist::Network ring buffer and the rt::Runtime per-worker delay queues.
+// Both must agree, bit for bit, on
+//
+//   (1) WHEN a message sent at step t from src to dst becomes deliverable
+//       (uniform latency, or per-hop latency on a Topology), and
+//   (2) in WHAT ORDER two messages due at the same step for the same
+//       recipient are processed.
+//
+// (1) is DeliveryPolicy. (2) is SeqKey: a stamp assigned at the send site
+// from protocol state only — the step the send happened in, which protocol
+// stage issued it, and a (major, minor) position within that stage that
+// does not depend on sharding or thread interleaving. Sorting a due batch
+// by (recipient, SeqKey) therefore yields the same processing order in the
+// serial fabric and in the concurrent one at any worker count, which is
+// what the rt_latency_equivalence lockstep tier checks.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+
+#include "net/topology.hpp"
+#include "util/check.hpp"
+
+namespace clb::net {
+
+/// The per-phase i.u.a.r. target stream of the distributed threshold
+/// protocol (dist::DistThresholdBalancer and rt::Runtime's latency mode
+/// derive targets from the same stream so their requests are identical).
+inline constexpr std::uint64_t kDistTargetSalt = 0x64697374746172ULL;  // "disttar"
+
+/// Which stage of a protocol step issued a send. Stages are processed in
+/// this order within one step, so the enum order is the tiebreak order for
+/// sends of the same step.
+enum class SendStage : std::uint8_t {
+  kDeliver = 0,     ///< while processing this step's due messages
+  kEvaluate = 1,    ///< while evaluating outstanding requests (timeouts)
+  kPhaseStart = 2,  ///< while starting a new phase
+};
+
+/// Canonical position of a send. Total order: (send_step, stage, major,
+/// minor). `major` identifies the processing unit within the stage (the
+/// recipient group being handled, the request being evaluated, the heavy
+/// processor being started); `minor` counts sends within that unit.
+struct SeqKey {
+  std::uint64_t send_step = 0;
+  SendStage stage = SendStage::kDeliver;
+  std::uint64_t major = 0;
+  std::uint32_t minor = 0;
+
+  friend bool operator<(const SeqKey& a, const SeqKey& b) {
+    return std::tie(a.send_step, a.stage, a.major, a.minor) <
+           std::tie(b.send_step, b.stage, b.major, b.minor);
+  }
+  friend bool operator==(const SeqKey& a, const SeqKey& b) {
+    return std::tie(a.send_step, a.stage, a.major, a.minor) ==
+           std::tie(b.send_step, b.stage, b.major, b.minor);
+  }
+};
+
+/// Major key for SendStage::kEvaluate: requests are evaluated in
+/// (activation step, processor) order, which is exactly the order the
+/// serial balancer's active list maintains.
+[[nodiscard]] inline std::uint64_t evaluate_major(std::uint64_t act_step,
+                                                  std::uint32_t proc) {
+  CLB_DCHECK(act_step < (1ULL << 32), "activation step must fit in 32 bits");
+  return (act_step << 32) | proc;
+}
+
+/// When a message becomes deliverable. Uniform mode: every message takes
+/// `latency` steps. Topology mode: `latency` is the per-hop delay and a
+/// message takes `max(1, latency * hops(src, dst))` steps. Mirrors the two
+/// dist::Network constructors; the topology is borrowed.
+class DeliveryPolicy {
+ public:
+  DeliveryPolicy(std::uint64_t n, std::uint32_t latency)
+      : n_(n), latency_(latency) {
+    CLB_CHECK(latency_ >= 1, "delivery latency must be >= 1 step");
+    max_delay_ = latency_;
+  }
+
+  DeliveryPolicy(std::uint64_t n, std::uint32_t latency_per_hop,
+                 const Topology* topology)
+      : n_(n), latency_(latency_per_hop), topology_(topology) {
+    CLB_CHECK(latency_ >= 1, "per-hop latency must be >= 1 step");
+    CLB_CHECK(topology_ != nullptr && topology_->n() == n_,
+              "topology must cover all n processors");
+    max_delay_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(latency_) * topology_->diameter());
+  }
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] std::uint32_t latency() const { return latency_; }
+  [[nodiscard]] const Topology* topology() const { return topology_; }
+
+  [[nodiscard]] std::uint64_t delay(std::uint32_t from,
+                                    std::uint32_t to) const {
+    if (topology_ == nullptr) return latency_;
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(latency_) * topology_->hops(from, to));
+  }
+
+  [[nodiscard]] std::uint64_t hops(std::uint32_t from, std::uint32_t to) const {
+    return topology_ ? topology_->hops(from, to) : 1;
+  }
+
+  /// Worst-case delay over any pair (sizes timeouts and ring buffers).
+  [[nodiscard]] std::uint64_t max_delay() const { return max_delay_; }
+  /// Ring-buffer slot count that makes `due % slots()` collision-free.
+  [[nodiscard]] std::uint64_t slots() const { return max_delay_ + 1; }
+
+ private:
+  std::uint64_t n_;
+  std::uint32_t latency_;
+  const Topology* topology_ = nullptr;
+  std::uint64_t max_delay_ = 1;
+};
+
+}  // namespace clb::net

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/delivery.hpp"
 #include "sim/task.hpp"
 #include "util/check.hpp"
 
@@ -36,6 +37,8 @@ enum class MsgKind : std::uint8_t {
   kForward,      ///< tree: child becomes a node at the next level
   kTransfer,     ///< T/4 tasks moving from a matched root to its light
   kScatter,      ///< all-in-air: one task thrown to a random processor
+  kTransferCmd,  ///< latency fabric: delayed "ship the block" command,
+                 ///< staged at the source owner, applied end of its due step
 };
 
 /// One runtime message. `key` is the message's canonical processing key —
@@ -52,6 +55,11 @@ enum class MsgKind : std::uint8_t {
 ///   kForward      key = child slot       a = child proc, b = root
 ///   kTransfer     key = from             a = from, b = to, payload = tasks
 ///   kScatter      key = from<<32 | seq   a = from, b = to, payload = task
+///
+/// Latency mode (RtConfig::latency >= 1) runs the dist:: protocol instead;
+/// its messages use the `from`/`to` endpoints, the delivery step `due`, and
+/// the shared canonical `seq` stamp (net/delivery.hpp), with `a`/`b`
+/// carrying the dist Message payloads (root/count, level/applicative).
 struct Message {
   std::atomic<Message*> next{nullptr};  // intrusive MPSC link
   MsgKind kind = MsgKind::kQuery;
@@ -59,6 +67,10 @@ struct Message {
   std::uint32_t a = 0;
   std::uint32_t b = 0;
   std::uint32_t c = 0;
+  std::uint32_t from = 0;       // latency mode: protocol sender
+  std::uint32_t to = 0;         // latency mode: protocol recipient
+  std::uint64_t due = 0;        // latency mode: step the message matures
+  net::SeqKey seq{};            // latency mode: canonical send position
   std::vector<RtTask> payload;  // kTransfer / kScatter only
 };
 

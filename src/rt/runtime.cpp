@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
+#include "analysis/bounds.hpp"
 #include "rng/dist.hpp"
 #include "rng/philox.hpp"
 #include "rng/splitmix64.hpp"
@@ -90,6 +92,44 @@ struct Runtime::ScanEntry {
   std::uint32_t child[2] = {};
 };
 
+/// A matched (root, partner) pair awaiting its task move. Transfers are
+/// staged when the match is decided and applied after a barrier, numbered
+/// by a prefix scan over the worker shards — so the k-th transfer in
+/// (step, source) order is the same protocol event at every worker count
+/// (the drop_transfer_message victim selection relies on this).
+struct StagedTransfer {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+};
+
+/// State shared by the latency fabric (RtConfig::latency >= 1): the
+/// delivery policy both fabrics derive timing from, the dist:: protocol
+/// bounds, and the per-processor request state machines (each entry is
+/// touched only by its shard's owner).
+struct Runtime::LatencyShared {
+  /// Mirrors dist::DistThresholdBalancer::Request field for field.
+  struct LatReq {
+    std::uint32_t targets[8] = {};
+    std::uint32_t root = 0;
+    std::uint64_t act_step = 0;
+    std::uint64_t await_until = 0;
+    std::uint8_t accepted_mask = 0;
+    std::uint8_t accept_count = 0;
+    std::uint8_t round = 1;
+    std::uint8_t level = 1;
+    std::uint32_t child[2] = {};
+    bool child_applicative[2] = {false, false};
+    bool active = false;
+  };
+
+  net::DeliveryPolicy policy;
+  std::uint32_t round_budget = 0;
+  std::uint64_t max_phase_steps = 0;
+  std::vector<LatReq> req;
+
+  explicit LatencyShared(net::DeliveryPolicy p) : policy(p) {}
+};
+
 struct alignas(64) Runtime::Worker {
   unsigned index = 0;
   std::uint64_t begin = 0, end = 0;  // owned processor shard [begin, end)
@@ -116,10 +156,33 @@ struct alignas(64) Runtime::Worker {
   std::uint32_t ph_levels = 0;
   std::uint32_t ph_rounds = 0;
 
+  // Canonical transfer staging (both modes; see StagedTransfer).
+  std::vector<StagedTransfer> staged;
+  std::uint64_t transfer_seen = 0;  // replicated global transfer count
+
+  // Latency fabric state (RtConfig::latency >= 1).
+  std::vector<std::vector<Message*>> rings;  // index: due % slots
+  std::vector<Message*> due_batch;
+  std::vector<const Message*> query_batch;
+  std::vector<std::uint32_t> lat_active;  // own procs with live requests
+  bool lat_running = false;               // replicated phase state
+  std::uint64_t lat_phase_index = 0;
+  std::uint64_t lat_phase_start = 0;
+  std::uint64_t lat_next_phase = 0;
+  std::uint64_t fab_sent = 0;       // protocol messages put on the fabric
+  std::uint64_t fab_delivered = 0;  // ... matured or discarded
+  std::uint64_t lat_failed = 0;     // requests that ran out of rounds
+  net::SendStage seq_stage = net::SendStage::kDeliver;  // send context
+  std::uint64_t seq_major = 0;
+  std::uint32_t seq_minor = 0;
+
   // Outputs, merged by the main thread after runs.
   sim::MessageCounters msg;
   std::uint64_t clamped = 0;
   std::vector<LedgerEntry> ledger;
+  std::vector<LedgerEntry> dropped;  // drop_transfer_message victims
+  std::uint64_t dropped_msgs = 0;
+  std::uint64_t dropped_task_count = 0;
   stats::IntHistogram sojourn_steps, sojourn_us;
   std::uint64_t remote_pushes = 0;
   std::uint64_t self_pushes = 0;
@@ -155,6 +218,32 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
                         ? util::round_at_least(util::log2log2(cfg_.n), 1)
                         : 1;
   }
+  if (cfg_.latency > 0) {
+    CLB_CHECK(cfg_.policy == RtPolicy::kThreshold,
+              "the latency fabric runs the threshold protocol only");
+    CLB_CHECK(cfg_.game.a <= 8,
+              "latency mode runs the dist protocol: a in [2, 8]");
+    CLB_CHECK(static_cast<std::uint64_t>(cfg_.game.c) *
+                      (cfg_.game.a - cfg_.game.b) >= 2,
+              "latency mode: round bound needs c(a-b) >= 2");
+    CLB_CHECK(cfg_.phase_gap >= 1, "latency mode: phase_gap must be >= 1");
+    lat_ = std::make_unique<LatencyShared>(
+        cfg_.topology != nullptr
+            ? net::DeliveryPolicy(cfg_.n, cfg_.latency, cfg_.topology)
+            : net::DeliveryPolicy(cfg_.n, cfg_.latency));
+    lat_->round_budget = static_cast<std::uint32_t>(
+        std::ceil(analysis::collision_round_bound(cfg_.n, cfg_.game.a,
+                                                  cfg_.game.b, cfg_.game.c)));
+    lat_->max_phase_steps = cfg_.max_phase_steps;
+    if (lat_->max_phase_steps == 0) {
+      // The dist:: failsafe bound, verbatim.
+      lat_->max_phase_steps = 4ULL * cfg_.params.tree_depth *
+                                  lat_->round_budget *
+                                  (2ULL * lat_->policy.max_delay()) +
+                              4ULL * lat_->policy.max_delay() + 8;
+    }
+    lat_->req.assign(cfg_.n, LatencyShared::LatReq{});
+  }
 
   procs_.resize(cfg_.n);
   chunk_ = cfg_.n / w;
@@ -165,6 +254,10 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
   class_slots_.resize(w);
   active_slots_.resize(w);
   match_slots_.resize(w);
+  if (lat_) {
+    lat_flight_slots_.resize(w);
+    lat_stage_slots_.resize(w);
+  }
 
   workers_.reserve(w);
   for (unsigned i = 0; i < w; ++i) {
@@ -173,6 +266,7 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
     auto [b, e] = util::block_range(cfg_.n, w, i);
     worker->begin = b;
     worker->end = e;
+    if (lat_) worker->rings.resize(lat_->policy.slots());
     workers_.push_back(std::move(worker));
   }
   for (unsigned i = 0; i < w; ++i) {
@@ -186,6 +280,11 @@ Runtime::~Runtime() {
   cmd_barrier_.arrive_and_wait();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
+  }
+  for (auto& w : workers_) {
+    for (auto& slot : w->rings) {
+      for (Message* m : slot) delete m;
+    }
   }
 }
 
@@ -256,7 +355,7 @@ void Runtime::drain(Worker& w, std::vector<Message*>& out) {
 }
 
 void Runtime::send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
-                            std::uint32_t partner) {
+                            std::uint32_t partner, std::uint64_t ordinal) {
   RtProcessor& src = procs_[root];
   std::uint64_t count = cfg_.params.transfer_amount;
   if (count == 0) return;
@@ -269,6 +368,7 @@ void Runtime::send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
   m->key = root;
   m->a = root;
   m->b = partner;
+  m->due = step;  // latency mode: payload hops mature the same step
   m->payload.assign(src.queue.end() - static_cast<std::ptrdiff_t>(count),
                     src.queue.end());
   src.queue.erase(src.queue.end() - static_cast<std::ptrdiff_t>(count),
@@ -280,19 +380,33 @@ void Runtime::send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
                                  static_cast<std::uint32_t>(count)});
   CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kTransfer, step, root, partner,
                   count);
-  if (cfg_.drop_transfer_message != 0) {
-    const std::uint64_t ordinal =
-        transfer_send_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (ordinal == cfg_.drop_transfer_message) {
-      // The broken mailbox: the sender's books all say the transfer
-      // happened, the receiver never sees it.
-      dropped_messages_ += 1;
-      dropped_tasks_ += count;
-      delete m;
-      return;
-    }
+  if (ordinal != 0 && ordinal == cfg_.drop_transfer_message) {
+    // The broken mailbox: the sender's books all say the transfer
+    // happened, the receiver never sees it.
+    ++w.dropped_msgs;
+    w.dropped_task_count += count;
+    w.dropped.push_back(LedgerEntry{step, root, partner,
+                                    static_cast<std::uint32_t>(count)});
+    delete m;
+    return;
   }
   send(w, partner, m);
+}
+
+void Runtime::apply_staged_transfers(Worker& w, std::uint64_t step,
+                                     std::uint64_t base, std::uint64_t total) {
+  // Canonical order: ascending source processor. Shards are contiguous, so
+  // base + local index is the transfer's global (step, source) ordinal.
+  std::sort(w.staged.begin(), w.staged.end(),
+            [](const StagedTransfer& a, const StagedTransfer& b) {
+              return a.from < b.from;
+            });
+  std::uint64_t k = 0;
+  for (const StagedTransfer& st : w.staged) {
+    send_transfer(w, step, st.from, st.to, base + (++k));
+  }
+  w.staged.clear();
+  w.transfer_seen += total;
 }
 
 void Runtime::step_once(Worker& w, std::uint64_t step) {
@@ -325,8 +439,10 @@ void Runtime::step_once(Worker& w, std::uint64_t step) {
   // ---- balancing policy ----
   bool phase_step = false;
   std::uint64_t scattered = 0;
-  if (cfg_.policy == RtPolicy::kThreshold &&
-      step % cfg_.params.phase_len == 0) {
+  if (lat_) {
+    run_lat_protocol(w, step);
+  } else if (cfg_.policy == RtPolicy::kThreshold &&
+             step % cfg_.params.phase_len == 0) {
     phase_step = true;
     run_phase(w, step);
   } else if (cfg_.policy == RtPolicy::kAllInAir &&
@@ -366,6 +482,8 @@ void Runtime::step_once(Worker& w, std::uint64_t step) {
       RtPhaseSummary ps;
       ps.phase_index = w.phase_count - 1;
       ps.start_step = step;
+      ps.end_step = step;  // instant-fabric phases resolve within the step
+      ps.completed = true;
       for (const auto& worker : workers_) {
         ps.heavy_procs.insert(ps.heavy_procs.end(),
                               worker->heavy_local.begin(),
@@ -694,7 +812,9 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
       if (root.matched_epoch != w.phase_epoch) {
         root.matched_epoch = w.phase_epoch;
         root.matched_partner = m->b;
-        send_transfer(w, step, m->a, m->b);
+        // Stage the task move; it is applied after the scan barrier below
+        // under a canonical (step, source) numbering (see StagedTransfer).
+        w.staged.push_back(StagedTransfer{m->a, m->b});
       }
     } else {
       CLB_DCHECK(m->kind == MsgKind::kChildStatus, "unexpected message in L3");
@@ -731,7 +851,20 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
       w.scan.push_back(e);
     }
   }
+  active_slots_[w.index].v1 = w.staged.size();
   step_barrier_.arrive_and_wait();
+
+  // ---- staged transfers: every worker derives the same global numbering
+  // from the published per-worker counts (prefix over the shards), then
+  // pops and ships its own pairs. The sends land in mailboxes and are
+  // drained at the transfer drain below, after the next barrier.
+  std::uint64_t staged_base = w.transfer_seen;
+  std::uint64_t staged_total = 0;
+  for (unsigned i = 0; i < worker_count(); ++i) {
+    if (i < w.index) staged_base += active_slots_[i].v1;
+    staged_total += active_slots_[i].v1;
+  }
+  apply_staged_transfers(w, step, staged_base, staged_total);
 
   // ---- leader scan: dense global numbering for next-level nodes. Merging
   // the per-worker scan lists by parent slot g makes the child numbering
@@ -798,6 +931,446 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
   return next_node_count_;
 }
 
+// ===========================================================================
+// Latency fabric (RtConfig::latency >= 1): the dist:: threshold protocol on
+// real threads. Every protocol message is stamped with its delivery step
+// (due = send step + DeliveryPolicy::delay) and its canonical net::SeqKey;
+// the recipient's owner files it into a per-worker ring of delay queues and
+// only processes it once its step matures — so phases take real time and
+// their duration scales with the latency, exactly as in dist::.
+//
+// One latency step (mirrors dist::DistThresholdBalancer::on_step against
+// sim::Engine's step schedule; barriers marked):
+//
+//   S1  process own ring slot due == step (handle_deliveries): queries are
+//       batched per recipient, accepts/ids/forwards handled inline, transfer
+//       commands staged. Sends stamped (kDeliver, recipient, k).
+//   S2  evaluate own outstanding requests (timeouts, retries, forwards),
+//       stamped (kEvaluate, (activation step, proc), k).
+//       publish {active, fab_sent, fab_delivered} and {staged, matched}.
+//   --- barrier A ---
+//   S3  replicated phase decision: finish when drained (no active requests,
+//       nothing in flight) or overdue (forced: every worker discards its
+//       undelivered messages — dist's net reset — behind an extra barrier).
+//   S4  start a phase when idle and past the gap: classify own shard from
+//       current queue sizes (pre-transfer, as the engine's balancer sees
+//       them), stamp lights, launch requests for own heavy processors.
+//   S5  apply staged transfers in canonical (step, source) order via the
+//       published prefix counts; payload messages (due = step) carry the
+//       tasks to the partner's owner.
+//   --- barrier B ---   (leader assembles the phase-start summary here)
+//   S6  drain own mailbox: apply due-now payloads, file everything else
+//       into the rings by due step.
+//
+// The closing load-reduction barrier in step_once seals the step: messages
+// sent in S1/S2/S4 were all filed by their owner in S6, so the next step's
+// S1 sees a complete, quiescent ring.
+// ===========================================================================
+
+void Runtime::lat_send(Worker& w, std::uint64_t step, Message* m) {
+  m->seq = net::SeqKey{step, w.seq_stage, w.seq_major, w.seq_minor++};
+  std::uint64_t due = step + lat_->policy.delay(m->from, m->to);
+  if (cfg_.delay_skew_message != 0) {
+    const std::uint64_t ord =
+        skew_send_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // The skewed fabric: one message matures a superstep early.
+    if (ord == cfg_.delay_skew_message && due > step + 1) --due;
+  }
+  m->due = due;
+  ++w.fab_sent;
+  // Transfer commands are staged (and popped) at the source's owner; every
+  // other kind goes to its protocol recipient.
+  const std::uint32_t route =
+      m->kind == MsgKind::kTransferCmd ? m->from : m->to;
+  send(w, route, m);
+}
+
+void Runtime::lat_send_pending_queries(Worker& w, std::uint64_t step,
+                                       std::uint32_t proc) {
+  auto& r = lat_->req[proc];
+  // The round ends when the slowest outstanding target could have replied.
+  std::uint64_t worst_delay = 1;
+  for (std::uint32_t j = 0; j < cfg_.game.a; ++j) {
+    if (r.accepted_mask & (1u << j)) continue;
+    auto* m = new Message;
+    m->kind = MsgKind::kQuery;
+    m->from = proc;
+    m->to = r.targets[j];
+    m->a = r.root;
+    m->b = r.level;
+    lat_send(w, step, m);
+    ++w.msg.queries;
+    worst_delay = std::max(worst_delay, lat_->policy.delay(proc, r.targets[j]));
+  }
+  r.await_until = step + 2ULL * worst_delay;
+}
+
+void Runtime::lat_start_request(Worker& w, std::uint64_t step,
+                                std::uint32_t proc, std::uint32_t root,
+                                std::uint32_t level) {
+  auto& r = lat_->req[proc];
+  CLB_DCHECK(!r.active, "processor already runs a request this phase");
+  r = LatencyShared::LatReq{};
+  r.root = root;
+  r.act_step = step;
+  r.level = static_cast<std::uint8_t>(level);
+  r.active = true;
+  // Fixed i.u.a.r. target set, excluding self — the same counter stream as
+  // dist::DistThresholdBalancer::start_request, draw for draw.
+  rng::CounterRng rng(cfg_.seed,
+                      rng::hash_combine(net::kDistTargetSalt,
+                                        rng::hash_combine(proc, level)),
+                      w.lat_phase_index);
+  for (std::uint32_t j = 0; j < cfg_.game.a; ++j) {
+    for (;;) {
+      const auto cand = static_cast<std::uint32_t>(rng::bounded(rng, cfg_.n));
+      if (cand == proc) continue;
+      bool dup = false;
+      for (std::uint32_t k = 0; k < j; ++k) {
+        if (r.targets[k] == cand) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        r.targets[j] = cand;
+        break;
+      }
+    }
+  }
+  w.lat_active.push_back(proc);
+  lat_send_pending_queries(w, step, proc);
+}
+
+void Runtime::lat_process_due(Worker& w, std::uint64_t step) {
+  auto& slot = w.rings[step % w.rings.size()];
+  w.due_batch.swap(slot);
+  auto& due = w.due_batch;
+  w.fab_delivered += due.size();
+  // Group by the processor whose state the message updates (the source for
+  // staged transfer commands, the recipient otherwise); the canonical seq
+  // stamp orders processing within a group in deterministic mode.
+  const auto group_of = [](const Message* m) {
+    return m->kind == MsgKind::kTransferCmd ? m->from : m->to;
+  };
+  if (cfg_.deterministic) {
+    std::sort(due.begin(), due.end(),
+              [&](const Message* a, const Message* b) {
+                if (group_of(a) != group_of(b))
+                  return group_of(a) < group_of(b);
+                return a->seq < b->seq;
+              });
+  } else {
+    std::stable_sort(due.begin(), due.end(),
+                     [&](const Message* a, const Message* b) {
+                       return group_of(a) < group_of(b);
+                     });
+  }
+  std::size_t i = 0;
+  while (i < due.size()) {
+    const std::uint32_t recipient = group_of(due[i]);
+    w.seq_stage = net::SendStage::kDeliver;
+    w.seq_major = recipient;
+    w.seq_minor = 0;
+    w.query_batch.clear();
+    std::size_t j = i;
+    for (; j < due.size() && group_of(due[j]) == recipient; ++j) {
+      const Message* m = due[j];
+      CLB_DCHECK(m->due == step, "ring slot held a message for another step");
+      switch (m->kind) {
+        case MsgKind::kQuery:
+          w.query_batch.push_back(m);
+          break;
+        case MsgKind::kAccept: {
+          auto& r = lat_->req[recipient];
+          if (!r.active) break;  // stale accept after request resolved
+          for (std::uint32_t t = 0; t < cfg_.game.a; ++t) {
+            if (r.targets[t] == m->from && !(r.accepted_mask & (1u << t))) {
+              r.accepted_mask = static_cast<std::uint8_t>(
+                  r.accepted_mask | (1u << t));
+              if (r.accept_count < 2) {
+                r.child[r.accept_count] = m->from;
+                r.child_applicative[r.accept_count] = m->b != 0;
+              }
+              ++r.accept_count;
+              break;
+            }
+          }
+          break;
+        }
+        case MsgKind::kId: {
+          RtProcessor& root = procs_[recipient];
+          if (root.matched_epoch != w.phase_epoch) {
+            root.matched_epoch = w.phase_epoch;
+            root.matched_partner = m->from;
+            // Ship the block: the command matures delay(root, partner)
+            // steps from now at this same owner, which then pops the tasks.
+            auto* cmd = new Message;
+            cmd->kind = MsgKind::kTransferCmd;
+            cmd->from = recipient;
+            cmd->to = m->from;
+            lat_send(w, step, cmd);
+          }
+          break;
+        }
+        case MsgKind::kForward:
+          if (!lat_->req[recipient].active) {
+            lat_start_request(w, step, recipient, m->a, m->b);
+          }
+          ++w.msg.control;
+          break;
+        case MsgKind::kTransferCmd:
+          w.staged.push_back(StagedTransfer{m->from, m->to});
+          break;
+        default:
+          CLB_DCHECK(false, "unexpected message kind in latency drain");
+          break;
+      }
+    }
+    if (!w.query_batch.empty()) {
+      // Collision rule: answer all queries of this step iff they fit within
+      // the remaining per-phase capacity c; otherwise answer none (the
+      // requesters time out and retry).
+      RtProcessor& tp = procs_[recipient];
+      const std::uint32_t already =
+          tp.accept_epoch == w.phase_epoch ? tp.accepted_total : 0;
+      const std::size_t count = w.query_batch.size();
+      if (count <= cfg_.game.c && already + count <= cfg_.game.c) {
+        tp.accept_epoch = w.phase_epoch;
+        tp.accepted_total = already + static_cast<std::uint32_t>(count);
+        for (const Message* q : w.query_batch) {
+          bool applicative = false;
+          if (tp.light_epoch == w.phase_epoch &&
+              tp.assigned_epoch != w.phase_epoch) {
+            applicative = true;
+            tp.assigned_epoch = w.phase_epoch;
+            // Announce directly to the boss (its id rode in the query).
+            auto* id = new Message;
+            id->kind = MsgKind::kId;
+            id->from = recipient;
+            id->to = q->a;
+            lat_send(w, step, id);
+            ++w.msg.id_messages;
+          }
+          auto* ac = new Message;
+          ac->kind = MsgKind::kAccept;
+          ac->from = recipient;
+          ac->to = q->from;
+          ac->a = q->a;
+          ac->b = applicative ? 1u : 0u;
+          lat_send(w, step, ac);
+          ++w.msg.accepts;
+        }
+      }
+    }
+    i = j;
+  }
+  for (Message* m : due) delete m;
+  due.clear();
+}
+
+void Runtime::lat_evaluate(Worker& w, std::uint64_t step) {
+  std::size_t wr = 0;
+  for (std::size_t idx = 0; idx < w.lat_active.size(); ++idx) {
+    const std::uint32_t proc = w.lat_active[idx];
+    auto& r = lat_->req[proc];
+    if (!r.active) continue;  // resolved elsewhere (defensive)
+    if (step < r.await_until) {
+      w.lat_active[wr++] = proc;
+      continue;
+    }
+    w.seq_stage = net::SendStage::kEvaluate;
+    w.seq_major = net::evaluate_major(r.act_step, proc);
+    w.seq_minor = 0;
+    if (r.accept_count >= cfg_.game.b) {
+      // Request complete. Applicative children already announced
+      // themselves; a fully non-applicative pair forwards the search.
+      const std::uint32_t kids = std::min<std::uint32_t>(r.accept_count, 2);
+      bool any_applicative = false;
+      for (std::uint32_t k = 0; k < kids; ++k) {
+        any_applicative |= r.child_applicative[k];
+      }
+      if (!any_applicative && r.level < cfg_.params.tree_depth) {
+        for (std::uint32_t k = 0; k < kids; ++k) {
+          auto* m = new Message;
+          m->kind = MsgKind::kForward;
+          m->from = proc;
+          m->to = r.child[k];
+          m->a = r.root;
+          m->b = static_cast<std::uint32_t>(r.level + 1);
+          lat_send(w, step, m);
+        }
+      }
+      r.active = false;
+    } else if (r.round < lat_->round_budget) {
+      ++r.round;
+      lat_send_pending_queries(w, step, proc);
+      w.lat_active[wr++] = proc;
+    } else {
+      ++w.lat_failed;
+      r.active = false;
+    }
+  }
+  w.lat_active.resize(wr);
+}
+
+void Runtime::lat_discard_undelivered(Worker& w) {
+  // dist's forced net reset, shard by shard: every undelivered message is
+  // either in its owner's rings or still in a mailbox (sent this step, not
+  // yet filed); the owner discards both and books them as delivered so the
+  // fabric reads as drained everywhere.
+  for (auto& slot : w.rings) {
+    w.fab_delivered += slot.size();
+    for (Message* m : slot) delete m;
+    slot.clear();
+  }
+  while (Message* m = w.inbox.pop()) {
+    CLB_DCHECK(m->kind != MsgKind::kTransfer,
+               "payloads cannot be in flight at the phase decision");
+    ++w.fab_delivered;
+    delete m;
+  }
+}
+
+void Runtime::lat_drain_and_file(Worker& w, std::uint64_t step) {
+  while (Message* m = w.inbox.pop()) {
+    if (m->kind == MsgKind::kTransfer) {
+      // Due-now payload: the partner's owner appends the tasks, closing the
+      // move the source's owner started in S5 this step.
+      CLB_DCHECK(m->due == step, "stale transfer payload");
+      apply_transfer(w, *m);
+      delete m;
+      continue;
+    }
+    CLB_DCHECK(m->due > step, "protocol message filed after it was due");
+    w.rings[m->due % w.rings.size()].push_back(m);
+  }
+}
+
+void Runtime::run_lat_protocol(Worker& w, std::uint64_t step) {
+  // S1 + S2: deliveries, then request evaluation (dist's on_step order).
+  lat_process_due(w, step);
+  lat_evaluate(w, step);
+
+  // Publish the replicated decision inputs and per-phase tallies.
+  Slot& fs = lat_flight_slots_[w.index];
+  fs.v0 = w.lat_active.size();
+  fs.v1 = w.fab_sent;
+  fs.v2 = w.fab_delivered;
+  std::uint64_t matched_local = 0;
+  for (const std::uint32_t h : w.heavy_local) {
+    if (procs_[h].matched_epoch == w.phase_epoch) ++matched_local;
+  }
+  Slot& ss = lat_stage_slots_[w.index];
+  ss.v0 = w.staged.size();
+  ss.v1 = matched_local;
+  step_barrier_.arrive_and_wait();  // barrier A
+
+  // S3: the replicated phase decision — every worker computes the same
+  // totals from the published slots, so every worker takes the same branch.
+  std::uint64_t active_total = 0, sent = 0, delivered = 0;
+  std::uint64_t staged_total = 0, staged_base = w.transfer_seen;
+  std::uint64_t matched_total = 0;
+  for (unsigned i = 0; i < worker_count(); ++i) {
+    active_total += lat_flight_slots_[i].v0;
+    sent += lat_flight_slots_[i].v1;
+    delivered += lat_flight_slots_[i].v2;
+    staged_total += lat_stage_slots_[i].v0;
+    if (i < w.index) staged_base += lat_stage_slots_[i].v0;
+    matched_total += lat_stage_slots_[i].v1;
+  }
+  if (w.lat_running) {
+    const bool drained = active_total == 0 && sent == delivered;
+    const bool overdue = step - w.lat_phase_start >= lat_->max_phase_steps;
+    if (drained || overdue) {
+      const bool forced = overdue && !drained;
+      if (forced) {
+        for (const std::uint32_t proc : w.lat_active) {
+          lat_->req[proc].active = false;
+        }
+        w.lat_active.clear();
+        lat_discard_undelivered(w);
+      }
+      if (w.index == 0) {
+        RtPhaseSummary& ps = phases_.back();
+        ps.end_step = step;
+        ps.matched = matched_total;
+        ps.unmatched = ps.num_heavy - matched_total;
+        ps.forced = forced;
+        ps.completed = true;
+        CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kPhaseEnd, step, 0, 0,
+                        ps.phase_index, ps.matched, ps.unmatched);
+      }
+      w.lat_running = false;
+      w.lat_next_phase = step + cfg_.phase_gap;
+      if (forced) {
+        // Fence the discards from the payload sends of S5: a replicated
+        // branch, so either every worker arrives here or none does.
+        step_barrier_.arrive_and_wait();
+      }
+    }
+  }
+
+  // S4: start a phase. Classification reads the queues before this step's
+  // transfers are applied — the engine's balancer sees exactly that state.
+  if (!w.lat_running && step >= w.lat_next_phase) {
+    ++w.phase_epoch;
+    ++w.lat_phase_index;
+    w.lat_running = true;
+    w.lat_phase_start = step;
+    const core::PhaseParams& pp = cfg_.params;
+    w.heavy_local.clear();
+    std::uint64_t light_count = 0;
+    for (std::uint64_t p = w.begin; p < w.end; ++p) {
+      const std::uint64_t load = procs_[p].queue.size();
+      if (load >= pp.heavy_threshold) {
+        w.heavy_local.push_back(static_cast<std::uint32_t>(p));
+        ++procs_[p].balance_initiations;
+      } else if (load <= pp.light_threshold) {
+        procs_[p].light_epoch = w.phase_epoch;
+        ++light_count;
+      }
+    }
+    class_slots_[w.index].v0 = w.heavy_local.size();
+    class_slots_[w.index].v1 = light_count;
+    for (const std::uint32_t h : w.heavy_local) {
+      w.seq_stage = net::SendStage::kPhaseStart;
+      w.seq_major = h;
+      w.seq_minor = 0;
+      lat_start_request(w, step, h, h, 1);
+    }
+  }
+
+  // S5: apply this step's staged transfers under the canonical numbering.
+  apply_staged_transfers(w, step, staged_base, staged_total);
+  step_barrier_.arrive_and_wait();  // barrier B
+
+  if (w.index == 0 && w.lat_running && w.lat_phase_start == step) {
+    // Leader assembles the phase-start summary from the classification
+    // slots and heavy lists published before barrier B. No worker mutates
+    // them again before the next phase start, which is behind barrier A of
+    // a later step — the leader is long done by then.
+    RtPhaseSummary ps;
+    ps.phase_index = w.lat_phase_index;
+    ps.start_step = step;
+    std::uint64_t total_light = 0;
+    for (unsigned i = 0; i < worker_count(); ++i) {
+      const Worker& other = *workers_[i];
+      ps.heavy_procs.insert(ps.heavy_procs.end(), other.heavy_local.begin(),
+                            other.heavy_local.end());
+      total_light += class_slots_[i].v1;
+    }
+    ps.num_heavy = ps.heavy_procs.size();
+    ps.num_light = total_light;
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kPhaseBegin, step, 0, 0,
+                    ps.phase_index, ps.num_heavy, ps.num_light);
+    phases_.push_back(std::move(ps));
+  }
+
+  // S6: drain the mailbox — apply due-now payloads, file the rest.
+  lat_drain_and_file(w, step);
+}
+
 // ---- main-thread aggregation ----
 
 std::uint64_t Runtime::total_load() const {
@@ -820,7 +1393,47 @@ std::uint64_t Runtime::total_consumed() const {
 
 bool Runtime::conservation_holds() const {
   return total_generated() + deposited_ ==
-         total_consumed() + total_load() + dropped_tasks_;
+         total_consumed() + total_load() + dropped_tasks();
+}
+
+std::uint64_t Runtime::dropped_messages() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->dropped_msgs;
+  return s;
+}
+
+std::uint64_t Runtime::dropped_tasks() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->dropped_task_count;
+  return s;
+}
+
+std::vector<LedgerEntry> Runtime::dropped_log() const {
+  std::vector<LedgerEntry> all;
+  for (const auto& w : workers_) {
+    all.insert(all.end(), w->dropped.begin(), w->dropped.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const LedgerEntry& a, const LedgerEntry& b) {
+              if (a.step != b.step) return a.step < b.step;
+              return a.from < b.from;
+            });
+  return all;
+}
+
+std::uint64_t Runtime::fabric_sent() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->fab_sent;
+  return s;
+}
+
+std::uint64_t Runtime::fabric_in_flight() const {
+  std::uint64_t sent = 0, delivered = 0;
+  for (const auto& w : workers_) {
+    sent += w->fab_sent;
+    delivered += w->fab_delivered;
+  }
+  return sent - delivered;
 }
 
 sim::MessageCounters Runtime::messages() const {

@@ -41,6 +41,8 @@
 
 #include "collision/collision.hpp"
 #include "core/params.hpp"
+#include "net/delivery.hpp"
+#include "net/topology.hpp"
 #include "obs/trace.hpp"
 #include "rt/mailbox.hpp"
 #include "sim/counters.hpp"
@@ -82,13 +84,36 @@ struct RtConfig {
   /// Test-only fault injection: silently drop the k-th kTransfer message
   /// (1-based; 0 = off). The sender's side-effects (pop, counters, ledger)
   /// stay — exactly the "broken mailbox" a conservation oracle must convict.
-  /// The ordinal counts transfers in *arrival order* at the send site, which
-  /// with more than one worker is a race: workers sending in the same
-  /// superstep interleave nondeterministically, so WHICH transfer is dropped
-  /// can differ across runs and worker counts. Conservation totals (dropped
-  /// message/task counts) are deterministic regardless; for a replayable
-  /// victim, run with workers = 1 (as rt_oracle's mutation probe does).
+  /// The ordinal counts transfers in canonical (step, source processor)
+  /// order — transfers are staged per superstep and numbered by a prefix
+  /// scan over the worker shards — so the chosen victim is identical for
+  /// every worker count (see dropped_log()). Free-running mode keeps the
+  /// same numbering; only WHICH partner a root matched may differ there.
   std::uint64_t drop_transfer_message = 0;
+  /// Message latency in steps (0 = the idealised instant fabric of PR 4).
+  /// With latency >= 1 the runtime executes the dist:: protocol over
+  /// per-worker delay queues: a message sent in superstep t is only
+  /// drainable at superstep t + delay(src, dst), with the delay coming
+  /// from the same net::DeliveryPolicy dist::Network uses (uniform, or
+  /// per-hop routing when `topology` is set). Requires policy kThreshold
+  /// and game.a <= 8 (the dist protocol's fan-out cap).
+  std::uint32_t latency = 0;
+  /// Optional machine graph for per-hop routing (borrowed; must outlive
+  /// the runtime). Latency mode only.
+  const net::Topology* topology = nullptr;
+  /// Idle steps between phase completion and the next classification
+  /// (latency mode; must be >= 1, as in dist::DistConfig).
+  std::uint64_t phase_gap = 1;
+  /// Failsafe phase duration; 0 derives the dist:: bound from depth, the
+  /// Lemma 1 round budget and the latency.
+  std::uint64_t max_phase_steps = 0;
+  /// Test-only fault injection (latency mode): deliver the k-th fabric
+  /// message (1-based send order; 0 = off) one superstep EARLY — a fabric
+  /// that violates the delivery-time contract. No-op when the victim's
+  /// delay is already 1. The ordinal counts sends in arrival order across
+  /// workers, so pin workers = 1 for a replayable victim (the fuzzer's
+  /// delay-skew scenarios do).
+  std::uint64_t delay_skew_message = 0;
 };
 
 /// One applied transfer, for cross-validation against the simulator.
@@ -100,9 +125,13 @@ struct LedgerEntry {
 };
 
 /// Per-phase record the leader worker assembles (threshold policy).
+/// Instant mode: phases are single-step, end_step == start_step. Latency
+/// mode: phases span steps (duration = end_step - start_step), directly
+/// comparable against dist::DistPhaseRecord.
 struct RtPhaseSummary {
   std::uint64_t phase_index = 0;
   std::uint64_t start_step = 0;
+  std::uint64_t end_step = 0;
   std::uint64_t num_heavy = 0;
   std::uint64_t num_light = 0;
   std::uint64_t matched = 0;    ///< heavy roots that found a light partner
@@ -110,6 +139,8 @@ struct RtPhaseSummary {
   std::uint64_t requests = 0;   ///< collision-game requests over all levels
   std::uint32_t levels_used = 0;
   std::uint32_t collision_rounds = 0;
+  bool forced = false;          ///< latency mode: ended by the failsafe
+  bool completed = false;       ///< end-of-phase fields are valid
   std::vector<std::uint32_t> heavy_procs;  ///< ascending processor ids
 };
 
@@ -204,10 +235,15 @@ class Runtime {
   [[nodiscard]] std::uint64_t self_pushes() const;
 
   /// Fault-injection bookkeeping (drop_transfer_message).
-  [[nodiscard]] std::uint64_t dropped_messages() const {
-    return dropped_messages_;
-  }
-  [[nodiscard]] std::uint64_t dropped_tasks() const { return dropped_tasks_; }
+  [[nodiscard]] std::uint64_t dropped_messages() const;
+  [[nodiscard]] std::uint64_t dropped_tasks() const;
+  /// The dropped victims themselves, sorted like ledger() — in
+  /// deterministic mode the victim identity is worker-count-invariant.
+  [[nodiscard]] std::vector<LedgerEntry> dropped_log() const;
+
+  /// Latency-mode fabric counters (0 in instant mode).
+  [[nodiscard]] std::uint64_t fabric_sent() const;
+  [[nodiscard]] std::uint64_t fabric_in_flight() const;
 
   /// Appends a task to p's queue (main thread, between runs) — the fault
   /// hook the fuzzer's load spikes use, mirroring sim::Engine::deposit.
@@ -224,6 +260,8 @@ class Runtime {
   struct ScanEntry;
   struct Worker;
 
+  struct LatencyShared;
+
   void worker_main(Worker& w);
   void step_once(Worker& w, std::uint64_t step);
   void run_phase(Worker& w, std::uint64_t step);
@@ -233,11 +271,26 @@ class Runtime {
   void run_scatter(Worker& w, std::uint64_t step);
   void send(Worker& w, std::uint32_t dest_proc, Message* m);
   void send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
-                     std::uint32_t partner);
+                     std::uint32_t partner, std::uint64_t ordinal);
+  void apply_staged_transfers(Worker& w, std::uint64_t step,
+                              std::uint64_t base, std::uint64_t total);
   void drain(Worker& w, std::vector<Message*>& out);
   void apply_transfer(Worker& w, const Message& m);
   [[nodiscard]] unsigned owner_of(std::uint64_t p) const;
   [[nodiscard]] std::uint32_t now_us() const;
+
+  // ---- latency fabric (RtConfig::latency >= 1; see rt/latency section
+  // of runtime.cpp) ----
+  void run_lat_protocol(Worker& w, std::uint64_t step);
+  void lat_send(Worker& w, std::uint64_t step, Message* m);
+  void lat_start_request(Worker& w, std::uint64_t step, std::uint32_t proc,
+                         std::uint32_t root, std::uint32_t level);
+  void lat_send_pending_queries(Worker& w, std::uint64_t step,
+                                std::uint32_t proc);
+  void lat_process_due(Worker& w, std::uint64_t step);
+  void lat_evaluate(Worker& w, std::uint64_t step);
+  void lat_discard_undelivered(Worker& w);
+  void lat_drain_and_file(Worker& w, std::uint64_t step);
 
   RtConfig cfg_;
   sim::LoadModel* model_;
@@ -268,10 +321,14 @@ class Runtime {
   std::uint64_t running_max_load_ = 0;
   std::uint64_t air_interval_ = 1;
 
-  // Fault injection.
-  std::atomic<std::uint64_t> transfer_send_ordinal_{0};
-  std::uint64_t dropped_messages_ = 0;
-  std::uint64_t dropped_tasks_ = 0;
+  // Latency fabric (null in instant mode).
+  std::unique_ptr<LatencyShared> lat_;
+  std::vector<Slot> lat_flight_slots_;  // v0 active, v1 fab sent, v2 fab delivered
+  std::vector<Slot> lat_stage_slots_;   // v0 staged transfers, v1 matched heavy
+
+  // Fault injection (delay_skew_message; arrival-order by design, see
+  // RtConfig).
+  std::atomic<std::uint64_t> skew_send_ordinal_{0};
 
   std::uint64_t deposited_ = 0;
   double wall_seconds_ = 0;

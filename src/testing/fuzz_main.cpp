@@ -28,10 +28,15 @@ int main(int argc, char** argv) {
       cli.flag_u64("max-faults", kNoOverride, "cap fault events");
   const auto* mutate = cli.flag_str(
       "mutate", "none",
-      "inject a broken behaviour: drop-task|dup-task|reorder|phantom-msg");
+      "inject a broken behaviour: drop-task|dup-task|reorder|phantom-msg|"
+      "mailbox-drop|delay-skew");
   const auto* expect_failure = cli.flag_bool(
       "expect-failure", false,
       "succeed iff the oracle catches at least one scenario (self-test)");
+  const auto* runtime_only = cli.flag_bool(
+      "runtime-only", false,
+      "clamp every scenario onto rt::Runtime worker threads (TSan sweeps); "
+      "every other threshold scenario runs the latency fabric");
   const auto* no_shrink =
       cli.flag_bool("no-shrink", false, "report failures without shrinking");
   const auto* verbose = cli.flag_bool("verbose", false, "per-scenario lines");
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
   opt.max_faults = *max_faults;
   opt.mutate = clb::testing::mutation_from_string(*mutate);
   opt.expect_failure = *expect_failure;
+  opt.runtime_only = *runtime_only;
   opt.shrink = !*no_shrink;
   opt.verbose = *verbose;
   return clb::testing::run_fuzz(opt);

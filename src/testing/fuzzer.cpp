@@ -17,12 +17,23 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
     if (s.a < 4) s.a = 5;
     if (s.b > 2) s.b = 2;
     if (s.c > 2) s.c = 2;
-    if (opt.mutate == MutationKind::kMailboxDrop) {
-      // The broken-mailbox fault lives in rt::Runtime; conviction needs the
-      // threshold policy, whose rt runs are cross-validated task-by-task
-      // against the simulator.
+    if (opt.mutate == MutationKind::kMailboxDrop ||
+        opt.mutate == MutationKind::kDelaySkew) {
+      // These faults live in rt::Runtime; conviction needs the threshold
+      // policy, whose rt runs are cross-validated task-by-task against the
+      // simulator (mailbox-drop) / the dist shadow (delay-skew).
       s.balancer = BalancerKind::kThreshold;
       clamp_to_runtime(s);
+      if (opt.mutate == MutationKind::kDelaySkew) {
+        // The skewed fabric only exists in latency mode; a delay of 1 step
+        // cannot be shortened, and the victim ordinal counts sends in
+        // arrival order, so a single worker keeps the run replayable.
+        s.rt_latency = true;
+        if (s.a > 8) s.a = 8;
+        if (s.latency < 2) s.latency = 2;
+        s.threads = 1;
+        s.threads_replay = 1;
+      }
     } else {
       // The remaining mutations inject through sim::Engine's test hooks,
       // which the runtime path never calls.
@@ -41,6 +52,19 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
       // guarantees no phase is left open at end of run.
       s.balancer = BalancerKind::kThreshold;
       s.spread_execution = false;
+    }
+  }
+
+  if (opt.runtime_only) {
+    // The TSan long tier: every scenario on real worker threads. Collision
+    // games have no runtime form — fold them into engine scenarios first.
+    s.collision_only = false;
+    if (!s.runtime) clamp_to_runtime(s);
+    // Keep the latency fabric under continuous sanitizer pressure: every
+    // other eligible scenario runs it (deterministically by index).
+    if (s.balancer == BalancerKind::kThreshold && index % 2 == 1) {
+      s.rt_latency = true;
+      if (s.a > 8) s.a = 8;
     }
   }
 

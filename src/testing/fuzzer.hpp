@@ -36,6 +36,10 @@ struct FuzzOptions {
   bool expect_failure = false;
   bool shrink = true;
   bool verbose = false;
+  /// Force every scenario into rt::Runtime (the long-tier thread-sanitizer
+  /// sweep uses this): engine scenarios are clamped into the runtime
+  /// envelope and every other threshold scenario runs the latency fabric.
+  bool runtime_only = false;
 };
 
 /// Samples scenario (seed, index) and applies the option overrides plus the

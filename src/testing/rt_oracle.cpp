@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "dist/dist_balancer.hpp"
 #include "rng/splitmix64.hpp"
 #include "rt/runtime.hpp"
 #include "sim/engine.hpp"
@@ -66,6 +67,14 @@ RtRun build_rt(const Scenario& s, unsigned workers) {
     fr.t_min = s.t_min;
     cfg.params = core::PhaseParams::from_n(s.n, fr);
     cfg.game = collision::CollisionConfig{s.a, s.b, s.c, 0};
+    if (s.rt_latency) {
+      cfg.latency = s.latency;
+      if (s.mutation == MutationKind::kDelaySkew) {
+        // Deliver the very first fabric message a superstep early; the
+        // dist-shadow lockstep below is what must notice.
+        cfg.delay_skew_message = 1;
+      }
+    }
   }
   if (s.mutation == MutationKind::kMailboxDrop) {
     // Drop the very first transfer the runtime sends; later ordinals risk
@@ -148,8 +157,24 @@ OracleReport run_against_engine(const Scenario& s) {
   // the spread/preround/prune/streaming/weight dimensions), so it can be
   // reused verbatim; the capture wrapper replays the engine's clamp rule on
   // scheduled transfers into a ledger comparable with rt::Runtime's.
+  // Latency scenarios instead shadow dist::DistThresholdBalancer — the
+  // protocol the latency fabric mirrors message for message.
   ScenarioRuntime shadow = build_runtime(s);
-  CaptureBalancer cap(shadow.balancer.get());
+  std::unique_ptr<dist::DistThresholdBalancer> dist_shadow;
+  sim::Balancer* inner = shadow.balancer.get();
+  if (s.rt_latency) {
+    dist::DistConfig dc;
+    core::Fractions fr;
+    fr.t_min = s.t_min;
+    dc.params = core::PhaseParams::from_n(s.n, fr);
+    dc.a = s.a;
+    dc.b = s.b;
+    dc.c = s.c;
+    dc.latency = s.latency;
+    dist_shadow = std::make_unique<dist::DistThresholdBalancer>(dc);
+    inner = dist_shadow.get();
+  }
+  CaptureBalancer cap(inner);
   sim::Engine eng({.n = s.n, .seed = s.engine_seed}, shadow.model.get(), &cap);
 
   std::vector<rt::LedgerEntry> engine_ledger;
@@ -234,6 +259,35 @@ OracleReport run_against_engine(const Scenario& s) {
                                                " diverges from engine");
     }
   }
+
+  if (dist_shadow != nullptr) {
+    // Latency fabrics additionally agree phase by phase: same start/end
+    // step (duration ∝ latency rides on this), same matching outcome.
+    const std::vector<dist::DistPhaseRecord>& dl =
+        dist_shadow->stats().phase_log;
+    std::vector<const rt::RtPhaseSummary*> completed;
+    for (const rt::RtPhaseSummary& ps : main.run->phases()) {
+      if (ps.completed) completed.push_back(&ps);
+    }
+    if (completed.size() != dl.size()) {
+      return OracleReport::failure(
+          s.steps, "completed phase counts diverge from dist shadow (" +
+                       std::to_string(completed.size()) + " vs " +
+                       std::to_string(dl.size()) + ")");
+    }
+    for (std::size_t i = 0; i < dl.size(); ++i) {
+      const dist::DistPhaseRecord& a = dl[i];
+      const rt::RtPhaseSummary& b = *completed[i];
+      if (a.phase_index != b.phase_index || a.start_step != b.start_step ||
+          a.end_step != b.end_step || a.num_heavy != b.num_heavy ||
+          a.matched != b.matched || a.unmatched != b.unmatched ||
+          a.forced != b.forced) {
+        return OracleReport::failure(s.steps,
+                                     "phase record " + std::to_string(i) +
+                                         " diverges from dist shadow");
+      }
+    }
+  }
   return OracleReport{};
 }
 
@@ -285,6 +339,17 @@ OracleReport run_rt_scenario(const Scenario& in) {
       probe.run->run(1);
     }
     r.mutation_applied = probe.run->dropped_messages() > 0;
+  }
+  if (s.mutation == MutationKind::kDelaySkew) {
+    // The skew rewrites the first fabric send's delivery step, so it fired
+    // iff the fabric carried any message at all (latency >= 2 guarantees
+    // the rewrite is not a no-op).
+    RtRun probe = build_rt(s, 1);
+    for (std::uint64_t step = 0; step < s.steps; ++step) {
+      apply_rt_faults(s, *probe.run, step);
+      probe.run->run(1);
+    }
+    r.mutation_applied = probe.run->fabric_sent() > 0;
   }
   return r;
 }

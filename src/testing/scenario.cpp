@@ -67,6 +67,7 @@ const char* to_string(MutationKind m) {
     case MutationKind::kReorder: return "reorder";
     case MutationKind::kPhantomMessage: return "phantom-msg";
     case MutationKind::kMailboxDrop: return "mailbox-drop";
+    case MutationKind::kDelaySkew: return "delay-skew";
   }
   return "?";
 }
@@ -77,6 +78,7 @@ MutationKind mutation_from_string(const std::string& name) {
   if (name == "reorder") return MutationKind::kReorder;
   if (name == "phantom-msg") return MutationKind::kPhantomMessage;
   if (name == "mailbox-drop") return MutationKind::kMailboxDrop;
+  if (name == "delay-skew") return MutationKind::kDelaySkew;
   return MutationKind::kNone;
 }
 
@@ -208,6 +210,15 @@ Scenario Scenario::sample(std::uint64_t scenario_seed, std::uint64_t index) {
   // the simulator. Drawn last so the runtime dimension does not perturb the
   // sampling streams of pre-existing scenario fields.
   if (pick(rng, 0, 3) == 0) clamp_to_runtime(s);
+
+  // A third of runtime threshold scenarios run the latency fabric (delay
+  // queues + dist lockstep shadow). Appended after the runtime draw for the
+  // same stream-stability reason; the dist protocol caps the query width.
+  if (s.runtime && s.balancer == BalancerKind::kThreshold &&
+      pick(rng, 0, 2) == 0) {
+    s.rt_latency = true;
+    if (s.a > 8) s.a = 8;
+  }
   return s;
 }
 
@@ -224,11 +235,13 @@ std::string Scenario::describe() const {
   std::snprintf(
       buf, sizeof buf,
       "%s n=%llu steps=%llu model=%s balancer=%s threads=%u/%u "
-      "faults=%zu%s%s mutation=%s",
-      runtime ? "runtime" : "engine", static_cast<unsigned long long>(n),
+      "faults=%zu%s%s%s mutation=%s",
+      runtime ? (rt_latency ? "runtime-lat" : "runtime") : "engine",
+      static_cast<unsigned long long>(n),
       static_cast<unsigned long long>(steps), to_string(model),
       to_string(balancer), threads, threads_replay, faults.size(),
       spread_execution ? " spread" : "", streaming_transfers ? " stream" : "",
+      rt_latency ? (" lat=" + std::to_string(latency)).c_str() : "",
       to_string(mutation));
   return buf;
 }

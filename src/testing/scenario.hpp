@@ -56,6 +56,7 @@ enum class MutationKind {
   kReorder,         // swap two tasks in one FIFO queue
   kPhantomMessage,  // bump a protocol counter outside any phase window
   kMailboxDrop,     // rt runtime: silently drop one transfer message
+  kDelaySkew,       // rt latency fabric: deliver one message a step early
 };
 
 /// A load spike deposited onto one processor before `step` executes.
@@ -95,6 +96,12 @@ struct Scenario {
   /// envelope (parallel-safe model, none/threshold/all-in-air policy, small
   /// n and steps); see clamp_to_runtime.
   bool runtime = false;
+  /// Runtime scenarios only: run rt::Runtime's latency fabric (the dist::
+  /// protocol over per-worker delay queues, delay = `latency`) instead of
+  /// the instant fabric. The oracle then cross-validates against a shadow
+  /// sim::Engine + dist::DistThresholdBalancer in lockstep. Requires the
+  /// threshold policy with a <= 8.
+  bool rt_latency = false;
   bool spread_execution = false;
   bool one_shot_preround = false;
   bool prune_satisfied = false;

@@ -31,6 +31,18 @@ the host has at least --min-cores-for-gate real cores: worker threads on a
 single-core CI box are concurrency, not parallelism, and a throughput
 assertion there measures the scheduler, not the runtime.
 
+--compare OLD.json turns the run into a perf-trajectory gate: each fresh
+run's tasks_per_sec is checked against the matching (model, policy,
+workers) run in the committed baseline, and a drop beyond the tolerance
+fails the build. The tolerance defaults to 0.35 (fresh >= 0.65x baseline)
+because CI hosts are shared and noisy; tune it per-host with
+--compare-tolerance or the CLB_PERF_TOLERANCE environment variable (the
+flag wins). The comparison disarms itself — with a warning, not a failure —
+when the baseline was recorded on a host with a different
+hardware_concurrency or when the current host is below
+--min-cores-for-gate: comparing throughput across machine shapes gates the
+hardware, not the code.
+
 Exit status: 0 = document written (and every armed gate passed);
 1 = bench failed, schema invalid, or an armed gate tripped.
 """
@@ -72,6 +84,7 @@ def run_bench(bench: str, args: argparse.Namespace, metrics_path: str) -> None:
         f"--workers={','.join(str(w) for w in args.worker_list)}",
         f"--models={','.join(args.model_list)}",
         f"--policies={','.join(args.policy_list)}",
+        "--latencies=",  # EXP-22 sweep is statcheck's domain, skip it here
         f"--metrics-json={metrics_path}",
     ]
     proc = subprocess.run(cmd, stdout=subprocess.PIPE,
@@ -165,6 +178,65 @@ def gate(doc: dict, args: argparse.Namespace) -> None:
         print(f"perfbench: {key} = {speedup:.2f} (>= {args.min_speedup}) ok")
 
 
+def compare(doc: dict, args: argparse.Namespace) -> None:
+    try:
+        with open(args.compare, encoding="utf-8") as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read baseline {args.compare!r}: {e}")
+    if base.get("schema") != SCHEMA:
+        fail(f"baseline schema is {base.get('schema')!r}, want {SCHEMA!r}")
+
+    hw_now = doc["host"]["hardware_concurrency"]
+    hw_base = base.get("host", {}).get("hardware_concurrency")
+    if hw_now != hw_base:
+        print(f"perfbench: compare disarmed (baseline recorded on "
+              f"{hw_base} cores, this host has {hw_now})")
+        return
+    if hw_now < args.min_cores_for_gate:
+        print(f"perfbench: compare disarmed ({hw_now} cores < "
+              f"{args.min_cores_for_gate} required)")
+        return
+
+    tol = args.compare_tolerance
+    if tol is None:
+        env = os.environ.get("CLB_PERF_TOLERANCE", "")
+        try:
+            tol = float(env) if env else 0.35
+        except ValueError:
+            fail(f"CLB_PERF_TOLERANCE={env!r} is not a number")
+    if not 0.0 <= tol < 1.0:
+        fail(f"compare tolerance {tol} outside [0, 1)")
+
+    baseline = {
+        (r["model"], r["policy"], r["workers"]): r["tasks_per_sec"]
+        for r in base.get("runs", [])
+    }
+    compared = 0
+    worst = None
+    for run in doc["runs"]:
+        key = (run["model"], run["policy"], run["workers"])
+        old = baseline.get(key)
+        if old is None or old <= 0:
+            continue
+        compared += 1
+        ratio = run["tasks_per_sec"] / old
+        label = f"{key[0]}.{key[1]}.w{key[2]}"
+        if worst is None or ratio < worst[1]:
+            worst = (label, ratio)
+        if ratio < 1.0 - tol:
+            fail(f"throughput regression: {label} tasks_per_sec "
+                 f"{run['tasks_per_sec']:.0f} is {ratio:.2f}x baseline "
+                 f"{old:.0f} (floor {1.0 - tol:.2f}x; raise the tolerance "
+                 f"via --compare-tolerance or CLB_PERF_TOLERANCE if this "
+                 f"host is known-noisy)")
+    if compared == 0:
+        fail(f"baseline {args.compare!r} shares no (model, policy, workers) "
+             f"runs with this configuration — nothing compared")
+    print(f"perfbench: compare ok — {compared} runs within {tol:.2f} of "
+          f"baseline (worst {worst[0]} at {worst[1]:.2f}x)")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(
         description="Run bench_rt and write BENCH_rt.json")
@@ -187,6 +259,13 @@ def main() -> int:
                     help="required threshold-policy speedup, max vs 1 worker")
     ap.add_argument("--min-cores-for-gate", type=int, default=8,
                     help="arm the speedup gate only at this many real cores")
+    ap.add_argument("--compare", default="",
+                    help="baseline BENCH_rt.json; fail if any matching run's "
+                         "tasks_per_sec drops by more than the tolerance")
+    ap.add_argument("--compare-tolerance", type=float, default=None,
+                    help="allowed fractional throughput drop vs baseline "
+                         "(default 0.35; CLB_PERF_TOLERANCE overrides the "
+                         "default, the flag overrides both)")
     args = ap.parse_args()
 
     if args.smoke:
@@ -226,6 +305,8 @@ def main() -> int:
     validate(doc)
     if not args.smoke:
         gate(doc, args)
+    if args.compare:
+        compare(doc, args)
 
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

@@ -11,11 +11,15 @@ evaluated against the gauges a bench harness exported:
   EXP-13 (Section 1.2) the threshold algorithm beats all-in-air
                        redistribution on messages per task and locality,
                        at bounded max load.
+  EXP-22 (extension)   rt::Runtime's latency fabric: mean phase duration
+                       grows linearly with the message latency on real
+                       worker threads (the EXP-19 dist/ result), at a held
+                       match rate and no forced phase ends.
 
 Usage (ctest runs this against fixture-generated metrics):
 
   statcheck.py --exp03 exp03.metrics.json --exp07 exp07.metrics.json \\
-               --exp13 exp13.metrics.json
+               --exp13 exp13.metrics.json --exp22 exp22.metrics.json
 
 Every band's limit can be perturbed with --override BAND=VALUE; the
 statcheck_selftest ctest entry uses an absurd override to prove a violated
@@ -56,6 +60,18 @@ DEFAULT_LIMITS = {
     "exp13.allinair_locality_hi": 0.6,
     # threshold max load stays within T          (measured 7 vs T=16)
     "exp13.threshold_max_load_hi": 16.0,
+    # EXP-22 slope: duration(max lat) / duration(min lat) must reach this
+    # fraction of the latency ratio itself       (measured 0.94 of ideal)
+    "exp22.duration_ratio_lo": 0.5,
+    # per-latency normalised duration, steps/lat (measured ~3.0-3.2)
+    "exp22.duration_per_latency_lo": 1.5,
+    "exp22.duration_per_latency_hi": 8.0,
+    # phases doing heavy work per sweep point    (measured 19-26)
+    "exp22.phases_min": 8.0,
+    # heavy-processor match rate, percent        (measured 100)
+    "exp22.match_pct_lo": 60.0,
+    # failsafe-forced phase ends                 (measured 0)
+    "exp22.forced_hi": 0.0,
 }
 
 RESULTS = []
@@ -159,6 +175,45 @@ def check_exp13(g, limit):
           f"threshold max load {ml:g} <= {lim:g}")
 
 
+def check_exp22(g, limit):
+    lats = sweep_sizes(g, r"exp22\.lat%d\.phase_duration_mean")
+    if len(lats) < 2:
+        check("exp22.present", False,
+              "need gauges for at least two latencies, found "
+              f"{lats or 'none'}")
+        return
+    durs = {}
+    for lat in lats:
+        dur = g[f"exp22.lat{lat}.phase_duration_mean"]
+        durs[lat] = dur
+        phases = g[f"exp22.lat{lat}.phases"]
+        lim = limit("exp22.phases_min")
+        check("exp22.phases_min", phases >= lim,
+              f"lat={lat}: {phases:g} heavy phases >= {lim:g}")
+        per = dur / lat
+        lo = limit("exp22.duration_per_latency_lo")
+        hi = limit("exp22.duration_per_latency_hi")
+        check("exp22.duration_per_latency_lo", per >= lo,
+              f"lat={lat}: duration/latency {per:.2f} >= {lo:g}")
+        check("exp22.duration_per_latency_hi", per <= hi,
+              f"lat={lat}: duration/latency {per:.2f} <= {hi:g}")
+        lim = limit("exp22.match_pct_lo")
+        match = g[f"exp22.lat{lat}.match_pct"]
+        check("exp22.match_pct_lo", match >= lim,
+              f"lat={lat}: match rate {match:.1f}% >= {lim:g}%")
+        lim = limit("exp22.forced_hi")
+        forced = g[f"exp22.lat{lat}.forced"]
+        check("exp22.forced_hi", forced <= lim,
+              f"lat={lat}: {forced:g} forced phase ends <= {lim:g}")
+    lo_lat, hi_lat = min(lats), max(lats)
+    ratio = durs[hi_lat] / max(durs[lo_lat], 1e-9)
+    lat_ratio = hi_lat / lo_lat
+    lim = limit("exp22.duration_ratio_lo")
+    check("exp22.duration_ratio_lo", ratio >= lim * lat_ratio,
+          f"duration(lat {hi_lat})/duration(lat {lo_lat}) = {ratio:.2f} >= "
+          f"{lim:g} * latency ratio {lat_ratio:g} (duration ∝ latency)")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Evaluate EXPERIMENTS.md tolerance bands against bench "
@@ -166,6 +221,7 @@ def main():
     ap.add_argument("--exp03", help="bench_maxload_single metrics JSON")
     ap.add_argument("--exp07", help="bench_expected_requests metrics JSON")
     ap.add_argument("--exp13", help="bench_baselines metrics JSON")
+    ap.add_argument("--exp22", help="bench_rt latency-sweep metrics JSON")
     ap.add_argument("--override", action="append", default=[],
                     metavar="BAND=VALUE",
                     help="perturb a band limit (self-test hook)")
@@ -183,8 +239,9 @@ def main():
     def limit(band):
         return limits[band]
 
-    if not (args.exp03 or args.exp07 or args.exp13):
-        ap.error("at least one of --exp03/--exp07/--exp13 is required")
+    if not (args.exp03 or args.exp07 or args.exp13 or args.exp22):
+        ap.error("at least one of --exp03/--exp07/--exp13/--exp22 is "
+                 "required")
 
     if args.exp03:
         print(f"exp03 bands ({args.exp03}):")
@@ -195,6 +252,9 @@ def main():
     if args.exp13:
         print(f"exp13 bands ({args.exp13}):")
         check_exp13(gauges(args.exp13), limit)
+    if args.exp22:
+        print(f"exp22 bands ({args.exp22}):")
+        check_exp22(gauges(args.exp22), limit)
 
     passed = sum(RESULTS)
     failed = len(RESULTS) - passed
