@@ -7,10 +7,12 @@
 // sweeps the latency and compares against the oracle (atomic) executor the
 // analysis assumes.
 #include <memory>
+#include <string>
 
 #include "common.hpp"
 #include "dist/dist_balancer.hpp"
 #include "net/topology.hpp"
+#include "obs/views.hpp"
 
 int main(int argc, char** argv) {
   using namespace clb;
@@ -20,9 +22,15 @@ int main(int argc, char** argv) {
   const auto seed = cli.flag_u64("seed", 1, "seed");
   const auto latencies_csv = cli.flag_str(
       "latencies", "1,2,4,8", "uniform fabric latencies to sweep");
+  bench::ObsFlags obs_flags(cli);
   bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
   smoke.apply();
+
+  obs::Recorder rec(obs_flags.config("bench_dist", argc, argv));
+  rec.manifest().set_seed(*seed);
+  rec.manifest().set_param("n", *n);
+  rec.manifest().set_param("steps", *steps);
 
   util::print_banner("EXP-19  per-processor protocol over a latency fabric");
   util::print_note("expect: max load degrades gracefully (~+latency worth "
@@ -82,6 +90,10 @@ int main(int argc, char** argv) {
         .cell(static_cast<double>(eng.messages().protocol_total()) /
                   static_cast<double>(eng.total_generated()),
               4);
+    // Fabric depth under the same gauge names the rt latency fabric's
+    // telemetry exports — the cross-model comparison the rt report reads.
+    obs::snapshot_network(rec.metrics(), balancer.network(),
+                          "dist.net.lat" + std::to_string(latency) + ".");
   }
   clb::bench::emit(table, "dist_1");
 
@@ -117,11 +129,14 @@ int main(int argc, char** argv) {
         .cell(static_cast<double>(balancer.network().total_hops()) /
                   static_cast<double>(balancer.network().total_sent()),
               2);
+    obs::snapshot_network(rec.metrics(), balancer.network(),
+                          std::string("dist.net.") + top->name() + ".");
   }
   clb::bench::emit(ttable, "dist_2");
   util::print_note("the protocol is latency-robust: classification grows "
                    "staler with the round-trip time, but the threshold "
                    "trigger needs no global clock and message volume is "
                    "unchanged.");
+  rec.finish();
   return 0;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/json.hpp"
 
 namespace {
 
@@ -87,6 +88,15 @@ int main(int argc, char** argv) {
       "lat-steps", 512, "runtime steps per latency-sweep run");
   const auto lat_workers =
       cli.flag_u64("lat-workers", 4, "worker threads in the latency sweep");
+  const auto telemetry = cli.flag_bool(
+      "telemetry", false,
+      "per-worker hot-path telemetry: utilization/stall/imbalance table, "
+      "rt.*.telemetry.* gauges, snapshot timeline (--telemetry-jsonl)");
+  const auto telemetry_interval = cli.flag_u64(
+      "telemetry-interval", 64, "steps between telemetry snapshots");
+  const auto telemetry_jsonl = cli.flag_str(
+      "telemetry-jsonl", "",
+      "write the snapshot timeline here (tools/rt_report.py reads it)");
   bench::SmokeFlag smoke(cli);
   bench::ObsFlags obs_flags(cli);
   cli.parse(argc, argv);
@@ -131,6 +141,17 @@ int main(int argc, char** argv) {
 
   util::Table table({"model", "policy", "workers", "tasks/sec", "speedup",
                      "p50 us", "p95 us", "p99 us", "remote %", "msgs/task"});
+  util::Table ttable({"model", "policy", "workers", "util mean", "stall %",
+                      "imbalance", "drain mean", "barrier p99 us"});
+  std::string telemetry_timeline;
+  if (*telemetry && !obs::kTelemetryCompiled) {
+    util::print_note("--telemetry requested but the binary was built with "
+                     "-DCLB_TELEMETRY=OFF; telemetry output will be empty");
+  }
+
+  // Runs share one trace timeline; each gets its own step window so the
+  // JSONL steps stay globally non-decreasing (same idiom as the sim benches).
+  std::uint64_t trace_window = 0;
 
   for (const std::string& model_name : model_names) {
     for (const std::string& policy_name : policy_names) {
@@ -148,6 +169,13 @@ int main(int argc, char** argv) {
         }
         cfg.spin_work = static_cast<std::uint32_t>(*spin);
         cfg.time_sojourn = true;
+        cfg.telemetry = *telemetry;
+        cfg.telemetry_interval = *telemetry ? *telemetry_interval : 0;
+        cfg.telemetry_tag =
+            model_name + "." + policy_name + ".w" + std::to_string(w);
+        cfg.trace = rec.trace();
+        rec.trace()->set_time_base(trace_window);
+        trace_window += *steps + 16;
         rt::Runtime run(cfg, model.get());
         run.run(*steps);
 
@@ -197,6 +225,23 @@ int main(int argc, char** argv) {
         rec.metrics().gauge(prefix + "consumed") =
             static_cast<double>(run.total_consumed());
 
+        if (run.telemetry_enabled()) {
+          run.export_telemetry(rec.metrics(), prefix + "telemetry.");
+          telemetry_timeline += run.telemetry_jsonl();
+          auto& m = rec.metrics();
+          ttable.row()
+              .cell(model_name)
+              .cell(policy_name)
+              .cell(static_cast<std::uint64_t>(w))
+              .cell(m.gauge(prefix + "telemetry.utilization_mean"), 3)
+              .cell(100.0 * m.gauge(prefix + "telemetry.barrier_stall_fraction"),
+                    2)
+              .cell(m.gauge(prefix + "telemetry.queue_imbalance"), 2)
+              .cell(m.gauge(prefix + "telemetry.drain_batch_mean"), 2)
+              .cell(m.gauge(prefix + "telemetry.barrier_wait_p99_ns") / 1000.0,
+                    1);
+        }
+
         if (!run.conservation_holds()) {
           std::fprintf(stderr, "FATAL: conservation violated (%s/%s/w%u)\n",
                        model_name.c_str(), policy_name.c_str(), w);
@@ -237,6 +282,13 @@ int main(int argc, char** argv) {
       cfg.policy = rt::RtPolicy::kThreshold;
       cfg.params = lat_params;
       cfg.latency = latency;
+      cfg.telemetry = *telemetry;
+      cfg.telemetry_interval = *telemetry ? *telemetry_interval : 0;
+      cfg.telemetry_tag = "exp22.lat" + std::to_string(latency);
+      cfg.trace = rec.trace();
+      rec.trace()->set_time_base(trace_window);
+      // Window must cover the bounded drain overrun below (<= 4096 steps).
+      trace_window += *lat_steps + 4096 + 64;
       rt::Runtime run(cfg, model.get());
 
       // Periodic load spikes guarantee heavy processors, so every phase
@@ -297,6 +349,11 @@ int main(int argc, char** argv) {
       rec.metrics().gauge(prefix + "match_pct") = match_pct;
       rec.metrics().gauge(prefix + "forced") = static_cast<double>(forced);
 
+      if (run.telemetry_enabled()) {
+        run.export_telemetry(rec.metrics(), prefix + "telemetry.");
+        telemetry_timeline += run.telemetry_jsonl();
+      }
+
       if (!run.conservation_holds() || run.fabric_in_flight() != 0) {
         std::fprintf(stderr,
                      "FATAL: latency-sweep invariants violated (lat=%u)\n",
@@ -307,6 +364,22 @@ int main(int argc, char** argv) {
     clb::bench::emit(lt, "rt_2");
   }
 
+  if (*telemetry) {
+    util::print_banner("telemetry  per-worker utilization / stall / imbalance");
+    clb::bench::emit(ttable, "rt_telemetry");
+    if (!telemetry_jsonl->empty()) {
+      if (!obs::write_text_file(*telemetry_jsonl, telemetry_timeline)) {
+        std::fprintf(stderr, "FATAL: cannot write %s\n",
+                     telemetry_jsonl->c_str());
+        return 1;
+      }
+      rec.manifest().add_output("rt_telemetry_snapshots", *telemetry_jsonl);
+      util::print_note("snapshot timeline: " + *telemetry_jsonl +
+                       " (feed to tools/rt_report.py --snapshots)");
+    }
+  }
+  rec.metrics().gauge("rt.telemetry_compiled") =
+      obs::kTelemetryCompiled ? 1.0 : 0.0;
   rec.metrics().gauge("rt.hardware_concurrency") =
       static_cast<double>(std::thread::hardware_concurrency());
   util::print_note("speedup is relative to the first worker count of the "

@@ -9,6 +9,7 @@ void Network::send(const Message& m, std::uint64_t now) {
              "message endpoint out of range");
   slots_[(now + policy_.delay(m.from, m.to)) % slots_.size()].push_back(m);
   ++in_flight_;
+  if (in_flight_ > max_in_flight_) max_in_flight_ = in_flight_;
   ++total_sent_;
   total_hops_ += policy_.hops(m.from, m.to);
 }
@@ -17,7 +18,10 @@ const std::vector<Message>& Network::deliver(std::uint64_t now) {
   auto& slot = slots_[now % slots_.size()];
   due_.clear();
   due_.swap(slot);
+  flight_sum_ += in_flight_;  // depth this step, before removal
+  ++deliver_calls_;
   in_flight_ -= due_.size();
+  total_delivered_ += due_.size();
   // Group by recipient; within a recipient the canonical seq stamp orders
   // processing (stable, so unstamped messages keep their send order).
   std::stable_sort(due_.begin(), due_.end(),
@@ -32,6 +36,8 @@ void Network::reset() {
   for (auto& slot : slots_) slot.clear();
   due_.clear();
   in_flight_ = 0;
+  // Cumulative stats (sent/hops/delivered/depth) survive the reset on
+  // purpose: a forced phase end discards messages, it does not unsend them.
 }
 
 }  // namespace clb::dist

@@ -60,6 +60,22 @@ class Network {
   [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
   /// Cumulative link traversals of all sent messages.
   [[nodiscard]] std::uint64_t total_hops() const { return total_hops_; }
+  /// Messages handed over by deliver() so far (in_flight + delivered ==
+  /// sent, except across reset() which drops the in-flight ones).
+  [[nodiscard]] std::uint64_t total_delivered() const {
+    return total_delivered_;
+  }
+  /// Peak delivery-queue depth: max in_flight observed right after a send.
+  [[nodiscard]] std::uint64_t max_in_flight() const { return max_in_flight_; }
+  /// Mean in_flight sampled at each deliver() call (before removal) — the
+  /// per-step fabric depth, comparable to the rt latency fabric's
+  /// fabric_mean_in_flight telemetry gauge.
+  [[nodiscard]] double mean_in_flight() const {
+    return deliver_calls_ == 0
+               ? 0.0
+               : static_cast<double>(flight_sum_) /
+                     static_cast<double>(deliver_calls_);
+  }
 
   /// Delivery delay for a (src, dst) pair under the current mode.
   [[nodiscard]] std::uint64_t delay(std::uint32_t from,
@@ -86,6 +102,10 @@ class Network {
   std::uint64_t in_flight_ = 0;
   std::uint64_t total_sent_ = 0;
   std::uint64_t total_hops_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t max_in_flight_ = 0;
+  std::uint64_t flight_sum_ = 0;      // sum of in_flight at deliver() calls
+  std::uint64_t deliver_calls_ = 0;
 };
 
 }  // namespace clb::dist

@@ -1,0 +1,126 @@
+#include "obs/telemetry.hpp"
+
+#include "obs/json.hpp"
+
+namespace clb::obs {
+
+std::uint64_t Pow2Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      if (b == 0) return 0;
+      const std::uint64_t lo = 1ULL << (b - 1);
+      const std::uint64_t hi = b >= 64 ? ~0ULL : (1ULL << b) - 1;
+      return lo + (hi - lo) / 2;
+    }
+  }
+  return max_;
+}
+
+void Pow2Histogram::merge(const Pow2Histogram& other) {
+  for (unsigned b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void Pow2Histogram::clear() {
+  for (auto& b : buckets_) b = 0;
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+void WorkerTelemetry::merge(const WorkerTelemetry& other) {
+  steps += other.steps;
+  step_ns += other.step_ns;
+  stall_ns += other.stall_ns;
+  barrier_waits += other.barrier_waits;
+  enq_self += other.enq_self;
+  enq_remote += other.enq_remote;
+  deq += other.deq;
+  drains += other.drains;
+  generated += other.generated;
+  consumed += other.consumed;
+  phases += other.phases;
+  if (other.fabric_max_in_flight > fabric_max_in_flight) {
+    fabric_max_in_flight = other.fabric_max_in_flight;
+  }
+  fabric_flight_sum += other.fabric_flight_sum;
+  fabric_flight_samples += other.fabric_flight_samples;
+  step_ns_hist.merge(other.step_ns_hist);
+  stall_ns_hist.merge(other.stall_ns_hist);
+  drain_batch_hist.merge(other.drain_batch_hist);
+  phase_steps_hist.merge(other.phase_steps_hist);
+}
+
+void merge_worker_telemetry(MetricsRegistry& m, const WorkerTelemetry& t,
+                            const std::string& prefix) {
+  m.counter(prefix + "steps") = t.steps;
+  m.counter(prefix + "step_ns") = t.step_ns;
+  m.counter(prefix + "stall_ns") = t.stall_ns;
+  m.counter(prefix + "work_ns") = t.work_ns();
+  m.counter(prefix + "barrier_waits") = t.barrier_waits;
+  m.counter(prefix + "enq_self") = t.enq_self;
+  m.counter(prefix + "enq_remote") = t.enq_remote;
+  m.counter(prefix + "deq") = t.deq;
+  m.counter(prefix + "drains") = t.drains;
+  m.counter(prefix + "generated") = t.generated;
+  m.counter(prefix + "consumed") = t.consumed;
+  m.counter(prefix + "phases") = t.phases;
+  m.gauge(prefix + "utilization") = t.utilization();
+  m.gauge(prefix + "stall_fraction") = t.stall_fraction();
+  m.gauge(prefix + "drain_batch_mean") = t.drain_batch_hist.mean();
+  m.gauge(prefix + "drain_batch_p99") =
+      static_cast<double>(t.drain_batch_hist.quantile(0.99));
+  m.gauge(prefix + "barrier_wait_p50_ns") =
+      static_cast<double>(t.stall_ns_hist.quantile(0.50));
+  m.gauge(prefix + "barrier_wait_p99_ns") =
+      static_cast<double>(t.stall_ns_hist.quantile(0.99));
+  m.gauge(prefix + "barrier_wait_max_ns") =
+      static_cast<double>(t.stall_ns_hist.max());
+  m.gauge(prefix + "step_p50_ns") =
+      static_cast<double>(t.step_ns_hist.quantile(0.50));
+  m.gauge(prefix + "step_p99_ns") =
+      static_cast<double>(t.step_ns_hist.quantile(0.99));
+  m.gauge(prefix + "phase_steps_mean") = t.phase_steps_hist.mean();
+  m.gauge(prefix + "phase_steps_max") =
+      static_cast<double>(t.phase_steps_hist.max());
+}
+
+void append_telemetry_snapshot(std::string& out, const std::string& tag,
+                               std::uint64_t step, unsigned worker,
+                               unsigned workers, std::uint64_t shard_load,
+                               const WorkerTelemetry& t) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("kind", "rt_telemetry");
+  if (!tag.empty()) w.member("tag", tag);
+  w.member("step", step);
+  w.member("worker", static_cast<std::uint64_t>(worker));
+  w.member("workers", static_cast<std::uint64_t>(workers));
+  w.member("shard_load", shard_load);
+  w.member("steps", t.steps);
+  w.member("step_ns", t.step_ns);
+  w.member("stall_ns", t.stall_ns);
+  w.member("work_ns", t.work_ns());
+  w.member("barrier_waits", t.barrier_waits);
+  w.member("enq_self", t.enq_self);
+  w.member("enq_remote", t.enq_remote);
+  w.member("deq", t.deq);
+  w.member("drains", t.drains);
+  w.member("generated", t.generated);
+  w.member("consumed", t.consumed);
+  w.member("phases", t.phases);
+  w.end_object();
+  out += w.str();
+  out += '\n';
+}
+
+}  // namespace clb::obs

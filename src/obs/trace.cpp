@@ -34,6 +34,9 @@ constexpr KindSchema kSchemas[] = {
     {"id_message", "root", "partner", "phase", "level", nullptr},
     {"transfer", "from", "to", "count", nullptr, nullptr},
     {"preround_match", "root", "partner", "phase", nullptr, nullptr},
+    {"barrier_wait", nullptr, nullptr, "wait_ns", nullptr, nullptr},
+    {"mailbox_drain", nullptr, nullptr, "batch", nullptr, nullptr},
+    {"worker_step", nullptr, nullptr, "step_ns", "work_ns", nullptr},
 };
 static_assert(sizeof(kSchemas) / sizeof(kSchemas[0]) ==
                   static_cast<std::size_t>(EventKind::kKindCount_),
@@ -43,14 +46,21 @@ const KindSchema& schema_of(EventKind kind) {
   return kSchemas[static_cast<std::size_t>(kind)];
 }
 
-// Chrome trace thread ids: one visual track per event family.
+// Chrome trace thread ids: one visual track per event family, plus one
+// track per runtime worker (kTidWorkerBase + worker) for the worker-lane
+// kinds, so a multi-worker rt run renders barrier waits / drains / steps
+// as parallel lanes.
 constexpr int kTidPhases = 0;
 constexpr int kTidSearch = 1;
 constexpr int kTidMessages = 2;
 constexpr int kTidTransfers = 3;
+constexpr int kTidWorkerBase = 100;
 
-int chrome_tid(EventKind kind) {
-  switch (kind) {
+int chrome_tid(const TraceEvent& e) {
+  if (event_kind_worker_lane(e.kind)) {
+    return kTidWorkerBase + static_cast<int>(e.worker);
+  }
+  switch (e.kind) {
     case EventKind::kPhaseBegin:
     case EventKind::kPhaseEnd:
       return kTidPhases;
@@ -72,6 +82,7 @@ void append_args(JsonWriter& w, const TraceEvent& e) {
   if (s.v0 != nullptr) w.member(s.v0, e.v0);
   if (s.v1 != nullptr) w.member(s.v1, e.v1);
   if (s.v2 != nullptr) w.member(s.v2, e.v2);
+  w.member("worker", static_cast<std::uint64_t>(e.worker));
   w.end_object();
 }
 
@@ -153,6 +164,7 @@ std::string TraceSink::to_jsonl() const {
     if (s.v0 != nullptr) w.member(s.v0, e.v0);
     if (s.v1 != nullptr) w.member(s.v1, e.v1);
     if (s.v2 != nullptr) w.member(s.v2, e.v2);
+    w.member("worker", static_cast<std::uint64_t>(e.worker));
     w.end_object();
     out += w.str();
     out += '\n';
@@ -185,6 +197,20 @@ std::string TraceSink::to_chrome_trace() const {
   meta("thread_name", kTidSearch, "partner search");
   meta("thread_name", kTidMessages, "protocol messages");
   meta("thread_name", kTidTransfers, "task transfers");
+  // One named lane per worker that produced worker-lane events.
+  {
+    std::vector<bool> seen;
+    for (const TraceEvent& e : events) {
+      if (!event_kind_worker_lane(e.kind)) continue;
+      if (e.worker >= seen.size()) seen.resize(e.worker + 1, false);
+      seen[e.worker] = true;
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      if (!seen[i]) continue;
+      const std::string label = "worker " + std::to_string(i);
+      meta("thread_name", kTidWorkerBase + static_cast<int>(i), label.c_str());
+    }
+  }
 
   // Pair phase begin/end events (they are sequential per run) into complete
   // ("X") slices; an unpaired trailing begin gets a 1-step slice.
@@ -247,7 +273,7 @@ std::string TraceSink::to_chrome_trace() const {
         w.member("s", "t");
         w.member("ts", e.step);
         w.member("pid", 0);
-        w.member("tid", chrome_tid(e.kind));
+        w.member("tid", chrome_tid(e));
         w.key("args");
         append_args(w, e);
         w.end_object();

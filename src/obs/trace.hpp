@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_pool.hpp"
+
 #ifndef CLB_TRACE_ENABLED
 #define CLB_TRACE_ENABLED 1
 #endif
@@ -48,10 +50,21 @@ enum class EventKind : std::uint8_t {
   kIdMessage,          ///< proc = root, peer = partner; v0 = phase, v1 = level
   kTransfer,           ///< proc = from, peer = to; v0 = task count
   kPreroundMatch,      ///< proc = root, peer = partner; v0 = phase
+  kBarrierWait,        ///< v0 = wait ns (rt telemetry; one per barrier)
+  kMailboxDrain,       ///< v0 = batch size (rt telemetry; one per drain)
+  kWorkerStep,         ///< v0 = step ns, v1 = work ns (rt telemetry)
   kKindCount_,         // sentinel, keep last
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);
+
+/// Worker-lane kinds render on per-worker Chrome tracks (one lane per
+/// worker thread) instead of the per-family tracks; they always carry a
+/// meaningful TraceEvent::worker.
+[[nodiscard]] constexpr bool event_kind_worker_lane(EventKind kind) {
+  return kind == EventKind::kBarrierWait || kind == EventKind::kMailboxDrain ||
+         kind == EventKind::kWorkerStep;
+}
 
 /// Phase begin/end events are structural (the Chrome writer pairs them into
 /// slices) and are therefore exempt from sampling.
@@ -65,6 +78,12 @@ struct TraceEvent {
   std::uint32_t peer = 0;  ///< secondary actor (receiver / partner)
   std::uint64_t step = 0;  ///< simulation step the event happened at
   std::uint64_t v0 = 0, v1 = 0, v2 = 0;  ///< kind-specific payload
+  /// Emitting worker thread — stamped by emit() from
+  /// util::ThreadPool::worker_index(), never by call sites. rt::Runtime
+  /// shard threads bind their shard index at spawn, so multi-worker traces
+  /// attribute every event (kTransfer, kPhaseBegin/End, the worker-lane
+  /// kinds) to the thread that produced it.
+  std::uint32_t worker = 0;
 };
 
 struct TraceSinkConfig {
@@ -97,6 +116,7 @@ class TraceSink {
 #if CLB_TRACE_ENABLED
     if (!cfg_.enabled) return;
     e.step += time_base_;
+    e.worker = util::ThreadPool::worker_index();
     Buffer& b = local_buffer();
     ++b.seen;
     if (event_kind_sampled(e.kind) && cfg_.sample_every > 1 &&

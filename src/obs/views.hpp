@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/phase_stats.hpp"
+#include "dist/network.hpp"
 #include "obs/metrics.hpp"
 #include "sim/counters.hpp"
 #include "sim/engine.hpp"
@@ -100,6 +101,40 @@ inline void snapshot_engine(MetricsRegistry& m, const sim::Engine& e,
   m.counter(prefix + "total_consumed") = e.total_consumed();
   m.counter(prefix + "running_max_load") = e.running_max_load();
   m.gauge(prefix + "locality") = e.locality_fraction();
+}
+
+/// Live view over a dist::Network's fabric statistics. `net` must outlive
+/// every registry export. Gauge names deliberately mirror the rt latency
+/// fabric's telemetry gauges (fabric_max_in_flight / fabric_mean_in_flight)
+/// so dist/ and rt/ runs export comparable delivery-queue telemetry.
+inline void expose_network(MetricsRegistry& m, const dist::Network& net,
+                           const std::string& prefix = "dist.net.") {
+  m.expose_gauge(prefix + "sent",
+                 [&net] { return static_cast<double>(net.total_sent()); });
+  m.expose_gauge(prefix + "delivered", [&net] {
+    return static_cast<double>(net.total_delivered());
+  });
+  m.expose_gauge(prefix + "in_flight",
+                 [&net] { return static_cast<double>(net.in_flight()); });
+  m.expose_gauge(prefix + "fabric_max_in_flight", [&net] {
+    return static_cast<double>(net.max_in_flight());
+  });
+  m.expose_gauge(prefix + "fabric_mean_in_flight",
+                 [&net] { return net.mean_in_flight(); });
+  m.expose_gauge(prefix + "hops",
+                 [&net] { return static_cast<double>(net.total_hops()); });
+}
+
+/// Point-in-time copy of a network's fabric statistics under `prefix`
+/// (safe after the network is destroyed; sweep loops use this).
+inline void snapshot_network(MetricsRegistry& m, const dist::Network& net,
+                             const std::string& prefix) {
+  m.counter(prefix + "sent") = net.total_sent();
+  m.counter(prefix + "delivered") = net.total_delivered();
+  m.counter(prefix + "in_flight") = net.in_flight();
+  m.counter(prefix + "fabric_max_in_flight") = net.max_in_flight();
+  m.gauge(prefix + "fabric_mean_in_flight") = net.mean_in_flight();
+  m.counter(prefix + "hops") = net.total_hops();
 }
 
 /// Feeds one finalised phase into per-phase distribution histograms. The

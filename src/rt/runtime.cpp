@@ -176,6 +176,15 @@ struct alignas(64) Runtime::Worker {
   std::uint64_t seq_major = 0;
   std::uint32_t seq_minor = 0;
 
+  // Telemetry (single-writer; see obs::WorkerTelemetry). `telem` is live,
+  // `snap`/`snap_load` are the copies the snapshot emitter publishes so the
+  // leader can read a consistent view while `telem` keeps moving.
+  obs::WorkerTelemetry telem;
+  obs::WorkerTelemetry snap;
+  std::uint64_t snap_load = 0;
+  std::uint64_t step_stall_ns = 0;  // barrier ns within the current step
+  std::uint64_t cur_step = 0;       // step being executed (trace stamping)
+
   // Outputs, merged by the main thread after runs.
   sim::MessageCounters msg;
   std::uint64_t clamped = 0;
@@ -203,6 +212,7 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
             "runtime processor ids must fit comfortably in 32 bits");
   const unsigned w = resolve_workers(cfg_);
   cfg_.workers = w;
+  telemetry_ = cfg_.telemetry && obs::kTelemetryCompiled;
   if (cfg_.policy == RtPolicy::kThreshold) {
     CLB_CHECK(cfg_.params.n == cfg_.n,
               "phase params must be realised for this n (PhaseParams::from_n)");
@@ -271,7 +281,13 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
   }
   for (unsigned i = 0; i < w; ++i) {
     Worker* wp = workers_[i].get();
-    wp->thread = std::thread([this, wp] { worker_main(*wp); });
+    wp->thread = std::thread([this, wp] {
+      // Adopt the shard index as this thread's worker ID so trace events
+      // and telemetry emitted from here carry the right lane (the fix for
+      // kTransfer/kPhase* events all reporting worker 0).
+      util::ThreadPool::bind_worker_index(wp->index);
+      worker_main(*wp);
+    });
   }
 }
 
@@ -327,10 +343,34 @@ void Runtime::send(Worker& w, std::uint32_t dest_proc, Message* m) {
   Worker& dst = *workers_[owner_of(dest_proc)];
   if (&dst == &w) {
     ++w.self_pushes;
+#if CLB_TELEMETRY_ENABLED
+    if (telemetry_) ++w.telem.enq_self;
+#endif
   } else {
     ++w.remote_pushes;
+#if CLB_TELEMETRY_ENABLED
+    if (telemetry_) ++w.telem.enq_remote;
+#endif
   }
   dst.inbox.push(m);
+}
+
+void Runtime::barrier(Worker& w) {
+#if CLB_TELEMETRY_ENABLED
+  if (telemetry_) {
+    const std::uint64_t ns = step_barrier_.arrive_and_wait_timed();
+    ++w.telem.barrier_waits;
+    w.telem.stall_ns += ns;
+    w.telem.stall_ns_hist.add(ns);
+    w.step_stall_ns += ns;
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kBarrierWait, w.cur_step, 0, 0,
+                    ns);
+    return;
+  }
+#else
+  (void)w;
+#endif
+  step_barrier_.arrive_and_wait();
 }
 
 void Runtime::apply_transfer([[maybe_unused]] Worker& w, const Message& m) {
@@ -342,7 +382,9 @@ void Runtime::apply_transfer([[maybe_unused]] Worker& w, const Message& m) {
 
 void Runtime::drain(Worker& w, std::vector<Message*>& out) {
   out.clear();
+  std::uint64_t batch = 0;
   while (Message* m = w.inbox.pop()) {
+    ++batch;
     if (m->kind == MsgKind::kTransfer) {
       // Order-insensitive: at most one transfer reaches a given light per
       // phase (the assigned flag), so applying on drain keeps determinism.
@@ -352,6 +394,15 @@ void Runtime::drain(Worker& w, std::vector<Message*>& out) {
     }
     out.push_back(m);
   }
+#if CLB_TELEMETRY_ENABLED
+  if (telemetry_) {
+    ++w.telem.drains;
+    w.telem.deq += batch;
+    w.telem.drain_batch_hist.add(batch);
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kMailboxDrain, w.cur_step, 0, 0,
+                    batch);
+  }
+#endif
 }
 
 void Runtime::send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
@@ -410,6 +461,18 @@ void Runtime::apply_staged_transfers(Worker& w, std::uint64_t step,
 }
 
 void Runtime::step_once(Worker& w, std::uint64_t step) {
+  w.cur_step = step;
+#if CLB_TELEMETRY_ENABLED
+  std::chrono::steady_clock::time_point step_t0;
+  if (telemetry_) {
+    step_t0 = std::chrono::steady_clock::now();
+    w.step_stall_ns = 0;
+  }
+#endif
+  // Tracked unconditionally (two register adds per processor); folded into
+  // the telemetry struct once per step below.
+  std::uint64_t gen_total = 0, cons_total = 0;
+
   // ---- generate / consume (mirrors Engine::generate_consume_block) ----
   const std::uint64_t system_load = w.sys_load;
   for (std::uint64_t p = w.begin; p < w.end; ++p) {
@@ -423,11 +486,13 @@ void Runtime::step_once(Worker& w, std::uint64_t step) {
                  cfg_.time_sojourn ? now_us() : 0});
     }
     proc.generated += act.generate;
+    gen_total += act.generate;
     std::uint32_t c = act.consume;
     while (c > 0 && !proc.queue.empty()) {
       const RtTask t = proc.queue.front();
       proc.queue.pop_front();
       ++proc.consumed;
+      ++cons_total;
       if (t.task.origin == p) ++proc.consumed_on_origin;
       if (cfg_.track_sojourn) w.sojourn_steps.add(step - t.task.birth_step);
       if (cfg_.time_sojourn) w.sojourn_us.add(now_us() - t.birth_us);
@@ -462,7 +527,7 @@ void Runtime::step_once(Worker& w, std::uint64_t step) {
   slot.v0 = local_load;
   slot.v1 = local_max;
   slot.v2 = scattered;
-  step_barrier_.arrive_and_wait();
+  barrier(w);
   std::uint64_t sys = 0, mx = 0, scat = 0;
   for (const Slot& s : load_slots_[step & 1]) {
     sys += s.v0;
@@ -505,8 +570,48 @@ void Runtime::step_once(Worker& w, std::uint64_t step) {
                       ps.phase_index, ps.matched, ps.unmatched);
       phases_.push_back(std::move(ps));
     }
-    step_barrier_.arrive_and_wait();
+    barrier(w);
   }
+
+#if CLB_TELEMETRY_ENABLED
+  if (telemetry_) {
+    w.telem.generated += gen_total;
+    w.telem.consumed += cons_total;
+    if (phase_step) {
+      // Instant fabric: the phase resolved within this step (0 extra steps
+      // to drain). Latency mode records its real durations in S3 instead.
+      ++w.telem.phases;
+      w.telem.phase_steps_hist.add(0);
+    }
+    const auto step_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - step_t0)
+            .count());
+    ++w.telem.steps;
+    w.telem.step_ns += step_ns;
+    w.telem.step_ns_hist.add(step_ns);
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kWorkerStep, step, 0, 0,
+                    step_ns,
+                    step_ns >= w.step_stall_ns ? step_ns - w.step_stall_ns : 0);
+
+    // Snapshot emitter: publish a consistent copy behind a barrier, let the
+    // leader serialise all workers, and fence the read with a second barrier
+    // so no worker can overwrite its copy (at the next snapshot) while the
+    // leader is still reading. Plain barriers on purpose: the emitter is
+    // telemetry overhead, not a protocol stall.
+    if (cfg_.telemetry_interval != 0 &&
+        (step + 1) % cfg_.telemetry_interval == 0) {
+      w.snap = w.telem;
+      w.snap_load = local_load;
+      step_barrier_.arrive_and_wait();
+      if (w.index == 0) append_snapshots(step);
+      step_barrier_.arrive_and_wait();
+    }
+  }
+#else
+  (void)gen_total;
+  (void)cons_total;
+#endif
 }
 
 void Runtime::run_scatter(Worker& w, std::uint64_t step) {
@@ -535,7 +640,7 @@ void Runtime::run_scatter(Worker& w, std::uint64_t step) {
   }
   w.msg.control += scattered;     // one routing message per task (as in sim)
   w.msg.tasks_moved += scattered;
-  step_barrier_.arrive_and_wait();
+  barrier(w);
   drain(w, w.batch);
   if (cfg_.deterministic) {
     std::sort(w.batch.begin(), w.batch.end(), key_less);
@@ -574,7 +679,7 @@ void Runtime::run_phase(Worker& w, std::uint64_t step) {
   }
   class_slots_[w.index].v0 = w.heavy_local.size();
   class_slots_[w.index].v1 = light_count;
-  step_barrier_.arrive_and_wait();
+  barrier(w);
 
   std::uint64_t heavy_base = 0, total_heavy = 0;
   for (unsigned i = 0; i < worker_count(); ++i) {
@@ -662,7 +767,7 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
         ++w.msg.queries;
       }
     }
-    step_barrier_.arrive_and_wait();
+    barrier(w);
 
     // R2: each queried processor counts arrivals, then accepts all or none
     // (count-based, so no sort is needed for determinism), replying per
@@ -674,7 +779,7 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
     // next-exchange messages (the entry barrier only orders the *previous*
     // segment's sends). Same pattern at L2, L3, L4 and L5 below.
     drain(w, w.batch);
-    step_barrier_.arrive_and_wait();
+    barrier(w);
     for (const Message* m : w.batch) {
       CLB_DCHECK(m->kind == MsgKind::kQuery, "unexpected message in R2");
       RtProcessor& t = procs_[m->a];
@@ -708,7 +813,7 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
       delete m;
     }
     w.batch.clear();
-    step_barrier_.arrive_and_wait();
+    barrier(w);
 
     // R3: requests collect accepts — mark reply bits first, then append in
     // j order (the simulator's pass-3 order); >= b accepts leaves the game.
@@ -742,7 +847,7 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
       if (node.active) ++local_active;
     }
     active_slots_[w.index].v0 = local_active;
-    step_barrier_.arrive_and_wait();
+    barrier(w);
     active_total = 0;
     for (unsigned i = 0; i < worker_count(); ++i) {
       active_total += active_slots_[i].v0;
@@ -765,14 +870,14 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
       send(w, node.accepted[s], m);
     }
   }
-  step_barrier_.arrive_and_wait();
+  barrier(w);
 
   // ---- applicative decision at the children (the balancer's set_assigned
   // walk). Sorted by (g, s): the first edge in global (request, child)
   // order reserves a still-light, still-unassigned processor — exactly the
   // simulator's iteration order.
   drain(w, w.batch);
-  step_barrier_.arrive_and_wait();  // id/status sends below; see R2
+  barrier(w);  // id/status sends below; see R2
   if (cfg_.deterministic) std::sort(w.batch.begin(), w.batch.end(), key_less);
   for (Message* m : w.batch) {
     CLB_DCHECK(m->kind == MsgKind::kChild, "unexpected message in L2");
@@ -799,12 +904,12 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
     delete m;
   }
   w.batch.clear();
-  step_barrier_.arrive_and_wait();
+  barrier(w);
 
   // ---- roots match on the first id (sorted: lowest (g, s) edge wins, as
   // in the simulator); parents apply the sibling rule and stage forwards.
   drain(w, w.batch);
-  step_barrier_.arrive_and_wait();  // transfer sends below; see R2
+  barrier(w);  // transfer sends below; see R2
   if (cfg_.deterministic) std::sort(w.batch.begin(), w.batch.end(), key_less);
   for (Message* m : w.batch) {
     if (m->kind == MsgKind::kId) {
@@ -852,7 +957,7 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
     }
   }
   active_slots_[w.index].v1 = w.staged.size();
-  step_barrier_.arrive_and_wait();
+  barrier(w);
 
   // ---- staged transfers: every worker derives the same global numbering
   // from the published per-worker counts (prefix over the shards), then
@@ -891,13 +996,13 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
     }
     next_node_count_ = base;
   }
-  step_barrier_.arrive_and_wait();
+  barrier(w);
 
   // ---- forward children into next-level nodes (any transfers sent while
   // matching above are drained and applied here).
   drain(w, w.batch);
   CLB_DCHECK(w.batch.empty(), "only transfers may be in flight after L3");
-  step_barrier_.arrive_and_wait();  // forward sends below; see R2
+  barrier(w);  // forward sends below; see R2
   for (const ScanEntry& e : w.scan) {
     for (std::uint32_t s = 0; s < e.count; ++s) {
       auto* m = new Message;
@@ -908,12 +1013,12 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
       send(w, e.child[s], m);
     }
   }
-  step_barrier_.arrive_and_wait();
+  barrier(w);
 
   drain(w, w.batch);
   // The next level's queries go out with no intervening drain, so this
   // drain too must be fenced off from them; see R2.
-  step_barrier_.arrive_and_wait();
+  barrier(w);
   w.next_nodes.clear();
   for (Message* m : w.batch) {
     CLB_DCHECK(m->kind == MsgKind::kForward, "unexpected message in L5");
@@ -1228,12 +1333,21 @@ void Runtime::lat_discard_undelivered(Worker& w) {
     CLB_DCHECK(m->kind != MsgKind::kTransfer,
                "payloads cannot be in flight at the phase decision");
     ++w.fab_delivered;
+#if CLB_TELEMETRY_ENABLED
+    // Book the pop so enqueue == dequeue stays an invariant (messages filed
+    // into rings were already counted at their lat_drain_and_file pop).
+    if (telemetry_) ++w.telem.deq;
+#endif
     delete m;
   }
 }
 
-void Runtime::lat_drain_and_file(Worker& w, std::uint64_t step) {
+// `step` feeds only DCHECKs and trace/telemetry events, all of which can
+// compile away depending on CLB_TRACE / CLB_TELEMETRY / NDEBUG.
+void Runtime::lat_drain_and_file(Worker& w, [[maybe_unused]] std::uint64_t step) {
+  std::uint64_t batch = 0;
   while (Message* m = w.inbox.pop()) {
+    ++batch;
     if (m->kind == MsgKind::kTransfer) {
       // Due-now payload: the partner's owner appends the tasks, closing the
       // move the source's owner started in S5 this step.
@@ -1245,6 +1359,17 @@ void Runtime::lat_drain_and_file(Worker& w, std::uint64_t step) {
     CLB_DCHECK(m->due > step, "protocol message filed after it was due");
     w.rings[m->due % w.rings.size()].push_back(m);
   }
+#if CLB_TELEMETRY_ENABLED
+  if (telemetry_) {
+    ++w.telem.drains;
+    w.telem.deq += batch;
+    w.telem.drain_batch_hist.add(batch);
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kMailboxDrain, step, 0, 0,
+                    batch);
+  }
+#else
+  (void)batch;
+#endif
 }
 
 void Runtime::run_lat_protocol(Worker& w, std::uint64_t step) {
@@ -1264,7 +1389,7 @@ void Runtime::run_lat_protocol(Worker& w, std::uint64_t step) {
   Slot& ss = lat_stage_slots_[w.index];
   ss.v0 = w.staged.size();
   ss.v1 = matched_local;
-  step_barrier_.arrive_and_wait();  // barrier A
+  barrier(w);  // barrier A
 
   // S3: the replicated phase decision — every worker computes the same
   // totals from the published slots, so every worker takes the same branch.
@@ -1279,11 +1404,32 @@ void Runtime::run_lat_protocol(Worker& w, std::uint64_t step) {
     if (i < w.index) staged_base += lat_stage_slots_[i].v0;
     matched_total += lat_stage_slots_[i].v1;
   }
+#if CLB_TELEMETRY_ENABLED
+  // Fabric depth sampling. The totals are replicated (every worker computes
+  // the same sums), so only the leader records them — merging would multiply
+  // the sums by the worker count.
+  if (telemetry_ && w.index == 0) {
+    const std::uint64_t flight = sent - delivered;
+    if (flight > w.telem.fabric_max_in_flight) {
+      w.telem.fabric_max_in_flight = flight;
+    }
+    w.telem.fabric_flight_sum += flight;
+    ++w.telem.fabric_flight_samples;
+  }
+#endif
   if (w.lat_running) {
     const bool drained = active_total == 0 && sent == delivered;
     const bool overdue = step - w.lat_phase_start >= lat_->max_phase_steps;
     if (drained || overdue) {
       const bool forced = overdue && !drained;
+#if CLB_TELEMETRY_ENABLED
+      // Replicated branch: every worker records the (identical) phase
+      // duration, keeping `phases` a lockstep per-worker count.
+      if (telemetry_) {
+        ++w.telem.phases;
+        w.telem.phase_steps_hist.add(step - w.lat_phase_start);
+      }
+#endif
       if (forced) {
         for (const std::uint32_t proc : w.lat_active) {
           lat_->req[proc].active = false;
@@ -1306,7 +1452,7 @@ void Runtime::run_lat_protocol(Worker& w, std::uint64_t step) {
       if (forced) {
         // Fence the discards from the payload sends of S5: a replicated
         // branch, so either every worker arrives here or none does.
-        step_barrier_.arrive_and_wait();
+        barrier(w);
       }
     }
   }
@@ -1343,7 +1489,7 @@ void Runtime::run_lat_protocol(Worker& w, std::uint64_t step) {
 
   // S5: apply this step's staged transfers under the canonical numbering.
   apply_staged_transfers(w, step, staged_base, staged_total);
-  step_barrier_.arrive_and_wait();  // barrier B
+  barrier(w);  // barrier B
 
   if (w.index == 0 && w.lat_running && w.lat_phase_start == step) {
     // Leader assembles the phase-start summary from the classification
@@ -1434,6 +1580,59 @@ std::uint64_t Runtime::fabric_in_flight() const {
     delivered += w->fab_delivered;
   }
   return sent - delivered;
+}
+
+void Runtime::append_snapshots(std::uint64_t step) {
+  for (const auto& worker : workers_) {
+    obs::append_telemetry_snapshot(telemetry_jsonl_, cfg_.telemetry_tag, step,
+                                   worker->index, worker_count(),
+                                   worker->snap_load, worker->snap);
+  }
+}
+
+const obs::WorkerTelemetry& Runtime::worker_telemetry(unsigned i) const {
+  return workers_[i]->telem;
+}
+
+obs::WorkerTelemetry Runtime::telemetry_total() const {
+  obs::WorkerTelemetry total;
+  for (const auto& w : workers_) total.merge(w->telem);
+  return total;
+}
+
+void Runtime::export_telemetry(obs::MetricsRegistry& m,
+                               const std::string& prefix) const {
+  const obs::WorkerTelemetry total = telemetry_total();
+  obs::merge_worker_telemetry(m, total, prefix);
+  double util_sum = 0.0;
+  std::uint64_t max_consumed = 0;
+  for (const auto& w : workers_) {
+    obs::merge_worker_telemetry(
+        m, w->telem, prefix + "w" + std::to_string(w->index) + ".");
+    util_sum += w->telem.utilization();
+    if (w->telem.consumed > max_consumed) max_consumed = w->telem.consumed;
+  }
+  const auto workers = static_cast<double>(worker_count());
+  const double mean_consumed = static_cast<double>(total.consumed) / workers;
+  m.gauge(prefix + "workers") = workers;
+  m.gauge(prefix + "utilization_mean") = util_sum / workers;
+  m.gauge(prefix + "barrier_stall_fraction") = total.stall_fraction();
+  // max/mean consumed tasks over workers; 1.0 = perfectly even shards.
+  m.gauge(prefix + "queue_imbalance") =
+      mean_consumed > 0.0 ? static_cast<double>(max_consumed) / mean_consumed
+                          : 0.0;
+  if (lat_) {
+    // Leader-sampled fabric depth, named like the dist.net.* gauges so the
+    // two execution models export comparable telemetry.
+    const obs::WorkerTelemetry& lead = workers_[0]->telem;
+    m.gauge(prefix + "fabric_max_in_flight") =
+        static_cast<double>(lead.fabric_max_in_flight);
+    m.gauge(prefix + "fabric_mean_in_flight") =
+        lead.fabric_flight_samples == 0
+            ? 0.0
+            : static_cast<double>(lead.fabric_flight_sum) /
+                  static_cast<double>(lead.fabric_flight_samples);
+  }
 }
 
 sim::MessageCounters Runtime::messages() const {

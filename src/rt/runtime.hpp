@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -43,6 +44,7 @@
 #include "core/params.hpp"
 #include "net/delivery.hpp"
 #include "net/topology.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "rt/mailbox.hpp"
 #include "sim/counters.hpp"
@@ -114,6 +116,18 @@ struct RtConfig {
   /// workers, so pin workers = 1 for a replayable victim (the fuzzer's
   /// delay-skew scenarios do).
   std::uint64_t delay_skew_message = 0;
+  /// Per-worker hot-path telemetry (obs::WorkerTelemetry): superstep and
+  /// barrier timing, mailbox traffic, drain batch sizes. Observation only —
+  /// deterministic outputs are bit-identical on or off. Ignored (forced
+  /// false) when the binary was built with -DCLB_TELEMETRY=OFF.
+  bool telemetry = false;
+  /// Snapshot emitter: every `telemetry_interval` steps the leader appends
+  /// one JSONL line per worker (cumulative counters + shard load) to
+  /// telemetry_jsonl(). 0 = no snapshots. Requires `telemetry`.
+  std::uint64_t telemetry_interval = 0;
+  /// Tag stamped into every snapshot line, so benches can concatenate the
+  /// timelines of several runs into one file and still group them.
+  std::string telemetry_tag;
 };
 
 /// One applied transfer, for cross-validation against the simulator.
@@ -245,6 +259,26 @@ class Runtime {
   [[nodiscard]] std::uint64_t fabric_sent() const;
   [[nodiscard]] std::uint64_t fabric_in_flight() const;
 
+  // ---- telemetry (RtConfig::telemetry; all readable between runs) ----
+  /// True when telemetry was requested AND compiled in.
+  [[nodiscard]] bool telemetry_enabled() const { return telemetry_; }
+  /// Worker i's own counters (zeroed struct when telemetry is off).
+  [[nodiscard]] const obs::WorkerTelemetry& worker_telemetry(unsigned i) const;
+  /// All workers merged (counter totals conserved; phases is per-worker
+  /// lockstep, so the merged value is workers x phase count).
+  [[nodiscard]] obs::WorkerTelemetry telemetry_total() const;
+  /// Snapshot timeline accumulated so far (one JSONL object per line; see
+  /// obs::append_telemetry_snapshot). Empty without telemetry_interval.
+  [[nodiscard]] const std::string& telemetry_jsonl() const {
+    return telemetry_jsonl_;
+  }
+  /// Exports merged totals under `prefix`, per-worker blocks under
+  /// `prefix`w<i>., and the cross-worker derived gauges the rt report
+  /// keys on: utilization_mean, barrier_stall_fraction, queue_imbalance
+  /// (max/mean consumed over workers) and workers.
+  void export_telemetry(obs::MetricsRegistry& m,
+                        const std::string& prefix) const;
+
   /// Appends a task to p's queue (main thread, between runs) — the fault
   /// hook the fuzzer's load spikes use, mirroring sim::Engine::deposit.
   void deposit(std::uint32_t p, sim::Task t);
@@ -276,6 +310,13 @@ class Runtime {
                               std::uint64_t base, std::uint64_t total);
   void drain(Worker& w, std::vector<Message*>& out);
   void apply_transfer(Worker& w, const Message& m);
+  /// step_barrier_ arrival on the superstep path. With telemetry on it uses
+  /// the timed variant and books the wait into the worker's stall accounts;
+  /// otherwise it is exactly arrive_and_wait().
+  void barrier(Worker& w);
+  /// Leader-only: appends one snapshot line per worker (reads the `snap`
+  /// copies published by the preceding barrier).
+  void append_snapshots(std::uint64_t step);
   [[nodiscard]] unsigned owner_of(std::uint64_t p) const;
   [[nodiscard]] std::uint32_t now_us() const;
 
@@ -329,6 +370,10 @@ class Runtime {
   // Fault injection (delay_skew_message; arrival-order by design, see
   // RtConfig).
   std::atomic<std::uint64_t> skew_send_ordinal_{0};
+
+  // Telemetry (RtConfig::telemetry, forced off when compiled out).
+  bool telemetry_ = false;
+  std::string telemetry_jsonl_;  // leader-written behind snapshot barriers
 
   std::uint64_t deposited_ = 0;
   double wall_seconds_ = 0;

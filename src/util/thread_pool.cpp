@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/check.hpp"
 
@@ -41,6 +42,15 @@ void PhaseBarrier::arrive_and_wait() {
   cv_.wait(lock, [&] { return generation_ != my_generation; });
 }
 
+std::uint64_t PhaseBarrier::arrive_and_wait_timed() {
+  const auto t0 = std::chrono::steady_clock::now();
+  arrive_and_wait();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 std::uint64_t PhaseBarrier::generation() const {
   std::lock_guard lock(mu_);
   return generation_;
@@ -70,6 +80,8 @@ ThreadPool::~ThreadPool() {
 }
 
 unsigned ThreadPool::worker_index() { return t_worker_index; }
+
+void ThreadPool::bind_worker_index(unsigned index) { t_worker_index = index; }
 
 void ThreadPool::parallel_for(
     std::uint64_t count,

@@ -51,6 +51,13 @@ class PhaseBarrier {
   /// Blocks until all parties have arrived at this cycle.
   void arrive_and_wait();
 
+  /// arrive_and_wait, returning the nanoseconds this thread spent inside
+  /// the call (arrive -> release, lock acquisition included). The telemetry
+  /// layer's barrier-stall accounting uses this; it costs two steady_clock
+  /// reads on top of the plain wait, so callers should only pick it when
+  /// they actually record the result.
+  std::uint64_t arrive_and_wait_timed();
+
   [[nodiscard]] unsigned parties() const { return parties_; }
 
   /// Number of completed cycles. Only meaningful when the caller knows the
@@ -85,6 +92,14 @@ class ThreadPool {
   /// pool — including the main thread — report 0, matching their role as
   /// "worker 0" when they call parallel_for.
   [[nodiscard]] static unsigned worker_index();
+
+  /// Adopts the calling thread into the worker-ID scheme: worker_index()
+  /// returns `index` for this thread from now on. For threads that behave
+  /// like pool workers but are spawned elsewhere — rt::Runtime's shard
+  /// threads bind their shard index at startup so trace events and
+  /// telemetry they emit carry the right lane. Pool threads never need
+  /// this (their ID is pinned at spawn).
+  static void bind_worker_index(unsigned index);
 
   /// Runs body(begin, end) over [0, count) split into contiguous blocks, one
   /// per worker (the calling thread participates). Blocks until all finish.

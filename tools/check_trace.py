@@ -13,7 +13,13 @@ Checks, per file:
               slices have dur >= 1; "i" instants have scope "t"; phase
               slices do not overlap per thread.
   * jsonl   - every line parses to an object with a "kind" and integer
-              "step"; steps are non-decreasing.
+              "step"; steps are non-decreasing; "worker" (when present) is a
+              non-negative integer, and is required for the worker-lane
+              kinds (barrier_wait, mailbox_drain, worker_step).
+  * snapshots - rt telemetry snapshot timeline (bench_rt --telemetry-jsonl):
+              every line is an rt_telemetry object with the full counter
+              schema; per tag steps are non-decreasing, and per (tag,
+              worker) the cumulative counters never go backwards.
   * metrics - parses; counters/gauges/histograms maps with numeric leaves;
               histogram records carry count/mean/p50/p90/p99/p999/max.
   * manifest- parses; schema clb.run.v1; has tool/command/build; every
@@ -30,6 +36,17 @@ import os
 import sys
 
 FAILURES: list[str] = []
+
+# Event kinds rendered on per-worker lanes; their worker attribution is
+# load-bearing (rt telemetry), so the field is required, not optional.
+WORKER_LANE_KINDS = {"barrier_wait", "mailbox_drain", "worker_step"}
+
+# Cumulative per-worker counters in an rt_telemetry snapshot line.
+SNAPSHOT_COUNTERS = (
+    "steps", "step_ns", "stall_ns", "work_ns", "barrier_waits",
+    "enq_self", "enq_remote", "deq", "drains", "generated", "consumed",
+    "phases",
+)
 
 
 def fail(msg: str) -> None:
@@ -128,9 +145,88 @@ def check_jsonl(path: str) -> None:
             fail(f"{path}:{i}: steps went backwards ({last_step} -> {step})")
             return
         last_step = step
+        worker = rec.get("worker")
+        if worker is not None and (not isinstance(worker, int) or worker < 0):
+            fail(f"{path}:{i}: 'worker' must be a non-negative integer")
+            return
+        if rec["kind"] in WORKER_LANE_KINDS and worker is None:
+            fail(f"{path}:{i}: worker-lane kind {rec['kind']!r} "
+                 f"needs a 'worker' field")
+            return
         kinds[rec["kind"]] = kinds.get(rec["kind"], 0) + 1
     print(f"check_trace: {path}: {sum(kinds.values())} records, "
           f"kinds: {dict(sorted(kinds.items()))}")
+
+
+def check_snapshots(path: str) -> None:
+    """rt telemetry snapshot timeline: schema + per-(tag, worker) monotony.
+
+    Timelines may concatenate several runs (distinguished by 'tag'), so the
+    global non-decreasing-step rule of check_jsonl does not apply; instead
+    steps must be non-decreasing per tag and cumulative counters must never
+    go backwards per (tag, worker).
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+        return
+    records = 0
+    last_step: dict[str, int] = {}
+    last_counters: dict[tuple, dict[str, int]] = {}
+    workers_seen: dict[str, set] = {}
+    for i, line in enumerate(lines, 1):
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i}: {e}")
+            return
+        if not isinstance(rec, dict) or rec.get("kind") != "rt_telemetry":
+            fail(f"{path}:{i}: snapshot line must have kind 'rt_telemetry'")
+            return
+        for field in ("step", "worker", "workers", "shard_load",
+                      *SNAPSHOT_COUNTERS):
+            v = rec.get(field)
+            if not isinstance(v, int) or v < 0:
+                fail(f"{path}:{i}: field {field!r} must be a non-negative "
+                     f"integer, got {v!r}")
+                return
+        tag = rec.get("tag", "")
+        if not isinstance(tag, str):
+            fail(f"{path}:{i}: 'tag' must be a string")
+            return
+        step, worker = rec["step"], rec["worker"]
+        if rec["worker"] >= rec["workers"]:
+            fail(f"{path}:{i}: worker {worker} out of range "
+                 f"(workers={rec['workers']})")
+            return
+        if step < last_step.get(tag, -1):
+            fail(f"{path}:{i}: steps went backwards within tag {tag!r} "
+                 f"({last_step[tag]} -> {step})")
+            return
+        last_step[tag] = step
+        key = (tag, worker)
+        prev = last_counters.get(key)
+        if prev is not None:
+            for field in SNAPSHOT_COUNTERS:
+                if rec[field] < prev[field]:
+                    fail(f"{path}:{i}: cumulative counter {field!r} went "
+                         f"backwards for {key} ({prev[field]} -> "
+                         f"{rec[field]})")
+                    return
+        last_counters[key] = {f: rec[f] for f in SNAPSHOT_COUNTERS}
+        workers_seen.setdefault(tag, set()).add(worker)
+        records += 1
+    if records == 0:
+        fail(f"{path}: no snapshot records")
+        return
+    print(f"check_trace: {path}: {records} snapshots, "
+          f"{len(workers_seen)} tag(s), "
+          f"workers per tag: "
+          f"{ {t: len(w) for t, w in sorted(workers_seen.items())} }")
 
 
 def check_metrics(path: str) -> None:
@@ -183,6 +279,9 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--chrome", help="Chrome trace_event JSON file")
     ap.add_argument("--jsonl", help="JSONL event trace file")
+    ap.add_argument("--snapshots",
+                    help="rt telemetry snapshot JSONL (bench_rt "
+                         "--telemetry-jsonl)")
     ap.add_argument("--metrics", help="metrics registry JSON file")
     ap.add_argument("--manifest", help="run manifest JSON file")
     args = ap.parse_args()
@@ -192,6 +291,8 @@ def main() -> int:
         check_chrome(args.chrome)
     if args.jsonl:
         check_jsonl(args.jsonl)
+    if args.snapshots:
+        check_snapshots(args.snapshots)
     if args.metrics:
         check_metrics(args.metrics)
     if args.manifest:

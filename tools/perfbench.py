@@ -22,7 +22,10 @@ Document schema (clb.bench_rt.v1):
               "tasks_per_sec": .., "wall_seconds": ..,
               "sojourn_p50_us": .., "sojourn_p95_us": ..,
               "sojourn_p99_us": .., "remote_push_fraction": ..,
-              "msgs_per_task": .., "consumed": ..}, ...],
+              "msgs_per_task": .., "consumed": ..,
+              # with --telemetry (and a CLB_TELEMETRY=ON build):
+              "utilization_mean": .., "barrier_stall_fraction": ..,
+              "queue_imbalance": ..}, ...],
     "derived": {"<model>.<policy>.speedup_at_max_workers": .., ...}
   }
 
@@ -68,6 +71,14 @@ RUN_FIELDS = [
     "consumed",
 ]
 
+# Optional per-run telemetry gauges (--telemetry): present in the document
+# only when bench_rt ran with telemetry compiled in and enabled.
+TELEMETRY_FIELDS = [
+    "utilization_mean",
+    "barrier_stall_fraction",
+    "queue_imbalance",
+]
+
 
 def fail(msg: str) -> "sys.NoReturn":
     print(f"perfbench: FAIL: {msg}", file=sys.stderr)
@@ -87,6 +98,8 @@ def run_bench(bench: str, args: argparse.Namespace, metrics_path: str) -> None:
         "--latencies=",  # EXP-22 sweep is statcheck's domain, skip it here
         f"--metrics-json={metrics_path}",
     ]
+    if args.telemetry:
+        cmd.append("--telemetry")
     proc = subprocess.run(cmd, stdout=subprocess.PIPE,
                           stderr=subprocess.STDOUT, text=True)
     if proc.returncode != 0:
@@ -106,7 +119,16 @@ def assemble(gauges: dict, args: argparse.Namespace) -> dict:
                 run = {"model": model, "policy": policy, "workers": w}
                 for field in RUN_FIELDS:
                     run[field] = gauges[prefix + field]
+                if args.telemetry:
+                    for field in TELEMETRY_FIELDS:
+                        key = prefix + "telemetry." + field
+                        if key in gauges:
+                            run[field] = gauges[key]
                 runs.append(run)
+    if args.telemetry and runs and TELEMETRY_FIELDS[0] not in runs[0]:
+        print("perfbench: warning: --telemetry requested but bench_rt "
+              "exported no telemetry gauges (CLB_TELEMETRY=OFF build?)",
+              file=sys.stderr)
 
     derived = {}
     for model in args.model_list:
@@ -246,6 +268,9 @@ def main() -> int:
                     help="output document path")
     ap.add_argument("--smoke", action="store_true",
                     help="reduced matrix; schema validation only")
+    ap.add_argument("--telemetry", action="store_true",
+                    help="run bench_rt with --telemetry and record "
+                         "utilization/stall/imbalance per run")
     ap.add_argument("--n", type=int, default=4096)
     ap.add_argument("--steps", type=int, default=2000)
     ap.add_argument("--spin", type=int, default=64)
