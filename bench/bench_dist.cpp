@@ -22,6 +22,12 @@ int main(int argc, char** argv) {
   const auto seed = cli.flag_u64("seed", 1, "seed");
   const auto latencies_csv = cli.flag_str(
       "latencies", "1,2,4,8", "uniform fabric latencies to sweep");
+  const auto link_jitter = cli.flag_u64(
+      "link-jitter", 0, "per-link extra-delay span (heterogeneous links)");
+  const auto link_bandwidth = cli.flag_u64(
+      "link-bandwidth", 0, "per-link bandwidth cap, msgs/step (0 = uncapped)");
+  const auto link_loss = cli.flag_u64(
+      "link-loss", 0, "i.i.d. loss probability, /65536 numerator");
   bench::ObsFlags obs_flags(cli);
   bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
@@ -67,8 +73,13 @@ int main(int argc, char** argv) {
        util::Cli::parse_u64_list(*latencies_csv)) {
     const auto latency = static_cast<std::uint32_t>(latency_u64);
     models::SingleModel model(0.4, 0.1);
-    dist::DistThresholdBalancer balancer(
-        {.params = params, .latency = latency});
+    dist::DistConfig dc;
+    dc.params = params;
+    dc.latency = latency;
+    dc.link.jitter = static_cast<std::uint32_t>(*link_jitter);
+    dc.link.bandwidth = static_cast<std::uint32_t>(*link_bandwidth);
+    dc.link.loss_per_64k = static_cast<std::uint32_t>(*link_loss);
+    dist::DistThresholdBalancer balancer(dc);
     sim::Engine eng({.n = *n, .seed = *seed}, &model, &balancer);
     eng.run(*steps);
     const auto& st = balancer.stats();

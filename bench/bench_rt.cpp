@@ -19,6 +19,14 @@
 // executed by worker threads), and the table reports per-phase durations:
 // EXP-19's phase-duration ∝ latency result, reproduced on the concurrent
 // runtime. tools/statcheck.py --exp22 gates the exp22.* gauges.
+//
+// EXP-24 (third section) — the link model on the same fabric. A loss ×
+// bandwidth grid (heterogeneous jitter on every point) re-runs the
+// deterministic latency sweep with lossy, shaped links: lost attempts are
+// retransmitted after an RTO, ack losses schedule (suppressed) duplicates,
+// and bandwidth caps serialize each link's sends. The table reports how
+// phase durations stretch with the retransmit/queueing delay while the
+// match rate holds. tools/statcheck.py --exp24 gates the exp24.* gauges.
 #include <algorithm>
 #include <cstdint>
 #include <memory>
@@ -88,6 +96,16 @@ int main(int argc, char** argv) {
       "lat-steps", 512, "runtime steps per latency-sweep run");
   const auto lat_workers =
       cli.flag_u64("lat-workers", 4, "worker threads in the latency sweep");
+  const auto link_loss_csv = cli.flag_str(
+      "link-loss-grid", "0,4096,16384",
+      "EXP-24 loss grid, /65536 numerators (empty disables)");
+  const auto link_bw_csv = cli.flag_str(
+      "link-bw-grid", "0,1",
+      "EXP-24 bandwidth-cap grid, msgs/step per link (0 = uncapped)");
+  const auto link_jitter = cli.flag_u64(
+      "link-jitter", 1, "EXP-24 per-link extra-delay span (heterogeneous)");
+  const auto link_latency = cli.flag_u64(
+      "link-latency", 2, "EXP-24 base fabric latency");
   const auto telemetry = cli.flag_bool(
       "telemetry", false,
       "per-worker hot-path telemetry: utilization/stall/imbalance table, "
@@ -106,6 +124,8 @@ int main(int argc, char** argv) {
     cli.override_str("models", "single");
     cli.override_str("latencies", "1,4");
     cli.override_u64("lat-steps", 192);
+    cli.override_str("link-loss-grid", "0,16384");
+    cli.override_str("link-bw-grid", "0,1");
   }
 
   obs::Recorder rec(obs_flags.config("bench_rt", argc, argv));
@@ -362,6 +382,138 @@ int main(int argc, char** argv) {
       }
     }
     clb::bench::emit(lt, "rt_2");
+  }
+
+  // ---- EXP-24: the link model (loss/retransmit, bandwidth, jitter) ----
+  // Same deterministic driver as EXP-22 at a fixed base latency, sweeping a
+  // loss × bandwidth grid with heterogeneous per-link jitter everywhere:
+  // the single fabric absorbs retransmit and queueing delay as longer
+  // phases, not lost work.
+  std::vector<std::uint32_t> losses;
+  for (std::uint64_t l : util::Cli::parse_u64_list(*link_loss_csv)) {
+    losses.push_back(static_cast<std::uint32_t>(l));
+  }
+  std::vector<std::uint32_t> bws;
+  for (std::uint64_t b : util::Cli::parse_u64_list(*link_bw_csv)) {
+    bws.push_back(static_cast<std::uint32_t>(b));
+  }
+  if (!losses.empty() && !bws.empty()) {
+    util::print_banner(
+        "EXP-24  link model: loss/retransmit + bandwidth caps + jitter");
+    util::print_note("expect: phase duration stretches with the loss rate "
+                     "(retransmit RTOs) and with bandwidth caps (per-link "
+                     "FIFO queueing) while the match rate holds; lossless "
+                     "uncapped rows pay neither");
+    util::Table kt({"loss/64k", "bw cap", "phases", "phase steps (mean)",
+                    "match %", "forced", "retrans", "dups supp",
+                    "queued delay"});
+    core::Fractions link_fr;
+    link_fr.t_min = 64;
+    const core::PhaseParams link_params =
+        core::PhaseParams::from_n(*n, link_fr);
+    for (const std::uint32_t loss : losses) {
+      for (const std::uint32_t bw : bws) {
+        auto model = make_model("single", *n);
+        rt::RtConfig cfg;
+        cfg.n = *n;
+        cfg.seed = *seed;
+        cfg.workers = static_cast<unsigned>(*lat_workers);
+        cfg.deterministic = true;
+        cfg.policy = rt::RtPolicy::kThreshold;
+        cfg.params = link_params;
+        cfg.latency = static_cast<std::uint32_t>(*link_latency);
+        cfg.link.jitter = static_cast<std::uint32_t>(*link_jitter);
+        cfg.link.bandwidth = bw;
+        cfg.link.loss_per_64k = loss;
+        cfg.telemetry = *telemetry;
+        cfg.telemetry_interval = *telemetry ? *telemetry_interval : 0;
+        cfg.telemetry_tag =
+            "exp24.loss" + std::to_string(loss) + ".bw" + std::to_string(bw);
+        cfg.trace = rec.trace();
+        rec.trace()->set_time_base(trace_window);
+        trace_window += *lat_steps + 4096 + 64;
+        rt::Runtime run(cfg, model.get());
+
+        // The same periodic-spike pattern as EXP-22, so rows only differ in
+        // their link model.
+        std::uint64_t done = 0;
+        for (std::uint64_t s = 0; s < *lat_steps; s += 37) {
+          if (s > done) {
+            run.run(s - done);
+            done = s;
+          }
+          const std::uint32_t proc =
+              static_cast<std::uint32_t>((*seed * 7 + s * 13) % *n);
+          for (std::uint32_t i = 0; i < 48; ++i) {
+            run.deposit(proc,
+                        sim::Task{static_cast<std::uint32_t>(s), proc, 1});
+          }
+        }
+        run.run(*lat_steps - done);
+        for (std::uint64_t extra = 0;
+             run.fabric_in_flight() != 0 && extra < 4096; ++extra) {
+          run.run(1);
+        }
+
+        std::uint64_t phases = 0, duration = 0, matched = 0, unmatched = 0,
+                      forced = 0;
+        for (const rt::RtPhaseSummary& ps : run.phases()) {
+          if (!ps.completed || ps.num_heavy == 0) continue;
+          ++phases;
+          duration += ps.end_step - ps.start_step;
+          matched += ps.matched;
+          unmatched += ps.unmatched;
+          if (ps.forced) ++forced;
+        }
+        const double mean_dur =
+            phases > 0
+                ? static_cast<double>(duration) / static_cast<double>(phases)
+                : 0.0;
+        const double total_heavy = static_cast<double>(matched + unmatched);
+        const double match_pct =
+            total_heavy > 0
+                ? 100.0 * static_cast<double>(matched) / total_heavy
+                : 100.0;
+
+        kt.row()
+            .cell(static_cast<std::uint64_t>(loss))
+            .cell(static_cast<std::uint64_t>(bw))
+            .cell(phases)
+            .cell(mean_dur, 2)
+            .cell(match_pct, 2)
+            .cell(forced)
+            .cell(run.fabric_retransmits())
+            .cell(run.fabric_dup_suppressed())
+            .cell(run.fabric_queued_delay());
+
+        const std::string prefix = "exp24.loss" + std::to_string(loss) +
+                                   ".bw" + std::to_string(bw) + ".";
+        rec.metrics().gauge(prefix + "phase_duration_mean") = mean_dur;
+        rec.metrics().gauge(prefix + "phases") = static_cast<double>(phases);
+        rec.metrics().gauge(prefix + "match_pct") = match_pct;
+        rec.metrics().gauge(prefix + "forced") = static_cast<double>(forced);
+        rec.metrics().gauge(prefix + "retransmits") =
+            static_cast<double>(run.fabric_retransmits());
+        rec.metrics().gauge(prefix + "dup_suppressed") =
+            static_cast<double>(run.fabric_dup_suppressed());
+        rec.metrics().gauge(prefix + "queued_delay") =
+            static_cast<double>(run.fabric_queued_delay());
+
+        if (run.telemetry_enabled()) {
+          run.export_telemetry(rec.metrics(), prefix + "telemetry.");
+          telemetry_timeline += run.telemetry_jsonl();
+        }
+
+        if (!run.conservation_holds() || run.fabric_in_flight() != 0) {
+          std::fprintf(stderr,
+                       "FATAL: link-sweep invariants violated "
+                       "(loss=%u bw=%u)\n",
+                       loss, bw);
+          return 1;
+        }
+      }
+    }
+    clb::bench::emit(kt, "rt_3");
   }
 
   if (*telemetry) {

@@ -26,18 +26,16 @@ void DistThresholdBalancer::on_reset(sim::Engine& engine) {
   CLB_CHECK(n == cfg_.params.n, "dist balancer parameterised for different n");
   round_budget_ = static_cast<std::uint32_t>(std::ceil(
       analysis::collision_round_bound(n, cfg_.a, cfg_.b, cfg_.c)));
-  if (cfg_.topology != nullptr) {
-    net_ = std::make_unique<Network>(n, cfg_.latency, cfg_.topology);
-  } else {
-    net_ = std::make_unique<Network>(n, cfg_.latency);
-  }
+  net_ = std::make_unique<Network>(n, cfg_.latency, cfg_.topology, cfg_.link,
+                                   engine.seed());
   max_phase_steps_ = cfg_.max_phase_steps;
   if (max_phase_steps_ == 0) {
     // depth levels x round budget x a worst-case round trip, with 4x slack
-    // plus the trailing transfer hop.
-    max_phase_steps_ = 4ULL * cfg_.params.tree_depth * round_budget_ *
-                           (2ULL * net_->max_delay()) +
-                       4ULL * net_->max_delay() + 8;
+    // plus the trailing transfer hop; the shared helper folds in the link
+    // model's worst-case retransmit schedule so both fabrics agree.
+    max_phase_steps_ =
+        net::phase_failsafe(cfg_.params.tree_depth, round_budget_,
+                            net_->max_delay(), net_->worst_extra());
   }
   stats_ = DistStats{};
   phase_state_ = PhaseState::kIdle;

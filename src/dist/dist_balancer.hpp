@@ -49,6 +49,10 @@ struct DistConfig {
   /// Optional machine graph (borrowed; must outlive the balancer). Null =
   /// the paper's any-to-any model with uniform latency.
   const net::Topology* topology = nullptr;
+  /// Link-model knobs (heterogeneous per-link jitter, bandwidth caps,
+  /// loss + retransmit), keyed off the engine seed. Defaults are the exact
+  /// uniform/lossless degenerate case.
+  net::NetConfig link{};
   /// Idle steps between phase completion and the next classification.
   std::uint64_t phase_gap = 1;
   /// Failsafe phase duration; 0 derives a generous bound from depth, the

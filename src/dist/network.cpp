@@ -1,41 +1,52 @@
 #include "dist/network.hpp"
 
-#include <algorithm>
-
 namespace clb::dist {
+
+namespace {
+net::DeliveryPolicy make_policy(std::uint64_t n, std::uint32_t latency,
+                                const net::Topology* topology,
+                                std::uint32_t jitter, std::uint64_t seed) {
+  if (topology != nullptr) {
+    return net::DeliveryPolicy(n, latency, topology, jitter, seed);
+  }
+  return net::DeliveryPolicy(n, latency, jitter, seed);
+}
+}  // namespace
+
+Network::Network(std::uint64_t n, std::uint32_t latency,
+                 const net::Topology* topology, const net::NetConfig& link,
+                 std::uint64_t run_seed)
+    : policy_(make_policy(n, latency, topology, link.jitter, run_seed)),
+      fabric_(policy_.max_delay()) {
+  links_.configure(link, run_seed, policy_.max_delay());
+}
 
 void Network::send(const Message& m, std::uint64_t now) {
   CLB_DCHECK(m.to < policy_.n() && m.from < policy_.n(),
              "message endpoint out of range");
-  slots_[(now + policy_.delay(m.from, m.to)) % slots_.size()].push_back(m);
-  ++in_flight_;
-  if (in_flight_ > max_in_flight_) max_in_flight_ = in_flight_;
-  ++total_sent_;
+  const net::SendPlan plan =
+      links_.plan(m.from, m.to, now, policy_.delay(m.from, m.to));
+  fabric_.file(now, plan.due, m);
+  if (fabric_.pending() > max_in_flight_) max_in_flight_ = fabric_.pending();
   total_hops_ += policy_.hops(m.from, m.to);
 }
 
 const std::vector<Message>& Network::deliver(std::uint64_t now) {
-  auto& slot = slots_[now % slots_.size()];
   due_.clear();
-  due_.swap(slot);
-  flight_sum_ += in_flight_;  // depth this step, before removal
+  flight_sum_ += fabric_.pending();  // depth this step, before removal
   ++deliver_calls_;
-  in_flight_ -= due_.size();
-  total_delivered_ += due_.size();
-  // Group by recipient; within a recipient the canonical seq stamp orders
-  // processing (stable, so unstamped messages keep their send order).
-  std::stable_sort(due_.begin(), due_.end(),
-                   [](const Message& a, const Message& b) {
-                     if (a.to != b.to) return a.to < b.to;
-                     return a.seq < b.seq;
-                   });
+  fabric_.take_due(now, due_);
+  net::sort_due_batch(
+      due_, [](const Message& m) { return m.to; },
+      [](const Message& m) -> const net::SeqKey& { return m.seq; },
+      /*canonical=*/true);
   return due_;
 }
 
 void Network::reset() {
-  for (auto& slot : slots_) slot.clear();
+  fabric_.discard_pending([](Message&) {});
+  links_.reset();
   due_.clear();
-  in_flight_ = 0;
   // Cumulative stats (sent/hops/delivered/depth) survive the reset on
   // purpose: a forced phase end discards messages, it does not unsend them.
 }

@@ -1,19 +1,21 @@
 // Message-passing substrate for the distributed protocol implementation.
 //
-// Messages sent at step t are delivered at step t + delay(from, to), where
-// the delay comes from the shared net::DeliveryPolicy (uniform latency or
-// per-hop Topology routing) — the same policy the concurrent runtime's
-// delay queues use, so the two fabrics cannot drift. Delivery order is
-// deterministic: messages due at the same step are handed over grouped by
-// recipient, within a recipient ordered by their canonical net::SeqKey
-// stamp (send order for unstamped messages), so protocol runs replay
-// bit-identically at any sharding.
+// Since PR 7 this is a thin adapter over the unified delay-queue fabric
+// (net/fabric.hpp): delivery timing comes from the shared
+// net::DeliveryPolicy (uniform latency, per-hop Topology routing, seeded
+// per-link jitter) plus the net::LinkModel (bandwidth caps, loss +
+// retransmit), the future-step ring is a net::Fabric<Message>, and the
+// per-step batch order is the shared canonical (recipient, net::SeqKey)
+// sort — the exact same code the concurrent runtime's per-worker queues
+// run, so the serial fabric is the 1-worker degenerate case by
+// construction, not by discipline.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "net/delivery.hpp"
+#include "net/fabric.hpp"
 #include "net/topology.hpp"
 #include "util/check.hpp"
 
@@ -38,32 +40,38 @@ struct Message {
   net::SeqKey seq{};            ///< canonical send position (see delivery.hpp)
 };
 
-/// Delivery fabric over a net::DeliveryPolicy. Ring buffer of
-/// `policy.slots()` step slots.
+/// Delivery adapter over net::Fabric + net::LinkModel. Owns no event loop
+/// of its own: send() asks the link model when the message matures and
+/// files it; deliver() takes the due batch and imposes the canonical order.
 class Network {
  public:
   /// Uniform-latency fabric (the paper's any-to-any machine).
   Network(std::uint64_t n, std::uint32_t latency)
-      : policy_(n, latency), slots_(policy_.slots()) {}
+      : Network(n, latency, nullptr, net::NetConfig{}, 0) {}
   /// Topology-routed fabric: `latency` is the per-hop delay. The topology
   /// is borrowed and must outlive the network.
   Network(std::uint64_t n, std::uint32_t latency_per_hop,
           const net::Topology* topology)
-      : policy_(n, latency_per_hop, topology), slots_(policy_.slots()) {}
+      : Network(n, latency_per_hop, topology, net::NetConfig{}, 0) {}
+  /// Full link model: heterogeneous per-link jitter, bandwidth caps and
+  /// loss/retransmit, all keyed deterministically off `run_seed`.
+  Network(std::uint64_t n, std::uint32_t latency,
+          const net::Topology* topology, const net::NetConfig& link,
+          std::uint64_t run_seed);
 
   [[nodiscard]] const net::DeliveryPolicy& policy() const { return policy_; }
   [[nodiscard]] std::uint32_t latency() const { return policy_.latency(); }
   [[nodiscard]] const net::Topology* topology() const {
     return policy_.topology();
   }
-  [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
-  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+  [[nodiscard]] std::uint64_t in_flight() const { return fabric_.pending(); }
+  [[nodiscard]] std::uint64_t total_sent() const { return fabric_.filed(); }
   /// Cumulative link traversals of all sent messages.
   [[nodiscard]] std::uint64_t total_hops() const { return total_hops_; }
   /// Messages handed over by deliver() so far (in_flight + delivered ==
   /// sent, except across reset() which drops the in-flight ones).
   [[nodiscard]] std::uint64_t total_delivered() const {
-    return total_delivered_;
+    return fabric_.matured();
   }
   /// Peak delivery-queue depth: max in_flight observed right after a send.
   [[nodiscard]] std::uint64_t max_in_flight() const { return max_in_flight_; }
@@ -77,15 +85,36 @@ class Network {
                      static_cast<double>(deliver_calls_);
   }
 
+  /// Link-model stats (all zero on an unshaped fabric).
+  [[nodiscard]] const net::NetConfig& link_config() const {
+    return links_.config();
+  }
+  [[nodiscard]] std::uint64_t retransmits() const {
+    return links_.retransmits();
+  }
+  [[nodiscard]] std::uint64_t dup_suppressed() const {
+    return links_.dup_suppressed();
+  }
+  [[nodiscard]] std::uint64_t link_queued_delay() const {
+    return links_.queued_delay();
+  }
+  /// Worst-case delay beyond the wire a retransmit schedule can add
+  /// (sizes the forced-end failsafe, see net::phase_failsafe).
+  [[nodiscard]] std::uint64_t worst_extra() const {
+    return links_.worst_extra();
+  }
+
   /// Delivery delay for a (src, dst) pair under the current mode.
   [[nodiscard]] std::uint64_t delay(std::uint32_t from,
                                     std::uint32_t to) const {
     return policy_.delay(from, to);
   }
-  /// Worst-case delay over any pair (sizes timeouts).
+  /// Worst-case wire delay over any pair (sizes timeouts).
   [[nodiscard]] std::uint64_t max_delay() const { return policy_.max_delay(); }
 
-  /// Queues `m` for delivery at `now + delay(m.from, m.to)`.
+  /// Queues `m` for delivery at the step the link model decides (wire delay
+  /// plus queueing and retransmit schedule; `now + delay(from, to)` on an
+  /// unshaped fabric).
   void send(const Message& m, std::uint64_t now);
 
   /// Returns all messages due at `now`, sorted by (recipient, seq), and
@@ -97,12 +126,10 @@ class Network {
 
  private:
   net::DeliveryPolicy policy_;
-  std::vector<std::vector<Message>> slots_;  // index: step % slots
+  net::LinkModel links_;
+  net::Fabric<Message> fabric_;
   std::vector<Message> due_;
-  std::uint64_t in_flight_ = 0;
-  std::uint64_t total_sent_ = 0;
   std::uint64_t total_hops_ = 0;
-  std::uint64_t total_delivered_ = 0;
   std::uint64_t max_in_flight_ = 0;
   std::uint64_t flight_sum_ = 0;      // sum of in_flight at deliver() calls
   std::uint64_t deliver_calls_ = 0;

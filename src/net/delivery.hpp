@@ -23,6 +23,7 @@
 #include <tuple>
 
 #include "net/topology.hpp"
+#include "rng/splitmix64.hpp"
 #include "util/check.hpp"
 
 namespace clb::net {
@@ -31,6 +32,9 @@ namespace clb::net {
 /// protocol (dist::DistThresholdBalancer and rt::Runtime's latency mode
 /// derive targets from the same stream so their requests are identical).
 inline constexpr std::uint64_t kDistTargetSalt = 0x64697374746172ULL;  // "disttar"
+
+/// Salt for the per-link jitter stream (heterogeneous link latencies).
+inline constexpr std::uint64_t kLinkJitterSalt = 0x6C6E6B6A6974ULL;  // "lnkjit"
 
 /// Which stage of a protocol step issued a send. Stages are processed in
 /// this order within one step, so the enum order is the tiebreak order for
@@ -74,33 +78,55 @@ struct SeqKey {
 /// `latency` steps. Topology mode: `latency` is the per-hop delay and a
 /// message takes `max(1, latency * hops(src, dst))` steps. Mirrors the two
 /// dist::Network constructors; the topology is borrowed.
+///
+/// Heterogeneous links: with `jitter > 0` every ordered pair (src, dst)
+/// additionally pays a fixed extra delay in [0, jitter], drawn once and
+/// deterministically from `hash(kLinkJitterSalt, seed, src, dst)` — the same
+/// link is always equally slow, any two policies built from the same
+/// (seed, jitter) agree bit for bit, and `jitter = 0` is the exact uniform
+/// degenerate case. The draw lives here (not in LinkModel) so timeouts
+/// (`await_until`), ring sizing (`slots()`) and the phase failsafe all see
+/// the jittered worst case automatically on both fabrics.
 class DeliveryPolicy {
  public:
-  DeliveryPolicy(std::uint64_t n, std::uint32_t latency)
-      : n_(n), latency_(latency) {
+  DeliveryPolicy(std::uint64_t n, std::uint32_t latency,
+                 std::uint32_t jitter = 0, std::uint64_t seed = 0)
+      : n_(n), latency_(latency), jitter_(jitter),
+        jitter_key_(rng::hash_combine(kLinkJitterSalt, seed)) {
     CLB_CHECK(latency_ >= 1, "delivery latency must be >= 1 step");
-    max_delay_ = latency_;
+    max_delay_ = latency_ + jitter_;
   }
 
   DeliveryPolicy(std::uint64_t n, std::uint32_t latency_per_hop,
-                 const Topology* topology)
-      : n_(n), latency_(latency_per_hop), topology_(topology) {
+                 const Topology* topology, std::uint32_t jitter = 0,
+                 std::uint64_t seed = 0)
+      : n_(n), latency_(latency_per_hop), topology_(topology), jitter_(jitter),
+        jitter_key_(rng::hash_combine(kLinkJitterSalt, seed)) {
     CLB_CHECK(latency_ >= 1, "per-hop latency must be >= 1 step");
     CLB_CHECK(topology_ != nullptr && topology_->n() == n_,
               "topology must cover all n processors");
     max_delay_ = std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(latency_) * topology_->diameter());
+                     1, static_cast<std::uint64_t>(latency_) *
+                            topology_->diameter()) +
+                 jitter_;
   }
 
   [[nodiscard]] std::uint64_t n() const { return n_; }
   [[nodiscard]] std::uint32_t latency() const { return latency_; }
+  [[nodiscard]] std::uint32_t jitter() const { return jitter_; }
   [[nodiscard]] const Topology* topology() const { return topology_; }
 
   [[nodiscard]] std::uint64_t delay(std::uint32_t from,
                                     std::uint32_t to) const {
-    if (topology_ == nullptr) return latency_;
-    return std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(latency_) * topology_->hops(from, to));
+    std::uint64_t base = latency_;
+    if (topology_ != nullptr) {
+      base = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(latency_) * topology_->hops(from, to));
+    }
+    if (jitter_ == 0) return base;
+    const std::uint64_t link =
+        (static_cast<std::uint64_t>(from) << 32) | to;
+    return base + rng::hash_combine(jitter_key_, link) % (jitter_ + 1ULL);
   }
 
   [[nodiscard]] std::uint64_t hops(std::uint32_t from, std::uint32_t to) const {
@@ -116,6 +142,8 @@ class DeliveryPolicy {
   std::uint64_t n_;
   std::uint32_t latency_;
   const Topology* topology_ = nullptr;
+  std::uint32_t jitter_ = 0;
+  std::uint64_t jitter_key_ = 0;
   std::uint64_t max_delay_ = 1;
 };
 

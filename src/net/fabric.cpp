@@ -1,0 +1,85 @@
+#include "net/fabric.hpp"
+
+namespace clb::net {
+
+void LinkModel::configure(const NetConfig& cfg, std::uint64_t run_seed,
+                          std::uint64_t max_delay) {
+  CLB_CHECK(cfg.max_attempts >= 1 && cfg.max_attempts <= 16,
+            "link max_attempts must be in [1, 16]");
+  CLB_CHECK(cfg.loss_per_64k < 65536, "link loss must be < 1 (per 65536)");
+  cfg_ = cfg;
+  key_ = rng::hash_combine(kLinkLossSalt, run_seed);
+  rto_ = cfg.rto != 0 ? cfg.rto : 2 * max_delay;
+  CLB_CHECK(rto_ >= 1, "retransmission timeout must be >= 1 step");
+  links_.clear();
+}
+
+bool LinkModel::lost(std::uint32_t from, std::uint32_t to, std::uint64_t seq,
+                     std::uint32_t attempt) const {
+  const std::uint64_t link = (static_cast<std::uint64_t>(from) << 32) | to;
+  const std::uint64_t draw = rng::hash_combine(
+      rng::hash_combine(rng::hash_combine(key_, link), seq), attempt);
+  return (draw & 0xFFFF) < cfg_.loss_per_64k;
+}
+
+bool LinkModel::ack_lost(std::uint32_t from, std::uint32_t to,
+                         std::uint64_t seq) const {
+  const std::uint64_t link = (static_cast<std::uint64_t>(from) << 32) | to;
+  const std::uint64_t draw = rng::hash_combine(
+      rng::hash_combine(rng::hash_combine(key_, link), seq), 0xACCULL);
+  return (draw & 0xFFFF) < cfg_.loss_per_64k;
+}
+
+SendPlan LinkModel::plan(std::uint32_t from, std::uint32_t to,
+                         std::uint64_t now, std::uint64_t wire_delay) {
+  SendPlan p;
+  p.due = now + wire_delay;
+  if (!active()) return p;
+  std::uint64_t depart = now;
+  LinkState& ls = state(from, to);
+  if (cfg_.bandwidth > 0) {
+    // Micro-slot FIFO wire clock: step s has `bandwidth` slots s*B .. s*B+B-1;
+    // a send departs in the first free slot at or after its own step.
+    const std::uint64_t cap = cfg_.bandwidth;
+    const std::uint64_t slot = std::max(now * cap, ls.next_slot);
+    ls.next_slot = slot + 1;
+    depart = slot / cap;
+    queued_delay_ += depart - now;
+  }
+  std::uint32_t attempts = 1;
+  if (cfg_.lossy()) {
+    const std::uint64_t seq = ls.seq++;
+    while (attempts < cfg_.max_attempts && lost(from, to, seq, attempts)) {
+      ++attempts;
+    }
+    retransmits_ += attempts - 1;
+    // rto >= a round trip, so the delivered attempt's ack normally stops
+    // the sender before the next timeout. A lost ack lets exactly one
+    // duplicate through; the receiver's per-link sequence suppresses it.
+    if (attempts < cfg_.max_attempts && ack_lost(from, to, seq)) {
+      p.dup = true;
+      ++dup_suppressed_;
+    }
+  }
+  p.attempts = attempts;
+  p.due = depart + static_cast<std::uint64_t>(attempts - 1) * rto_ + wire_delay;
+  p.dup_due = p.due + rto_;
+  return p;
+}
+
+bool LinkModel::mutation_lose_first_attempt(std::uint32_t from,
+                                            std::uint32_t to) {
+  if (!cfg_.lossy()) return false;
+  LinkState& ls = state(from, to);
+  return lost(from, to, ls.seq++, 1);
+}
+
+std::uint64_t phase_failsafe(std::uint64_t tree_depth,
+                             std::uint64_t round_budget,
+                             std::uint64_t max_delay,
+                             std::uint64_t worst_extra) {
+  const std::uint64_t d = max_delay + worst_extra;
+  return 4 * tree_depth * round_budget * (2 * d) + 4 * d + 8;
+}
+
+}  // namespace clb::net

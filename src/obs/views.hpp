@@ -123,6 +123,15 @@ inline void expose_network(MetricsRegistry& m, const dist::Network& net,
                  [&net] { return net.mean_in_flight(); });
   m.expose_gauge(prefix + "hops",
                  [&net] { return static_cast<double>(net.total_hops()); });
+  m.expose_gauge(prefix + "retransmits", [&net] {
+    return static_cast<double>(net.retransmits());
+  });
+  m.expose_gauge(prefix + "dup_suppressed", [&net] {
+    return static_cast<double>(net.dup_suppressed());
+  });
+  m.expose_gauge(prefix + "link_queued_delay", [&net] {
+    return static_cast<double>(net.link_queued_delay());
+  });
 }
 
 /// Point-in-time copy of a network's fabric statistics under `prefix`
@@ -135,6 +144,9 @@ inline void snapshot_network(MetricsRegistry& m, const dist::Network& net,
   m.counter(prefix + "fabric_max_in_flight") = net.max_in_flight();
   m.gauge(prefix + "fabric_mean_in_flight") = net.mean_in_flight();
   m.counter(prefix + "hops") = net.total_hops();
+  m.counter(prefix + "retransmits") = net.retransmits();
+  m.counter(prefix + "dup_suppressed") = net.dup_suppressed();
+  m.counter(prefix + "link_queued_delay") = net.link_queued_delay();
 }
 
 /// Feeds one finalised phase into per-phase distribution histograms. The

@@ -160,8 +160,13 @@ struct alignas(64) Runtime::Worker {
   std::vector<StagedTransfer> staged;
   std::uint64_t transfer_seen = 0;  // replicated global transfer count
 
-  // Latency fabric state (RtConfig::latency >= 1).
-  std::vector<std::vector<Message*>> rings;  // index: due % slots
+  // Latency fabric state (RtConfig::latency >= 1). Each worker owns one
+  // shard of the unified substrate: a net::Fabric of the messages routed to
+  // it and the net::LinkModel state of the links its processors send on
+  // (every link (src, *) is planned by owner(src), in protocol order, so
+  // the sharded link clocks replay the serial fabric's exactly).
+  net::Fabric<Message*> fabric;
+  net::LinkModel links;
   std::vector<Message*> due_batch;
   std::vector<const Message*> query_batch;
   std::vector<std::uint32_t> lat_active;  // own procs with live requests
@@ -172,6 +177,8 @@ struct alignas(64) Runtime::Worker {
   std::uint64_t fab_sent = 0;       // protocol messages put on the fabric
   std::uint64_t fab_delivered = 0;  // ... matured or discarded
   std::uint64_t lat_failed = 0;     // requests that ran out of rounds
+  std::uint64_t fab_lost_msgs = 0;  // link_loss_no_retransmit victims
+  std::uint64_t dup_applied = 0;    // dup_delivery clones materialised
   net::SendStage seq_stage = net::SendStage::kDeliver;  // send context
   std::uint64_t seq_major = 0;
   std::uint32_t seq_minor = 0;
@@ -237,22 +244,33 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
                       (cfg_.game.a - cfg_.game.b) >= 2,
               "latency mode: round bound needs c(a-b) >= 2");
     CLB_CHECK(cfg_.phase_gap >= 1, "latency mode: phase_gap must be >= 1");
+    CLB_CHECK(!(cfg_.link_loss_no_retransmit || cfg_.dup_delivery) ||
+                  cfg_.link.lossy(),
+              "link mutations need a lossy link (link.loss_per_64k > 0)");
     lat_ = std::make_unique<LatencyShared>(
         cfg_.topology != nullptr
-            ? net::DeliveryPolicy(cfg_.n, cfg_.latency, cfg_.topology)
-            : net::DeliveryPolicy(cfg_.n, cfg_.latency));
+            ? net::DeliveryPolicy(cfg_.n, cfg_.latency, cfg_.topology,
+                                  cfg_.link.jitter, cfg_.seed)
+            : net::DeliveryPolicy(cfg_.n, cfg_.latency, cfg_.link.jitter,
+                                  cfg_.seed));
     lat_->round_budget = static_cast<std::uint32_t>(
         std::ceil(analysis::collision_round_bound(cfg_.n, cfg_.game.a,
                                                   cfg_.game.b, cfg_.game.c)));
     lat_->max_phase_steps = cfg_.max_phase_steps;
     if (lat_->max_phase_steps == 0) {
-      // The dist:: failsafe bound, verbatim.
-      lat_->max_phase_steps = 4ULL * cfg_.params.tree_depth *
-                                  lat_->round_budget *
-                                  (2ULL * lat_->policy.max_delay()) +
-                              4ULL * lat_->policy.max_delay() + 8;
+      // The shared failsafe bound (dist:: derives the identical value).
+      net::LinkModel probe;
+      probe.configure(cfg_.link, cfg_.seed, lat_->policy.max_delay());
+      lat_->max_phase_steps =
+          net::phase_failsafe(cfg_.params.tree_depth, lat_->round_budget,
+                              lat_->policy.max_delay(), probe.worst_extra());
     }
     lat_->req.assign(cfg_.n, LatencyShared::LatReq{});
+  } else {
+    CLB_CHECK(!cfg_.link.shaped(),
+              "link-model knobs require the latency fabric (latency >= 1)");
+    CLB_CHECK(!cfg_.link_loss_no_retransmit && !cfg_.dup_delivery,
+              "link mutations require the latency fabric (latency >= 1)");
   }
 
   procs_.resize(cfg_.n);
@@ -276,7 +294,10 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
     auto [b, e] = util::block_range(cfg_.n, w, i);
     worker->begin = b;
     worker->end = e;
-    if (lat_) worker->rings.resize(lat_->policy.slots());
+    if (lat_) {
+      worker->fabric.init(lat_->policy.max_delay());
+      worker->links.configure(cfg_.link, cfg_.seed, lat_->policy.max_delay());
+    }
     workers_.push_back(std::move(worker));
   }
   for (unsigned i = 0; i < w; ++i) {
@@ -298,9 +319,7 @@ Runtime::~Runtime() {
     if (w->thread.joinable()) w->thread.join();
   }
   for (auto& w : workers_) {
-    for (auto& slot : w->rings) {
-      for (Message* m : slot) delete m;
-    }
+    w->fabric.discard_pending([](Message* m) { delete m; });
   }
 }
 
@@ -438,6 +457,15 @@ void Runtime::send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
     w.dropped_task_count += count;
     w.dropped.push_back(LedgerEntry{step, root, partner,
                                     static_cast<std::uint32_t>(count)});
+    delete m;
+    return;
+  }
+  if (cfg_.link_loss_no_retransmit && lat_ &&
+      w.links.mutation_lose_first_attempt(root, partner)) {
+    // The lossy wire without retransmit: the payload evaporates mid-flight
+    // and NOTHING books the loss — the tasks are gone from every account,
+    // which is exactly what the conservation oracle must convict.
+    ++w.fab_lost_msgs;
     delete m;
     return;
   }
@@ -1039,10 +1067,11 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
 // ===========================================================================
 // Latency fabric (RtConfig::latency >= 1): the dist:: threshold protocol on
 // real threads. Every protocol message is stamped with its delivery step
-// (due = send step + DeliveryPolicy::delay) and its canonical net::SeqKey;
-// the recipient's owner files it into a per-worker ring of delay queues and
-// only processes it once its step matures — so phases take real time and
-// their duration scales with the latency, exactly as in dist::.
+// (due = LinkModel::plan over the DeliveryPolicy wire delay) and its
+// canonical net::SeqKey; the recipient's owner files it into its shard of
+// the unified net::Fabric and only processes it once its step matures — so
+// phases take real time and their duration scales with the latency (and
+// the link model's queueing and retransmit schedules), exactly as in dist::.
 //
 // One latency step (mirrors dist::DistThresholdBalancer::on_step against
 // sim::Engine's step schedule; barriers marked):
@@ -1065,16 +1094,21 @@ std::uint64_t Runtime::run_level(Worker& w, std::uint64_t step,
 //       tasks to the partner's owner.
 //   --- barrier B ---   (leader assembles the phase-start summary here)
 //   S6  drain own mailbox: apply due-now payloads, file everything else
-//       into the rings by due step.
+//       into the fabric by due step.
 //
 // The closing load-reduction barrier in step_once seals the step: messages
 // sent in S1/S2/S4 were all filed by their owner in S6, so the next step's
-// S1 sees a complete, quiescent ring.
+// S1 sees a complete, quiescent fabric.
 // ===========================================================================
 
 void Runtime::lat_send(Worker& w, std::uint64_t step, Message* m) {
   m->seq = net::SeqKey{step, w.seq_stage, w.seq_major, w.seq_minor++};
-  std::uint64_t due = step + lat_->policy.delay(m->from, m->to);
+  // The link model decides when the send matures (wire delay plus queueing
+  // and retransmit schedule); `m->from` is always owned by this worker, so
+  // the sharded per-link clocks replay the serial fabric's exactly.
+  const net::SendPlan plan =
+      w.links.plan(m->from, m->to, step, lat_->policy.delay(m->from, m->to));
+  std::uint64_t due = plan.due;
   if (cfg_.delay_skew_message != 0) {
     const std::uint64_t ord =
         skew_send_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -1087,6 +1121,20 @@ void Runtime::lat_send(Worker& w, std::uint64_t step, Message* m) {
   // other kind goes to its protocol recipient.
   const std::uint32_t route =
       m->kind == MsgKind::kTransferCmd ? m->from : m->to;
+  if (plan.dup && cfg_.dup_delivery && m->kind == MsgKind::kTransferCmd) {
+    // The dup-delivery mutation: materialise the ack-loss duplicate the
+    // clean fabric suppresses. The clone matures one rto later, stages the
+    // same transfer a second time, and the ledger diverges from the shadow.
+    auto* d = new Message;
+    d->kind = m->kind;
+    d->from = m->from;
+    d->to = m->to;
+    d->seq = m->seq;
+    d->due = plan.dup_due;
+    ++w.fab_sent;  // the clone matures too; drain detection stays exact
+    ++w.dup_applied;
+    send(w, route, d);
+  }
   send(w, route, m);
 }
 
@@ -1148,29 +1196,21 @@ void Runtime::lat_start_request(Worker& w, std::uint64_t step,
 }
 
 void Runtime::lat_process_due(Worker& w, std::uint64_t step) {
-  auto& slot = w.rings[step % w.rings.size()];
-  w.due_batch.swap(slot);
+  w.due_batch.clear();
+  w.fabric.take_due(step, w.due_batch);
   auto& due = w.due_batch;
   w.fab_delivered += due.size();
   // Group by the processor whose state the message updates (the source for
   // staged transfer commands, the recipient otherwise); the canonical seq
-  // stamp orders processing within a group in deterministic mode.
+  // stamp orders processing within a group in deterministic mode — the
+  // exact sort dist::Network::deliver runs.
   const auto group_of = [](const Message* m) {
     return m->kind == MsgKind::kTransferCmd ? m->from : m->to;
   };
-  if (cfg_.deterministic) {
-    std::sort(due.begin(), due.end(),
-              [&](const Message* a, const Message* b) {
-                if (group_of(a) != group_of(b))
-                  return group_of(a) < group_of(b);
-                return a->seq < b->seq;
-              });
-  } else {
-    std::stable_sort(due.begin(), due.end(),
-                     [&](const Message* a, const Message* b) {
-                       return group_of(a) < group_of(b);
-                     });
-  }
+  net::sort_due_batch(
+      due, group_of,
+      [](const Message* m) -> const net::SeqKey& { return m->seq; },
+      cfg_.deterministic);
   std::size_t i = 0;
   while (i < due.size()) {
     const std::uint32_t recipient = group_of(due[i]);
@@ -1321,14 +1361,15 @@ void Runtime::lat_evaluate(Worker& w, std::uint64_t step) {
 
 void Runtime::lat_discard_undelivered(Worker& w) {
   // dist's forced net reset, shard by shard: every undelivered message is
-  // either in its owner's rings or still in a mailbox (sent this step, not
+  // either in its owner's fabric or still in a mailbox (sent this step, not
   // yet filed); the owner discards both and books them as delivered so the
-  // fabric reads as drained everywhere.
-  for (auto& slot : w.rings) {
-    w.fab_delivered += slot.size();
-    for (Message* m : slot) delete m;
-    slot.clear();
-  }
+  // fabric reads as drained everywhere. The link clocks reset with it — a
+  // forced end abandons the wire (dist::Network::reset does the same).
+  w.fabric.discard_pending([&](Message* m) {
+    ++w.fab_delivered;
+    delete m;
+  });
+  w.links.reset();
   while (Message* m = w.inbox.pop()) {
     CLB_DCHECK(m->kind != MsgKind::kTransfer,
                "payloads cannot be in flight at the phase decision");
@@ -1342,9 +1383,7 @@ void Runtime::lat_discard_undelivered(Worker& w) {
   }
 }
 
-// `step` feeds only DCHECKs and trace/telemetry events, all of which can
-// compile away depending on CLB_TRACE / CLB_TELEMETRY / NDEBUG.
-void Runtime::lat_drain_and_file(Worker& w, [[maybe_unused]] std::uint64_t step) {
+void Runtime::lat_drain_and_file(Worker& w, std::uint64_t step) {
   std::uint64_t batch = 0;
   while (Message* m = w.inbox.pop()) {
     ++batch;
@@ -1356,8 +1395,8 @@ void Runtime::lat_drain_and_file(Worker& w, [[maybe_unused]] std::uint64_t step)
       delete m;
       continue;
     }
-    CLB_DCHECK(m->due > step, "protocol message filed after it was due");
-    w.rings[m->due % w.rings.size()].push_back(m);
+    // Fabric::file DCHECKs due > now — the deterministic-replay guarantee.
+    w.fabric.file(step, m->due, m);
   }
 #if CLB_TELEMETRY_ENABLED
   if (telemetry_) {
@@ -1580,6 +1619,36 @@ std::uint64_t Runtime::fabric_in_flight() const {
     delivered += w->fab_delivered;
   }
   return sent - delivered;
+}
+
+std::uint64_t Runtime::fabric_retransmits() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->links.retransmits();
+  return s;
+}
+
+std::uint64_t Runtime::fabric_dup_suppressed() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->links.dup_suppressed();
+  return s;
+}
+
+std::uint64_t Runtime::fabric_queued_delay() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->links.queued_delay();
+  return s;
+}
+
+std::uint64_t Runtime::link_lost_messages() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->fab_lost_msgs;
+  return s;
+}
+
+std::uint64_t Runtime::dup_delivered() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->dup_applied;
+  return s;
 }
 
 void Runtime::append_snapshots(std::uint64_t step) {

@@ -43,6 +43,7 @@
 #include "collision/collision.hpp"
 #include "core/params.hpp"
 #include "net/delivery.hpp"
+#include "net/fabric.hpp"
 #include "net/topology.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -103,6 +104,11 @@ struct RtConfig {
   /// Optional machine graph for per-hop routing (borrowed; must outlive
   /// the runtime). Latency mode only.
   const net::Topology* topology = nullptr;
+  /// Link-model knobs (heterogeneous per-link jitter, bandwidth caps,
+  /// loss + retransmit), keyed off `seed` — the exact same net::LinkModel
+  /// dist::Network runs, sharded per worker. Latency mode only; defaults
+  /// are the uniform/lossless degenerate case.
+  net::NetConfig link{};
   /// Idle steps between phase completion and the next classification
   /// (latency mode; must be >= 1, as in dist::DistConfig).
   std::uint64_t phase_gap = 1;
@@ -116,6 +122,17 @@ struct RtConfig {
   /// workers, so pin workers = 1 for a replayable victim (the fuzzer's
   /// delay-skew scenarios do).
   std::uint64_t delay_skew_message = 0;
+  /// Test-only fault injection (latency mode, lossy link): when the link
+  /// model would lose a transfer payload's first attempt, drop the message
+  /// outright instead of retransmitting — tasks vanish from the system
+  /// without a dropped_tasks booking, exactly what the conservation oracle
+  /// must convict (the link-loss-no-retransmit mutation).
+  bool link_loss_no_retransmit = false;
+  /// Test-only fault injection (latency mode, lossy link): materialise the
+  /// suppressed ack-loss duplicate of every transfer command instead of
+  /// counting it — the transfer applies twice, diverging the ledger and the
+  /// queues from the dist shadow (the dup-delivery mutation).
+  bool dup_delivery = false;
   /// Per-worker hot-path telemetry (obs::WorkerTelemetry): superstep and
   /// barrier timing, mailbox traffic, drain batch sizes. Observation only —
   /// deterministic outputs are bit-identical on or off. Ignored (forced
@@ -258,6 +275,16 @@ class Runtime {
   /// Latency-mode fabric counters (0 in instant mode).
   [[nodiscard]] std::uint64_t fabric_sent() const;
   [[nodiscard]] std::uint64_t fabric_in_flight() const;
+  /// Link-model counters summed over workers (all 0 on an unshaped fabric;
+  /// comparable against dist::Network's identically-named stats).
+  [[nodiscard]] std::uint64_t fabric_retransmits() const;
+  [[nodiscard]] std::uint64_t fabric_dup_suppressed() const;
+  [[nodiscard]] std::uint64_t fabric_queued_delay() const;
+  /// Mutation bookkeeping: messages destroyed by link_loss_no_retransmit
+  /// and duplicates applied by dup_delivery (the fuzzer's mutation_applied
+  /// probes).
+  [[nodiscard]] std::uint64_t link_lost_messages() const;
+  [[nodiscard]] std::uint64_t dup_delivered() const;
 
   // ---- telemetry (RtConfig::telemetry; all readable between runs) ----
   /// True when telemetry was requested AND compiled in.

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const auto* mutate = cli.flag_str(
       "mutate", "none",
       "inject a broken behaviour: drop-task|dup-task|reorder|phantom-msg|"
-      "mailbox-drop|delay-skew");
+      "mailbox-drop|delay-skew|link-loss-no-retransmit|dup-delivery");
   const auto* expect_failure = cli.flag_bool(
       "expect-failure", false,
       "succeed iff the oracle catches at least one scenario (self-test)");

@@ -18,10 +18,13 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
     if (s.b > 2) s.b = 2;
     if (s.c > 2) s.c = 2;
     if (opt.mutate == MutationKind::kMailboxDrop ||
-        opt.mutate == MutationKind::kDelaySkew) {
+        opt.mutate == MutationKind::kDelaySkew ||
+        opt.mutate == MutationKind::kLinkLossNoRetransmit ||
+        opt.mutate == MutationKind::kDupDelivery) {
       // These faults live in rt::Runtime; conviction needs the threshold
       // policy, whose rt runs are cross-validated task-by-task against the
-      // simulator (mailbox-drop) / the dist shadow (delay-skew).
+      // simulator (mailbox-drop) / the dist shadow (the latency-fabric
+      // mutations).
       s.balancer = BalancerKind::kThreshold;
       clamp_to_runtime(s);
       if (opt.mutate == MutationKind::kDelaySkew) {
@@ -31,6 +34,18 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
         s.rt_latency = true;
         if (s.a > 8) s.a = 8;
         if (s.latency < 2) s.latency = 2;
+        s.threads = 1;
+        s.threads_replay = 1;
+      }
+      if (opt.mutate == MutationKind::kLinkLossNoRetransmit ||
+          opt.mutate == MutationKind::kDupDelivery) {
+        // Link mutations need a lossy latency fabric: loss draws gate both
+        // the dropped first attempt and the ack-loss duplicate. 50% loss
+        // makes either fire within a handful of transfers; a single worker
+        // keeps the mutated run replayable.
+        s.rt_latency = true;
+        if (s.a > 8) s.a = 8;
+        s.link_loss = 32768;
         s.threads = 1;
         s.threads_replay = 1;
       }
@@ -65,6 +80,15 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
     if (s.balancer == BalancerKind::kThreshold && index % 2 == 1) {
       s.rt_latency = true;
       if (s.a > 8) s.a = 8;
+      // Rotate the link-model knobs so the sanitizer tier keeps every
+      // fabric shape (plain, jittered, shaped, lossy) under pressure
+      // regardless of what the organic draws picked.
+      switch ((index / 2) % 4) {
+        case 1: s.link_jitter = 2; break;
+        case 2: s.link_bandwidth = 2; break;
+        case 3: s.link_loss = 16384; break;
+        default: break;
+      }
     }
   }
 

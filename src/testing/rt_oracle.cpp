@@ -69,10 +69,25 @@ RtRun build_rt(const Scenario& s, unsigned workers) {
     cfg.game = collision::CollisionConfig{s.a, s.b, s.c, 0};
     if (s.rt_latency) {
       cfg.latency = s.latency;
+      cfg.link.jitter = s.link_jitter;
+      cfg.link.bandwidth = s.link_bandwidth;
+      cfg.link.loss_per_64k = s.link_loss;
       if (s.mutation == MutationKind::kDelaySkew) {
         // Deliver the very first fabric message a superstep early; the
         // dist-shadow lockstep below is what must notice.
         cfg.delay_skew_message = 1;
+      }
+      if (s.mutation == MutationKind::kLinkLossNoRetransmit) {
+        // Drop a transfer payload's lost first attempt outright instead of
+        // retransmitting; the conservation oracle must notice the tasks
+        // leaving the system.
+        cfg.link_loss_no_retransmit = true;
+      }
+      if (s.mutation == MutationKind::kDupDelivery) {
+        // Replay a transfer command whose ack draw was lost; the dup stages
+        // the same transfer twice, and the ledger / identity sweep against
+        // the clean dist shadow must notice.
+        cfg.dup_delivery = true;
       }
     }
   }
@@ -171,6 +186,11 @@ OracleReport run_against_engine(const Scenario& s) {
     dc.b = s.b;
     dc.c = s.c;
     dc.latency = s.latency;
+    // Same link model as the runtime (the shadow stays clean: scenario
+    // mutations only ever reach the rt side).
+    dc.link.jitter = s.link_jitter;
+    dc.link.bandwidth = s.link_bandwidth;
+    dc.link.loss_per_64k = s.link_loss;
     dist_shadow = std::make_unique<dist::DistThresholdBalancer>(dc);
     inner = dist_shadow.get();
   }
@@ -350,6 +370,26 @@ OracleReport run_rt_scenario(const Scenario& in) {
       probe.run->run(1);
     }
     r.mutation_applied = probe.run->fabric_sent() > 0;
+  }
+  if (s.mutation == MutationKind::kLinkLossNoRetransmit) {
+    // Fired iff a transfer payload's first attempt actually drew a loss —
+    // the runtime counts each unreplayed drop.
+    RtRun probe = build_rt(s, 1);
+    for (std::uint64_t step = 0; step < s.steps; ++step) {
+      apply_rt_faults(s, *probe.run, step);
+      probe.run->run(1);
+    }
+    r.mutation_applied = probe.run->link_lost_messages() > 0;
+  }
+  if (s.mutation == MutationKind::kDupDelivery) {
+    // Fired iff some transfer command's ack draw was lost and the clone was
+    // actually filed.
+    RtRun probe = build_rt(s, 1);
+    for (std::uint64_t step = 0; step < s.steps; ++step) {
+      apply_rt_faults(s, *probe.run, step);
+      probe.run->run(1);
+    }
+    r.mutation_applied = probe.run->dup_delivered() > 0;
   }
   return r;
 }

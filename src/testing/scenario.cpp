@@ -68,6 +68,8 @@ const char* to_string(MutationKind m) {
     case MutationKind::kPhantomMessage: return "phantom-msg";
     case MutationKind::kMailboxDrop: return "mailbox-drop";
     case MutationKind::kDelaySkew: return "delay-skew";
+    case MutationKind::kLinkLossNoRetransmit: return "link-loss-no-retransmit";
+    case MutationKind::kDupDelivery: return "dup-delivery";
   }
   return "?";
 }
@@ -79,6 +81,10 @@ MutationKind mutation_from_string(const std::string& name) {
   if (name == "phantom-msg") return MutationKind::kPhantomMessage;
   if (name == "mailbox-drop") return MutationKind::kMailboxDrop;
   if (name == "delay-skew") return MutationKind::kDelaySkew;
+  if (name == "link-loss-no-retransmit") {
+    return MutationKind::kLinkLossNoRetransmit;
+  }
+  if (name == "dup-delivery") return MutationKind::kDupDelivery;
   return MutationKind::kNone;
 }
 
@@ -219,6 +225,21 @@ Scenario Scenario::sample(std::uint64_t scenario_seed, std::uint64_t index) {
     s.rt_latency = true;
     if (s.a > 8) s.a = 8;
   }
+
+  // Link-model knobs for latency scenarios: heterogeneous jitter, bandwidth
+  // caps, and lossy links with retransmit. Gated on rt_latency and appended
+  // after every other draw, so lossless scenarios keep their exact streams.
+  if (s.rt_latency) {
+    if (pick(rng, 0, 2) == 0) {
+      s.link_jitter = static_cast<std::uint32_t>(pick(rng, 1, 3));
+    }
+    if (pick(rng, 0, 3) == 0) {
+      s.link_bandwidth = static_cast<std::uint32_t>(pick(rng, 1, 4));
+    }
+    if (pick(rng, 0, 3) == 0) {
+      s.link_loss = 8192u * static_cast<std::uint32_t>(pick(rng, 1, 4));
+    }
+  }
   return s;
 }
 
@@ -232,6 +253,13 @@ std::string Scenario::describe() const {
                   static_cast<unsigned long long>(engine_seed));
     return buf;
   }
+  std::string lat;
+  if (rt_latency) {
+    lat = " lat=" + std::to_string(latency);
+    if (link_jitter != 0) lat += " jit=" + std::to_string(link_jitter);
+    if (link_bandwidth != 0) lat += " bw=" + std::to_string(link_bandwidth);
+    if (link_loss != 0) lat += " loss=" + std::to_string(link_loss);
+  }
   std::snprintf(
       buf, sizeof buf,
       "%s n=%llu steps=%llu model=%s balancer=%s threads=%u/%u "
@@ -241,8 +269,7 @@ std::string Scenario::describe() const {
       static_cast<unsigned long long>(steps), to_string(model),
       to_string(balancer), threads, threads_replay, faults.size(),
       spread_execution ? " spread" : "", streaming_transfers ? " stream" : "",
-      rt_latency ? (" lat=" + std::to_string(latency)).c_str() : "",
-      to_string(mutation));
+      lat.c_str(), to_string(mutation));
   return buf;
 }
 

@@ -57,6 +57,8 @@ enum class MutationKind {
   kPhantomMessage,  // bump a protocol counter outside any phase window
   kMailboxDrop,     // rt runtime: silently drop one transfer message
   kDelaySkew,       // rt latency fabric: deliver one message a step early
+  kLinkLossNoRetransmit,  // lossy link: drop a first attempt, never resend
+  kDupDelivery,           // lossy link: replay a transfer cmd on ack loss
 };
 
 /// A load spike deposited onto one processor before `step` executes.
@@ -109,6 +111,13 @@ struct Scenario {
   bool weight_based = false;
   std::uint64_t t_min = 16;
   std::uint32_t latency = 1;  // DistThresholdBalancer fabric latency
+  // Link-model knobs for latency scenarios (net::NetConfig, applied to the
+  // runtime and its dist lockstep shadow alike): extra per-link jitter span,
+  // per-link bandwidth cap (messages/step, 0 = uncapped), and i.i.d. loss
+  // probability as a /65536 numerator (0 = lossless).
+  std::uint32_t link_jitter = 0;
+  std::uint32_t link_bandwidth = 0;
+  std::uint32_t link_loss = 0;
 
   std::vector<FaultEvent> faults;
 
@@ -138,7 +147,8 @@ MutationKind mutation_from_string(const std::string& name);
 /// constants within the runtime's query-width limit, and sizes small enough
 /// that a phase-per-step schedule stays affordable under fuzzing. Called by
 /// Scenario::sample for scenarios drawn as runtime, and by the fuzzer when
-/// a runtime-only mutation (kMailboxDrop) is requested.
+/// a runtime-only mutation (kMailboxDrop, kDelaySkew, or the link-model
+/// mutations) is requested.
 void clamp_to_runtime(Scenario& s);
 
 /// Owns the model + balancer a scenario describes. The engine is built by

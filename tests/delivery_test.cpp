@@ -1,0 +1,380 @@
+// Unit coverage of the shared delivery layer both fabrics are built on:
+// net::DeliveryPolicy (delay math: uniform, per-hop topology, seeded
+// per-link jitter), net::SeqKey (the canonical total order on sends),
+// net::Fabric (the delay queue itself: filing, maturation, far-future
+// overflow, discard, the due > now replay guarantee) and net::LinkModel
+// (bandwidth micro-slot clocks, loss/retransmit schedules, determinism).
+//
+// The lockstep tier (test_rt_latency_equivalence) proves the two fabrics
+// agree end to end; this file pins the primitives' contracts directly, so
+// a regression points at the exact rule that broke.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/delivery.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace clb;
+using net::DeliveryPolicy;
+using net::Fabric;
+using net::LinkModel;
+using net::NetConfig;
+using net::SendPlan;
+using net::SendStage;
+using net::SeqKey;
+
+// ---- DeliveryPolicy -------------------------------------------------------
+
+TEST(DeliveryPolicy, UniformDelayIsLatencyForEveryPair) {
+  DeliveryPolicy p(64, 3);
+  for (std::uint32_t from : {0u, 17u, 63u}) {
+    for (std::uint32_t to : {1u, 31u, 62u}) {
+      EXPECT_EQ(p.delay(from, to), 3u);
+    }
+  }
+  EXPECT_EQ(p.max_delay(), 3u);
+  EXPECT_EQ(p.slots(), 4u);
+  EXPECT_EQ(p.jitter(), 0u);
+}
+
+TEST(DeliveryPolicy, TopologyDelayScalesWithHops) {
+  net::HypercubeTopology cube(16);
+  DeliveryPolicy p(16, 2, &cube);
+  // Hypercube hops = popcount(from ^ to); delay = max(1, latency * hops).
+  EXPECT_EQ(p.delay(0, 1), 2u);    // 1 hop
+  EXPECT_EQ(p.delay(0, 3), 4u);    // 2 hops
+  EXPECT_EQ(p.delay(0, 15), 8u);   // 4 hops (diameter)
+  EXPECT_EQ(p.max_delay(), 2u * cube.diameter());
+}
+
+TEST(DeliveryPolicy, JitterIsBoundedPerLinkAndSeedDeterministic) {
+  const std::uint32_t jitter = 5;
+  DeliveryPolicy a(64, 2, jitter, /*seed=*/42);
+  DeliveryPolicy b(64, 2, jitter, /*seed=*/42);
+  DeliveryPolicy c(64, 2, jitter, /*seed=*/43);
+  bool any_extra = false;
+  bool any_cross_seed_diff = false;
+  for (std::uint32_t from = 0; from < 16; ++from) {
+    for (std::uint32_t to = 0; to < 16; ++to) {
+      const std::uint64_t d = a.delay(from, to);
+      EXPECT_GE(d, 2u);
+      EXPECT_LE(d, 2u + jitter);
+      // The same link is always equally slow, and two policies built from
+      // the same (seed, jitter) agree bit for bit.
+      EXPECT_EQ(d, a.delay(from, to));
+      EXPECT_EQ(d, b.delay(from, to));
+      any_extra |= d > 2u;
+      any_cross_seed_diff |= d != c.delay(from, to);
+    }
+  }
+  EXPECT_TRUE(any_extra) << "jitter drew zero for all 256 links";
+  EXPECT_TRUE(any_cross_seed_diff) << "seed does not feed the jitter stream";
+  EXPECT_EQ(a.max_delay(), 2u + jitter);
+  EXPECT_EQ(a.slots(), 2u + jitter + 1u);
+}
+
+TEST(DeliveryPolicy, JitterZeroIsTheExactUniformCase) {
+  DeliveryPolicy plain(64, 4);
+  DeliveryPolicy seeded(64, 4, /*jitter=*/0u, /*seed=*/99);
+  for (std::uint32_t from = 0; from < 8; ++from) {
+    for (std::uint32_t to = 0; to < 8; ++to) {
+      EXPECT_EQ(plain.delay(from, to), seeded.delay(from, to));
+    }
+  }
+  EXPECT_EQ(plain.max_delay(), seeded.max_delay());
+}
+
+TEST(DeliveryPolicy, JitterComposesWithTopology) {
+  net::HypercubeTopology cube(16);
+  DeliveryPolicy p(16, 1, &cube, /*jitter=*/3, /*seed=*/7);
+  for (std::uint32_t to = 1; to < 16; ++to) {
+    const std::uint64_t base = p.hops(0, to);  // latency 1: base == hops
+    const std::uint64_t d = p.delay(0, to);
+    EXPECT_GE(d, base);
+    EXPECT_LE(d, base + 3);
+  }
+  EXPECT_EQ(p.max_delay(), cube.diameter() + 3);
+}
+
+// ---- SeqKey ---------------------------------------------------------------
+
+TEST(SeqKey, TotalOrderMatchesFieldSignificance) {
+  const SeqKey base{10, SendStage::kDeliver, 5, 2};
+  // Identical keys: neither orders before the other.
+  EXPECT_FALSE(base < base);
+  EXPECT_TRUE(base == base);
+  // minor is the least significant tiebreak ...
+  EXPECT_LT(base, (SeqKey{10, SendStage::kDeliver, 5, 3}));
+  // ... then major ...
+  EXPECT_LT(base, (SeqKey{10, SendStage::kDeliver, 6, 0}));
+  // ... then stage (enum order = processing order within a step) ...
+  EXPECT_LT(base, (SeqKey{10, SendStage::kEvaluate, 0, 0}));
+  EXPECT_LT((SeqKey{10, SendStage::kEvaluate, 99, 99}),
+            (SeqKey{10, SendStage::kPhaseStart, 0, 0}));
+  // ... then the send step dominates everything.
+  EXPECT_LT((SeqKey{10, SendStage::kPhaseStart, 99, 99}),
+            (SeqKey{11, SendStage::kDeliver, 0, 0}));
+}
+
+TEST(SeqKey, EvaluateMajorOrdersByActivationStepThenProcessor) {
+  EXPECT_LT(net::evaluate_major(3, 100), net::evaluate_major(4, 0));
+  EXPECT_LT(net::evaluate_major(3, 5), net::evaluate_major(3, 6));
+  EXPECT_EQ(net::evaluate_major(0, 7), 7u);
+  EXPECT_EQ(net::evaluate_major(1, 0), 1ULL << 32);
+}
+
+// ---- Fabric ---------------------------------------------------------------
+
+TEST(Fabric, FilesAndMaturesInFilingOrder) {
+  Fabric<int> f(4);
+  f.file(0, 2, 10);
+  f.file(0, 1, 20);
+  f.file(0, 2, 30);
+  EXPECT_EQ(f.filed(), 3u);
+  EXPECT_EQ(f.pending(), 3u);
+  EXPECT_FALSE(f.empty());
+
+  std::vector<int> out;
+  f.take_due(1, out);
+  EXPECT_EQ(out, (std::vector<int>{20}));
+  out.clear();
+  f.take_due(2, out);
+  EXPECT_EQ(out, (std::vector<int>{10, 30}));  // filing order preserved
+  EXPECT_EQ(f.matured(), 3u);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fabric, FarFutureDuesSpillAndComeBack) {
+  Fabric<int> f(2);  // horizon 2: dues beyond now + 2 overflow
+  f.file(0, 1, 1);
+  f.file(0, 9, 9);    // far future (bandwidth backlog / retransmit schedule)
+  f.file(0, 12, 12);  // farther still
+  EXPECT_EQ(f.pending(), 3u);
+
+  std::vector<int> out;
+  for (std::uint64_t now = 1; now <= 12; ++now) f.take_due(now, out);
+  EXPECT_EQ(out, (std::vector<int>{1, 9, 12}));
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fabric, DiscardPendingInvokesHookAndCounts) {
+  Fabric<int> f(3);
+  f.file(0, 1, 1);
+  f.file(0, 2, 2);
+  f.file(0, 50, 3);  // overflow entry must be discarded too
+  int sum = 0;
+  f.discard_pending([&](int& v) { sum += v; });
+  EXPECT_EQ(sum, 6);
+  EXPECT_EQ(f.discarded(), 3u);
+  EXPECT_EQ(f.pending(), 0u);
+  // Cumulative counters survive the discard (a forced phase end discards
+  // messages, it does not unsend them).
+  EXPECT_EQ(f.filed(), 3u);
+}
+
+TEST(Fabric, ReinitOnlyWhenEmpty) {
+  Fabric<int> f(2);
+  f.file(0, 1, 7);
+  std::vector<int> out;
+  f.take_due(1, out);
+  f.init(8);  // legal: nothing in flight
+  EXPECT_EQ(f.horizon(), 8u);
+  f.file(0, 8, 1);
+  out.clear();
+  f.take_due(8, out);
+  EXPECT_EQ(out, (std::vector<int>{1}));
+}
+
+// The deterministic-replay guarantee: a message can never be filed with a
+// due step at or before the current one. CLB_DCHECK compiles out under
+// NDEBUG, so the death test only runs in assert-enabled builds.
+TEST(FabricDeathTest, FilingDueNowAborts) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "CLB_DCHECK compiled out (NDEBUG)";
+#else
+  Fabric<int> f(4);
+  EXPECT_DEATH(f.file(5, 5, 1), "due step <= now");
+  EXPECT_DEATH(f.file(5, 3, 1), "due step <= now");
+#endif
+}
+
+// ---- LinkModel ------------------------------------------------------------
+
+TEST(LinkModel, InactiveByDefaultAndPlansPlainWireDelay) {
+  LinkModel lm;
+  lm.configure(NetConfig{}, /*run_seed=*/1, /*max_delay=*/4);
+  EXPECT_FALSE(lm.active());
+  EXPECT_EQ(lm.worst_extra(), 0u);
+  const SendPlan p = lm.plan(0, 1, 10, 4);
+  EXPECT_EQ(p.due, 14u);
+  EXPECT_EQ(p.attempts, 1u);
+  EXPECT_FALSE(p.dup);
+  EXPECT_EQ(lm.retransmits(), 0u);
+  EXPECT_EQ(lm.queued_delay(), 0u);
+}
+
+TEST(LinkModel, BandwidthCapQueuesFifoPerLink) {
+  NetConfig cfg;
+  cfg.bandwidth = 1;  // one message per link per step
+  LinkModel lm;
+  lm.configure(cfg, 1, 4);
+  // Three sends on the same link in the same step: the first departs now,
+  // the others queue one micro-slot (= one step at cap 1) apiece.
+  EXPECT_EQ(lm.plan(0, 1, 10, 4).due, 14u);
+  EXPECT_EQ(lm.plan(0, 1, 10, 4).due, 15u);
+  EXPECT_EQ(lm.plan(0, 1, 10, 4).due, 16u);
+  // A different link has its own clock.
+  EXPECT_EQ(lm.plan(0, 2, 10, 4).due, 14u);
+  // The reverse direction is a different (ordered) link.
+  EXPECT_EQ(lm.plan(1, 0, 10, 4).due, 14u);
+  EXPECT_EQ(lm.queued_delay(), 3u);  // 1 + 2 steps on (0,1), 0 elsewhere
+
+  // Cap 2: two sends share a step, the third rolls over.
+  LinkModel lm2;
+  cfg.bandwidth = 2;
+  lm2.configure(cfg, 1, 4);
+  EXPECT_EQ(lm2.plan(0, 1, 10, 4).due, 14u);
+  EXPECT_EQ(lm2.plan(0, 1, 10, 4).due, 14u);
+  EXPECT_EQ(lm2.plan(0, 1, 10, 4).due, 15u);
+}
+
+TEST(LinkModel, BandwidthClockDrainsWhenIdle) {
+  NetConfig cfg;
+  cfg.bandwidth = 1;
+  LinkModel lm;
+  lm.configure(cfg, 1, 2);
+  EXPECT_EQ(lm.plan(0, 1, 0, 2).due, 2u);
+  EXPECT_EQ(lm.plan(0, 1, 0, 2).due, 3u);
+  // By step 5 the backlog has drained; the wire is free again.
+  EXPECT_EQ(lm.plan(0, 1, 5, 2).due, 7u);
+}
+
+TEST(LinkModel, CertainLossAlwaysDeliversTheFinalAttempt) {
+  NetConfig cfg;
+  cfg.loss_per_64k = 65535;  // every draw loses (max allowed)
+  cfg.max_attempts = 4;
+  cfg.rto = 10;
+  LinkModel lm;
+  lm.configure(cfg, 1, 4);
+  const SendPlan p = lm.plan(0, 1, 100, 4);
+  // Attempts 1..3 lost, attempt 4 forced through: due = now + 3*rto + wire.
+  EXPECT_EQ(p.attempts, 4u);
+  EXPECT_EQ(p.due, 100u + 3u * 10u + 4u);
+  EXPECT_EQ(lm.retransmits(), 3u);
+  EXPECT_EQ(lm.worst_extra(), 3u * 10u);
+}
+
+TEST(LinkModel, RtoDefaultsToARoundTrip) {
+  NetConfig cfg;
+  cfg.loss_per_64k = 1000;
+  LinkModel lm;
+  lm.configure(cfg, 1, /*max_delay=*/6);
+  EXPECT_EQ(lm.rto(), 12u);
+}
+
+TEST(LinkModel, PlansAreSeedDeterministicAndResetReplays) {
+  NetConfig cfg;
+  cfg.loss_per_64k = 20000;
+  cfg.bandwidth = 2;
+  cfg.jitter = 0;
+  LinkModel a;
+  LinkModel b;
+  a.configure(cfg, 77, 4);
+  b.configure(cfg, 77, 4);
+  std::vector<SendPlan> first;
+  for (int i = 0; i < 32; ++i) {
+    const SendPlan pa = a.plan(3, 9, 50, 4);
+    const SendPlan pb = b.plan(3, 9, 50, 4);
+    EXPECT_EQ(pa.due, pb.due) << i;
+    EXPECT_EQ(pa.attempts, pb.attempts) << i;
+    EXPECT_EQ(pa.dup, pb.dup) << i;
+    first.push_back(pa);
+  }
+  // reset() forgets the wire (clocks AND per-link sequences): the same send
+  // sequence replays bit for bit, like a forced phase end starting over.
+  a.reset();
+  for (int i = 0; i < 32; ++i) {
+    const SendPlan pa = a.plan(3, 9, 50, 4);
+    EXPECT_EQ(pa.due, first[static_cast<std::size_t>(i)].due) << i;
+    EXPECT_EQ(pa.attempts, first[static_cast<std::size_t>(i)].attempts) << i;
+  }
+  // Cumulative counters survive reset (they mirror the fabric's filed()).
+  EXPECT_GT(a.retransmits(), 0u);
+}
+
+TEST(LinkModel, LossDrawsDifferBySeed) {
+  NetConfig cfg;
+  cfg.loss_per_64k = 20000;
+  LinkModel a;
+  LinkModel b;
+  a.configure(cfg, 1, 4);
+  b.configure(cfg, 2, 4);
+  bool any_diff = false;
+  for (int i = 0; i < 64 && !any_diff; ++i) {
+    any_diff = a.plan(0, 1, 10, 4).attempts != b.plan(0, 1, 10, 4).attempts;
+  }
+  EXPECT_TRUE(any_diff) << "run seed does not feed the loss stream";
+}
+
+TEST(LinkModel, DupSchedulesOneRtoAfterDelivery) {
+  NetConfig cfg;
+  cfg.loss_per_64k = 30000;
+  cfg.rto = 7;
+  LinkModel lm;
+  lm.configure(cfg, 5, 4);
+  bool saw_dup = false;
+  for (int i = 0; i < 256; ++i) {
+    const SendPlan p = lm.plan(0, 1, 10, 4);
+    if (p.dup) {
+      saw_dup = true;
+      EXPECT_EQ(p.dup_due, p.due + 7u);
+      // A final-attempt delivery cannot duplicate: the sender is out of
+      // timeouts. dup implies attempts < max_attempts.
+      EXPECT_LT(p.attempts, cfg.max_attempts);
+    }
+  }
+  EXPECT_TRUE(saw_dup) << "no ack loss in 256 draws at ~46%";
+  EXPECT_EQ(lm.dup_suppressed(),
+            static_cast<std::uint64_t>(saw_dup ? lm.dup_suppressed() : 0));
+  EXPECT_GT(lm.dup_suppressed(), 0u);
+}
+
+TEST(LinkModel, MutationDrawIsDeterministic) {
+  NetConfig cfg;
+  cfg.loss_per_64k = 32768;  // 50%
+  LinkModel a;
+  LinkModel b;
+  a.configure(cfg, 9, 4);
+  b.configure(cfg, 9, 4);
+  int lost = 0;
+  for (int i = 0; i < 64; ++i) {
+    const bool la = a.mutation_lose_first_attempt(2, 3);
+    EXPECT_EQ(la, b.mutation_lose_first_attempt(2, 3)) << i;
+    lost += la ? 1 : 0;
+  }
+  EXPECT_GT(lost, 0) << "50% loss never lost in 64 draws";
+  EXPECT_LT(lost, 64) << "50% loss always lost in 64 draws";
+  // Lossless config: the mutation can never fire.
+  LinkModel clean;
+  clean.configure(NetConfig{}, 9, 4);
+  EXPECT_FALSE(clean.mutation_lose_first_attempt(2, 3));
+}
+
+// ---- phase_failsafe -------------------------------------------------------
+
+TEST(PhaseFailsafe, MatchesTheHistoricalBoundWhenUnshaped) {
+  // The pre-link-model dist:: formula, verbatim, at worst_extra = 0.
+  const std::uint64_t depth = 7, budget = 11, max_delay = 3;
+  EXPECT_EQ(net::phase_failsafe(depth, budget, max_delay, 0),
+            4 * depth * budget * (2 * max_delay) + 4 * max_delay + 8);
+  // Retransmit slack widens the bound monotonically.
+  EXPECT_GT(net::phase_failsafe(depth, budget, max_delay, 5),
+            net::phase_failsafe(depth, budget, max_delay, 0));
+}
+
+}  // namespace

@@ -72,6 +72,11 @@ struct RunRecord {
   std::uint64_t clamped = 0;
   std::uint64_t running_max = 0;
   std::uint64_t total_load = 0;
+  // Link-model counters (all zero on an unshaped fabric). Both fabrics plan
+  // every link's sends in the same order, so these must agree exactly.
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t queued_delay = 0;
   std::vector<rt::LedgerEntry> ledger;
   std::vector<PhaseRecord> phases;
 };
@@ -82,6 +87,7 @@ struct Lockstep {
   std::uint64_t steps = 160;
   std::uint32_t latency = 1;
   const net::Topology* topology = nullptr;
+  net::NetConfig link{};
   core::PhaseParams params;
 
   explicit Lockstep(std::uint64_t n_procs) : n(n_procs) {
@@ -97,6 +103,7 @@ RunRecord run_dist(const Lockstep& su) {
   dc.params = su.params;
   dc.latency = su.latency;
   dc.topology = su.topology;
+  dc.link = su.link;
   dist::DistThresholdBalancer inner(dc);
   clb::testing::CaptureBalancer cap(&inner);
   sim::Engine eng({.n = su.n, .seed = su.seed}, model.get(), &cap);
@@ -141,6 +148,9 @@ RunRecord run_dist(const Lockstep& su) {
   r.clamped = eng.clamped_transfers();
   r.running_max = eng.running_max_load();
   r.total_load = eng.total_load();
+  r.retransmits = inner.network().retransmits();
+  r.dup_suppressed = inner.network().dup_suppressed();
+  r.queued_delay = inner.network().link_queued_delay();
   std::sort(r.ledger.begin(), r.ledger.end(),
             [](const rt::LedgerEntry& a, const rt::LedgerEntry& b) {
               if (a.step != b.step) return a.step < b.step;
@@ -167,6 +177,7 @@ RunRecord run_rt(const Lockstep& su, unsigned workers,
   cfg.params = su.params;
   cfg.latency = su.latency;
   cfg.topology = su.topology;
+  cfg.link = su.link;
   cfg.delay_skew_message = skew_message;
   rt::Runtime run(cfg, model.get());
 
@@ -198,6 +209,9 @@ RunRecord run_rt(const Lockstep& su, unsigned workers,
   r.clamped = run.clamped_transfers();
   r.running_max = run.running_max_load();
   r.total_load = run.total_load();
+  r.retransmits = run.fabric_retransmits();
+  r.dup_suppressed = run.fabric_dup_suppressed();
+  r.queued_delay = run.fabric_queued_delay();
   r.ledger = run.ledger();
   for (const rt::RtPhaseSummary& ps : run.phases()) {
     if (!ps.completed) continue;  // run ended mid-phase
@@ -239,6 +253,9 @@ void expect_equal(const RunRecord& dist_r, const RunRecord& rt_r,
   EXPECT_EQ(dist_r.clamped, rt_r.clamped);
   EXPECT_EQ(dist_r.running_max, rt_r.running_max);
   EXPECT_EQ(dist_r.total_load, rt_r.total_load);
+  EXPECT_EQ(dist_r.retransmits, rt_r.retransmits);
+  EXPECT_EQ(dist_r.dup_suppressed, rt_r.dup_suppressed);
+  EXPECT_EQ(dist_r.queued_delay, rt_r.queued_delay);
 
   ASSERT_EQ(dist_r.ledger.size(), rt_r.ledger.size());
   for (std::size_t i = 0; i < dist_r.ledger.size(); ++i) {
@@ -325,6 +342,68 @@ TEST(RtLatencyTopology, MatchesDistOnHypercube) {
   for (unsigned workers : {1u, 4u}) {
     const RunRecord rt_r = run_rt(su, workers);
     expect_equal(dist_r, rt_r, "hypercube workers=" + std::to_string(workers));
+  }
+}
+
+// Link-model lockstep grid: the same bit-identical equivalence with each of
+// the net::LinkModel knobs live — heterogeneous per-link jitter, per-link
+// bandwidth caps (FIFO queueing) and loss + retransmit. Each test asserts
+// its knob actually bit (nonzero jitter spread / queued delay / retransmit
+// count), so the equivalence is never vacuous.
+TEST(RtLatencyLinks, HeterogeneousJitterMatchesDist) {
+  Lockstep su(128);
+  su.seed = 1;
+  su.latency = 2;
+  su.link.jitter = 3;
+  const RunRecord dist_r = run_dist(su);
+  ASSERT_GT(total_transferred(dist_r), 0u);
+  for (unsigned workers : {1u, 2u, 8u}) {
+    expect_equal(dist_r, run_rt(su, workers),
+                 "jitter workers=" + std::to_string(workers));
+  }
+}
+
+TEST(RtLatencyLinks, BandwidthCapMatchesDist) {
+  Lockstep su(128);
+  su.seed = 2;
+  su.latency = 2;
+  su.link.bandwidth = 1;  // one message per link per step; bursts queue
+  const RunRecord dist_r = run_dist(su);
+  ASSERT_GT(total_transferred(dist_r), 0u);
+  ASSERT_GT(dist_r.queued_delay, 0u) << "the cap never queued anything";
+  for (unsigned workers : {1u, 2u, 8u}) {
+    expect_equal(dist_r, run_rt(su, workers),
+                 "bandwidth workers=" + std::to_string(workers));
+  }
+}
+
+TEST(RtLatencyLinks, LossRetransmitMatchesDist) {
+  Lockstep su(128);
+  su.seed = 1;
+  su.latency = 2;
+  su.link.loss_per_64k = 16384;  // 25% per transmission
+  const RunRecord dist_r = run_dist(su);
+  ASSERT_GT(total_transferred(dist_r), 0u);
+  ASSERT_GT(dist_r.retransmits, 0u) << "the wire never lost anything";
+  for (unsigned workers : {1u, 2u, 8u}) {
+    expect_equal(dist_r, run_rt(su, workers),
+                 "loss workers=" + std::to_string(workers));
+  }
+}
+
+TEST(RtLatencyLinks, AllKnobsTogetherMatchesDist) {
+  Lockstep su(128);
+  su.seed = 2;
+  su.latency = 1;
+  su.steps = 224;  // shaped phases run longer; leave room to quiesce
+  su.link.jitter = 2;
+  su.link.bandwidth = 1;
+  su.link.loss_per_64k = 8192;  // 12.5%
+  const RunRecord dist_r = run_dist(su);
+  ASSERT_GT(total_transferred(dist_r), 0u);
+  for (unsigned workers : {1u, 2u, 8u}) {
+    expect_equal(dist_r, run_rt(su, workers),
+                 "all-knobs workers=" + std::to_string(workers));
   }
 }
 

@@ -26,8 +26,16 @@ Document schema (clb.bench_rt.v1):
               # with --telemetry (and a CLB_TELEMETRY=ON build):
               "utilization_mean": .., "barrier_stall_fraction": ..,
               "queue_imbalance": ..}, ...],
-    "derived": {"<model>.<policy>.speedup_at_max_workers": .., ...}
+    "derived": {"<model>.<policy>.speedup_at_max_workers": .., ...},
+    # with --exp24: the EXP-24 link-model sweep (loss x bandwidth grid)
+    "exp24": [{"loss": .., "bw": .., "phase_duration_mean": ..,
+               "phases": .., "match_pct": .., "forced": ..,
+               "retransmits": .., "dup_suppressed": ..,
+               "queued_delay": ..}, ...]
   }
+
+The exp24 section is optional (schema stays clb.bench_rt.v1); baselines
+recorded without it keep comparing cleanly — --compare only reads "runs".
 
 The >1.5x speedup gate (threshold policy, max vs 1 worker) only arms when
 the host has at least --min-cores-for-gate real cores: worker threads on a
@@ -54,6 +62,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -79,6 +88,17 @@ TELEMETRY_FIELDS = [
     "queue_imbalance",
 ]
 
+# Per-grid-point gauges of the EXP-24 link-model sweep (--exp24).
+EXP24_FIELDS = [
+    "phase_duration_mean",
+    "phases",
+    "match_pct",
+    "forced",
+    "retransmits",
+    "dup_suppressed",
+    "queued_delay",
+]
+
 
 def fail(msg: str) -> "sys.NoReturn":
     print(f"perfbench: FAIL: {msg}", file=sys.stderr)
@@ -98,6 +118,11 @@ def run_bench(bench: str, args: argparse.Namespace, metrics_path: str) -> None:
         "--latencies=",  # EXP-22 sweep is statcheck's domain, skip it here
         f"--metrics-json={metrics_path}",
     ]
+    if args.exp24:
+        # Let bench_rt's default loss x bandwidth grid run (EXP-24).
+        pass
+    else:
+        cmd.append("--link-loss-grid=")  # skip the EXP-24 sweep
     if args.telemetry:
         cmd.append("--telemetry")
     proc = subprocess.run(cmd, stdout=subprocess.PIPE,
@@ -144,7 +169,7 @@ def assemble(gauges: dict, args: argparse.Namespace) -> dict:
                 derived[f"{model}.{policy}.speedup_at_max_workers"] = (
                     peak / base)
 
-    return {
+    doc = {
         "schema": SCHEMA,
         "host": {"hardware_concurrency": hw},
         "config": {
@@ -160,6 +185,21 @@ def assemble(gauges: dict, args: argparse.Namespace) -> dict:
         "runs": runs,
         "derived": derived,
     }
+    if args.exp24:
+        rx = re.compile(r"^exp24\.loss(\d+)\.bw(\d+)\.phase_duration_mean$")
+        points = sorted((int(m.group(1)), int(m.group(2)))
+                        for name in gauges if (m := rx.match(name)))
+        if not points:
+            fail("--exp24 requested but bench_rt emitted no exp24.* gauges")
+        exp24 = []
+        for loss, bw in points:
+            prefix = f"exp24.loss{loss}.bw{bw}."
+            point = {"loss": loss, "bw": bw}
+            for field in EXP24_FIELDS:
+                point[field] = gauges[prefix + field]
+            exp24.append(point)
+        doc["exp24"] = exp24
+    return doc
 
 
 def validate(doc: dict) -> None:
@@ -182,6 +222,14 @@ def validate(doc: dict) -> None:
             fail(f"runs[{i}] has nonsensical throughput/wall time")
     if not isinstance(doc.get("derived"), dict):
         fail("derived missing")
+    if "exp24" in doc:
+        points = doc["exp24"]
+        if not isinstance(points, list) or not points:
+            fail("exp24 present but not a non-empty list")
+        for i, point in enumerate(points):
+            for key in ("loss", "bw", *EXP24_FIELDS):
+                if not isinstance(point.get(key), (int, float)):
+                    fail(f"exp24[{i}].{key} missing or not numeric")
 
 
 def gate(doc: dict, args: argparse.Namespace) -> None:
@@ -271,6 +319,9 @@ def main() -> int:
     ap.add_argument("--telemetry", action="store_true",
                     help="run bench_rt with --telemetry and record "
                          "utilization/stall/imbalance per run")
+    ap.add_argument("--exp24", action="store_true",
+                    help="also run the EXP-24 link-model sweep (loss x "
+                         "bandwidth grid) and record it under 'exp24'")
     ap.add_argument("--n", type=int, default=4096)
     ap.add_argument("--steps", type=int, default=2000)
     ap.add_argument("--spin", type=int, default=64)

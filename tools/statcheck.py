@@ -15,11 +15,16 @@ evaluated against the gauges a bench harness exported:
                        grows linearly with the message latency on real
                        worker threads (the EXP-19 dist/ result), at a held
                        match rate and no forced phase ends.
+  EXP-24 (extension)   the link model on the same fabric: lossy links pay
+                       retransmit RTOs and bandwidth caps pay per-link
+                       queueing — both stretch phase durations while the
+                       match rate holds; lossless uncapped rows pay neither.
 
 Usage (ctest runs this against fixture-generated metrics):
 
   statcheck.py --exp03 exp03.metrics.json --exp07 exp07.metrics.json \\
-               --exp13 exp13.metrics.json --exp22 exp22.metrics.json
+               --exp13 exp13.metrics.json --exp22 exp22.metrics.json \\
+               --exp24 exp24.metrics.json
 
 Every band's limit can be perturbed with --override BAND=VALUE; the
 statcheck_selftest ctest entry uses an absurd override to prove a violated
@@ -72,6 +77,26 @@ DEFAULT_LIMITS = {
     "exp22.match_pct_lo": 60.0,
     # failsafe-forced phase ends                 (measured 0)
     "exp22.forced_hi": 0.0,
+    # EXP-24 (fixture: n=128, lat-steps=512, latency 2, jitter 1,
+    # loss grid 0,4096,16384 /64k, bandwidth grid 0,1):
+    # phases doing heavy work per grid point     (measured 22-25)
+    "exp24.phases_min": 8.0,
+    # heavy-processor match rate, percent        (measured 100)
+    "exp24.match_pct_lo": 60.0,
+    # failsafe-forced phase ends                 (measured 0)
+    "exp24.forced_hi": 0.0,
+    # lossless rows must not retransmit or schedule duplicates (measured 0)
+    "exp24.lossless_retransmits_hi": 0.0,
+    # every lossy row must actually retransmit   (measured 24-119)
+    "exp24.lossy_retransmits_min": 1.0,
+    # uncapped rows must not queue behind links  (measured 0)
+    "exp24.uncapped_queued_hi": 0.0,
+    # every capped row must actually queue       (measured 93-101)
+    "exp24.capped_queued_min": 1.0,
+    # duration(max loss) / duration(lossless), same cap (measured 2.5-2.9)
+    "exp24.loss_duration_ratio_lo": 1.3,
+    # duration(capped) / duration(uncapped), same loss  (measured 1.05-1.24)
+    "exp24.bw_duration_ratio_lo": 1.0,
 }
 
 RESULTS = []
@@ -214,6 +239,72 @@ def check_exp22(g, limit):
           f"{lim:g} * latency ratio {lat_ratio:g} (duration ∝ latency)")
 
 
+def check_exp24(g, limit):
+    rx = re.compile(r"^exp24\.loss(\d+)\.bw(\d+)\.phase_duration_mean$")
+    points = sorted((int(m.group(1)), int(m.group(2)))
+                    for name in g if (m := rx.match(name)))
+    losses = sorted({p[0] for p in points})
+    bws = sorted({p[1] for p in points})
+    if len(losses) < 2 or len(bws) < 2 or 0 not in losses or 0 not in bws:
+        check("exp24.present", False,
+              "need a loss x bandwidth grid including lossless/uncapped "
+              f"rows, found losses={losses or 'none'} bws={bws or 'none'}")
+        return
+    for loss, bw in points:
+        p = f"exp24.loss{loss}.bw{bw}."
+        tag = f"loss={loss}/bw={bw}"
+        lim = limit("exp24.phases_min")
+        phases = g[p + "phases"]
+        check("exp24.phases_min", phases >= lim,
+              f"{tag}: {phases:g} heavy phases >= {lim:g}")
+        lim = limit("exp24.match_pct_lo")
+        match = g[p + "match_pct"]
+        check("exp24.match_pct_lo", match >= lim,
+              f"{tag}: match rate {match:.1f}% >= {lim:g}%")
+        lim = limit("exp24.forced_hi")
+        forced = g[p + "forced"]
+        check("exp24.forced_hi", forced <= lim,
+              f"{tag}: {forced:g} forced phase ends <= {lim:g}")
+        retrans = g[p + "retransmits"]
+        dups = g[p + "dup_suppressed"]
+        queued = g[p + "queued_delay"]
+        if loss == 0:
+            lim = limit("exp24.lossless_retransmits_hi")
+            check("exp24.lossless_retransmits_hi",
+                  retrans <= lim and dups <= lim,
+                  f"{tag}: lossless retransmits {retrans:g} / dups "
+                  f"{dups:g} <= {lim:g}")
+        else:
+            lim = limit("exp24.lossy_retransmits_min")
+            check("exp24.lossy_retransmits_min", retrans >= lim,
+                  f"{tag}: lossy retransmits {retrans:g} >= {lim:g}")
+        if bw == 0:
+            lim = limit("exp24.uncapped_queued_hi")
+            check("exp24.uncapped_queued_hi", queued <= lim,
+                  f"{tag}: uncapped queued delay {queued:g} <= {lim:g}")
+        else:
+            lim = limit("exp24.capped_queued_min")
+            check("exp24.capped_queued_min", queued >= lim,
+                  f"{tag}: capped queued delay {queued:g} >= {lim:g}")
+    hi_loss, hi_bw = max(losses), max(bws)
+    for bw in bws:
+        base = g[f"exp24.loss0.bw{bw}.phase_duration_mean"]
+        dur = g[f"exp24.loss{hi_loss}.bw{bw}.phase_duration_mean"]
+        ratio = dur / max(base, 1e-9)
+        lim = limit("exp24.loss_duration_ratio_lo")
+        check("exp24.loss_duration_ratio_lo", ratio >= lim,
+              f"bw={bw}: duration(loss {hi_loss})/duration(lossless) = "
+              f"{ratio:.2f} >= {lim:g} (retransmit RTOs stretch phases)")
+    for loss in losses:
+        base = g[f"exp24.loss{loss}.bw0.phase_duration_mean"]
+        dur = g[f"exp24.loss{loss}.bw{hi_bw}.phase_duration_mean"]
+        ratio = dur / max(base, 1e-9)
+        lim = limit("exp24.bw_duration_ratio_lo")
+        check("exp24.bw_duration_ratio_lo", ratio >= lim,
+              f"loss={loss}: duration(bw {hi_bw})/duration(uncapped) = "
+              f"{ratio:.2f} >= {lim:g} (link queueing stretches phases)")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Evaluate EXPERIMENTS.md tolerance bands against bench "
@@ -222,6 +313,7 @@ def main():
     ap.add_argument("--exp07", help="bench_expected_requests metrics JSON")
     ap.add_argument("--exp13", help="bench_baselines metrics JSON")
     ap.add_argument("--exp22", help="bench_rt latency-sweep metrics JSON")
+    ap.add_argument("--exp24", help="bench_rt link-model-sweep metrics JSON")
     ap.add_argument("--override", action="append", default=[],
                     metavar="BAND=VALUE",
                     help="perturb a band limit (self-test hook)")
@@ -239,9 +331,10 @@ def main():
     def limit(band):
         return limits[band]
 
-    if not (args.exp03 or args.exp07 or args.exp13 or args.exp22):
-        ap.error("at least one of --exp03/--exp07/--exp13/--exp22 is "
-                 "required")
+    if not (args.exp03 or args.exp07 or args.exp13 or args.exp22 or
+            args.exp24):
+        ap.error("at least one of --exp03/--exp07/--exp13/--exp22/--exp24 "
+                 "is required")
 
     if args.exp03:
         print(f"exp03 bands ({args.exp03}):")
@@ -255,6 +348,9 @@ def main():
     if args.exp22:
         print(f"exp22 bands ({args.exp22}):")
         check_exp22(gauges(args.exp22), limit)
+    if args.exp24:
+        print(f"exp24 bands ({args.exp24}):")
+        check_exp24(gauges(args.exp24), limit)
 
     passed = sum(RESULTS)
     failed = len(RESULTS) - passed
