@@ -9,9 +9,24 @@ int main(int argc, char** argv) {
   const auto n = cli.flag_u64("n", 1 << 13, "processors");
   const auto steps = cli.flag_u64("steps", 1500, "steps per run");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  const auto link_latency = cli.flag_u64(
+      "link-latency", 2, "dist row: message latency over the net:: fabric");
+  const auto link_jitter = cli.flag_u64(
+      "link-jitter", 0, "dist row: per-link extra-delay span");
+  const auto link_bw = cli.flag_u64(
+      "link-bw", 0, "dist row: per-link bandwidth cap (0 = uncapped)");
+  const auto link_loss = cli.flag_u64(
+      "link-loss", 0, "dist row: loss numerator over 65536 (0 = lossless)");
   bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
   smoke.apply();
+
+  // The dist row runs the adversary over the full net:: fabric, so the
+  // O(B/n + T) bound can be re-checked on degraded links.
+  net::NetConfig link;
+  link.jitter = static_cast<std::uint32_t>(*link_jitter);
+  link.bandwidth = static_cast<std::uint32_t>(*link_bw);
+  link.loss_per_64k = static_cast<std::uint32_t>(*link_loss);
 
   util::print_banner("EXP-11  adversarial model: max load vs cap B (§1.2)");
   util::print_note("expect: balanced max ~ O(B/n + T) for every B; "
@@ -31,15 +46,26 @@ int main(int argc, char** argv) {
     ac.p_seed = 0.1;
     ac.cap = cap_per_proc * *n;
 
-    for (const int policy : {0, 1, 2}) {  // 0 none, 1 threshold, 2 +preround
+    // 0 none, 1 threshold, 2 +preround, 3 dist over the net:: fabric
+    for (const int policy : {0, 1, 2, 3}) {
       models::AdversarialModel model(ac, *n);
       std::unique_ptr<core::ThresholdBalancer> balancer;
-      if (policy > 0) {
+      std::unique_ptr<dist::DistThresholdBalancer> dist_balancer;
+      if (policy == 3) {
+        dist_balancer = std::make_unique<dist::DistThresholdBalancer>(
+            dist::DistConfig{.params = params,
+                             .latency =
+                                 static_cast<std::uint32_t>(*link_latency),
+                             .link = link});
+      } else if (policy > 0) {
         balancer = std::make_unique<core::ThresholdBalancer>(
             core::ThresholdBalancerConfig{
                 .params = params, .one_shot_preround = policy == 2});
       }
-      sim::Engine eng({.n = *n, .seed = *seed}, &model, balancer.get());
+      sim::Engine eng({.n = *n, .seed = *seed}, &model,
+                      policy == 3 ? static_cast<sim::Balancer*>(
+                                        dist_balancer.get())
+                                  : balancer.get());
       eng.run(*steps);
       double preround_pct = 0;
       if (balancer) {
@@ -52,9 +78,14 @@ int main(int argc, char** argv) {
       }
       table.row()
           .cell(cap_per_proc)
-          .cell(policy == 0 ? "none"
-                            : (policy == 1 ? "threshold"
-                                           : "threshold+preround"))
+          .cell(policy == 0
+                    ? "none"
+                    : (policy == 1
+                           ? "threshold"
+                           : (policy == 2 ? "threshold+preround"
+                                          : (link.shaped()
+                                                 ? "dist+shaped-link"
+                                                 : "dist"))))
           .cell(eng.running_max_load())
           .cell(static_cast<double>(cap_per_proc + params.T), 0)
           .cell(static_cast<double>(eng.total_load()) /

@@ -31,9 +31,24 @@ int main(int argc, char** argv) {
   const auto n = cli.flag_u64("n", 1 << 12, "processors");
   const auto max_steps = cli.flag_u64("max-steps", 30000, "give-up budget");
   const auto seed = cli.flag_u64("seed", 1, "seed");
+  const auto link_latency =
+      cli.flag_u64("link-latency", 2, "dist column: base message latency");
+  const auto link_jitter = cli.flag_u64(
+      "link-jitter", 0, "dist column: per-link extra-delay span");
+  const auto link_bw = cli.flag_u64(
+      "link-bw", 0, "dist column: per-link bandwidth cap (0 = uncapped)");
+  const auto link_loss = cli.flag_u64(
+      "link-loss", 0, "dist column: loss numerator over 65536 (0 = lossless)");
   bench::SmokeFlag smoke(cli);
   cli.parse(argc, argv);
   smoke.apply();
+
+  // The dist column recovers over the full net:: fabric, so the spike drain
+  // can be re-measured on degraded links (lossy, shaped, jittery).
+  net::NetConfig link;
+  link.jitter = static_cast<std::uint32_t>(*link_jitter);
+  link.bandwidth = static_cast<std::uint32_t>(*link_bw);
+  link.loss_per_64k = static_cast<std::uint32_t>(*link_loss);
 
   const auto params = core::PhaseParams::from_n(*n);
   util::print_banner("EXP-20  steps until max load <= 2T after a spike");
@@ -41,7 +56,10 @@ int main(int argc, char** argv) {
                    "fast); unbalanced drains at eps/step (~10x slower); "
                    "all-in-air recovers instantly at full message cost");
 
-  util::Table table({"spike", "threshold", "dist(latency 2)", "rsu91",
+  const std::string dist_col =
+      "dist(lat " + std::to_string(*link_latency) +
+      (link.shaped() ? ", shaped" : "") + ")";
+  util::Table table({"spike", "threshold", dist_col, "rsu91",
                      "all-in-air", "none", "eps-drain prediction"});
   for (const std::uint64_t spike : {256u, 1024u, 4096u}) {
     std::vector<std::uint64_t> cols;
@@ -55,7 +73,10 @@ int main(int argc, char** argv) {
           break;
         case 1:
           balancer = std::make_unique<dist::DistThresholdBalancer>(
-              dist::DistConfig{.params = params, .latency = 2});
+              dist::DistConfig{.params = params,
+                               .latency =
+                                   static_cast<std::uint32_t>(*link_latency),
+                               .link = link});
           break;
         case 2:
           balancer = std::make_unique<baselines::RsuBalancer>();

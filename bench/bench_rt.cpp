@@ -27,6 +27,14 @@
 // and bandwidth caps serialize each link's sends. The table reports how
 // phase durations stretch with the retransmit/queueing delay while the
 // match rate holds. tools/statcheck.py --exp24 gates the exp24.* gauges.
+//
+// EXP-25 (--workload-grid) — the production workload zoo. Every zoo model
+// (diurnal, flash-crowd, pareto, zipf, hetero) runs deterministically under
+// four policies: unbalanced control, the stale-information shortest-queue
+// baseline, Berenbrink–Kling local search, and the paper's threshold
+// protocol. A crash/recovery pass re-runs the liveness-aware policies with
+// processors dying mid-run. Deterministic mode makes every gauge an exact
+// replayable constant; tools/statcheck.py --exp25 gates the exp25.* bands.
 #include <algorithm>
 #include <cstdint>
 #include <memory>
@@ -40,6 +48,36 @@
 namespace {
 
 using namespace clb;
+
+std::unique_ptr<sim::LoadModel> make_zoo_model(const std::string& name,
+                                               std::uint64_t n) {
+  if (name == "diurnal") {
+    models::DiurnalConfig dc;
+    dc.period = 64;
+    dc.proc_skew = 1.0 / static_cast<double>(n);  // peak sweeps the machine
+    return std::make_unique<models::DiurnalModel>(dc);
+  }
+  if (name == "flash-crowd") {
+    return std::make_unique<models::FlashCrowdModel>(
+        models::FlashCrowdConfig{}, n);
+  }
+  if (name == "pareto") {
+    return std::make_unique<models::ParetoModel>(models::ParetoConfig{});
+  }
+  if (name == "zipf") {
+    models::ZipfConfig zc;
+    zc.rotate_period = 96;  // hot-shard migration
+    return std::make_unique<models::ZipfModel>(zc, n);
+  }
+  return std::make_unique<models::HeteroModel>(models::HeteroConfig{});
+}
+
+rt::RtPolicy zoo_policy_of(const std::string& name) {
+  if (name == "none") return rt::RtPolicy::kNone;
+  if (name == "stale-sq") return rt::RtPolicy::kStaleSq;
+  if (name == "local-search") return rt::RtPolicy::kLocalSearch;
+  return rt::RtPolicy::kThreshold;
+}
 
 std::unique_ptr<sim::LoadModel> make_model(const std::string& name,
                                            std::uint64_t n) {
@@ -106,6 +144,15 @@ int main(int argc, char** argv) {
       "link-jitter", 1, "EXP-24 per-link extra-delay span (heterogeneous)");
   const auto link_latency = cli.flag_u64(
       "link-latency", 2, "EXP-24 base fabric latency");
+  const auto workload_grid = cli.flag_bool(
+      "workload-grid", false,
+      "EXP-25 production workload zoo: every zoo model under the "
+      "unbalanced/stale-SQ/local-search/threshold policies, plus a "
+      "crash/recovery pass (deterministic; statcheck --exp25)");
+  const auto zoo_steps =
+      cli.flag_u64("zoo-steps", 384, "steps per workload-zoo run");
+  const auto zoo_staleness = cli.flag_u64(
+      "zoo-staleness", 8, "stale-SQ broadcast interval in the zoo grid");
   const auto telemetry = cli.flag_bool(
       "telemetry", false,
       "per-worker hot-path telemetry: utilization/stall/imbalance table, "
@@ -126,6 +173,7 @@ int main(int argc, char** argv) {
     cli.override_u64("lat-steps", 192);
     cli.override_str("link-loss-grid", "0,16384");
     cli.override_str("link-bw-grid", "0,1");
+    cli.override_u64("zoo-steps", 128);
   }
 
   obs::Recorder rec(obs_flags.config("bench_rt", argc, argv));
@@ -514,6 +562,113 @@ int main(int argc, char** argv) {
       }
     }
     clb::bench::emit(kt, "rt_3");
+  }
+
+  // ---- EXP-25: the production workload zoo (--workload-grid) ----
+  // Deterministic runs, so every gauge is an exact replayable constant:
+  // each zoo model under the unbalanced control, the stale-information
+  // shortest-queue baseline, Berenbrink–Kling local search, and the paper's
+  // threshold protocol; then a crash/recovery pass over the liveness-aware
+  // policies with two processors dying mid-run.
+  if (*workload_grid) {
+    util::print_banner(
+        "EXP-25  workload zoo: heavy tails, diurnal skew, crash/recovery");
+    util::print_note("expect: the load-oblivious threshold protocol holds "
+                     "max load within a small constant of the informed "
+                     "baselines on every model without load broadcasts; "
+                     "stale-SQ herds onto stale minima; crashes re-home "
+                     "every task (conservation is FATAL-checked)");
+    util::Table zt({"model", "policy", "max load", "final mean", "moved",
+                    "msgs/task", "consumed", "rehomed"});
+    // One zoo run -> one table row + one exp25.<prefix>.* gauge group.
+    // Returns false on an invariant violation (caller aborts the bench).
+    auto zoo_run = [&](const std::string& model_name,
+                       const std::string& policy_name,
+                       const std::vector<core::CrashEvent>& crashes,
+                       const std::string& prefix) -> bool {
+      auto model = make_zoo_model(model_name, *n);
+      rt::RtConfig cfg;
+      cfg.n = *n;
+      cfg.seed = *seed;
+      cfg.workers = static_cast<unsigned>(*lat_workers);
+      cfg.deterministic = true;
+      cfg.policy = zoo_policy_of(policy_name);
+      if (cfg.policy == rt::RtPolicy::kThreshold) {
+        cfg.params = core::PhaseParams::from_n(*n);
+      }
+      cfg.stale.staleness = *zoo_staleness;
+      cfg.crashes = crashes;
+      cfg.trace = rec.trace();
+      rec.trace()->set_time_base(trace_window);
+      trace_window += *zoo_steps + 16;
+      rt::Runtime run(cfg, model.get());
+      run.run(*zoo_steps);
+
+      const double final_mean =
+          static_cast<double>(run.total_load()) / static_cast<double>(*n);
+      const std::uint64_t moved = run.messages().tasks_moved;
+      const double msgs_per_task =
+          run.total_generated() > 0
+              ? static_cast<double>(run.messages().protocol_total()) /
+                    static_cast<double>(run.total_generated())
+              : 0.0;
+
+      zt.row()
+          .cell(model_name)
+          .cell(policy_name)
+          .cell(run.running_max_load())
+          .cell(final_mean, 2)
+          .cell(moved)
+          .cell(msgs_per_task, 4)
+          .cell(run.total_consumed())
+          .cell(run.rehomed_tasks());
+
+      const std::string gp = "exp25." + prefix + ".";
+      rec.metrics().gauge(gp + "max_load") =
+          static_cast<double>(run.running_max_load());
+      rec.metrics().gauge(gp + "final_mean_load") = final_mean;
+      rec.metrics().gauge(gp + "tasks_moved") = static_cast<double>(moved);
+      rec.metrics().gauge(gp + "msgs_per_task") = msgs_per_task;
+      rec.metrics().gauge(gp + "consumed") =
+          static_cast<double>(run.total_consumed());
+      if (!crashes.empty()) {
+        rec.metrics().gauge(gp + "rehomed_tasks") =
+            static_cast<double>(run.rehomed_tasks());
+        rec.metrics().gauge(gp + "rehomed_events") =
+            static_cast<double>(run.rehomed_events());
+      }
+
+      if (!run.conservation_holds()) {
+        std::fprintf(stderr, "FATAL: zoo conservation violated (%s/%s)\n",
+                     model_name.c_str(), policy_name.c_str());
+        return false;
+      }
+      return true;
+    };
+
+    const std::vector<std::string> zoo_model_names = {
+        "diurnal", "flash-crowd", "pareto", "zipf", "hetero"};
+    const std::vector<std::string> zoo_policy_names = {
+        "none", "stale-sq", "local-search", "threshold"};
+    for (const std::string& mn : zoo_model_names) {
+      for (const std::string& pn : zoo_policy_names) {
+        if (!zoo_run(mn, pn, {}, mn + "." + pn)) return 1;
+      }
+    }
+
+    // Crash/recovery pass: the diurnal model under the liveness-aware
+    // policies (the threshold protocol predates liveness; see RtConfig),
+    // two processors dying mid-run and recovering before the end.
+    const std::uint64_t down = std::max<std::uint64_t>(*zoo_steps / 8, 1);
+    const std::vector<core::CrashEvent> zoo_crashes = {
+        {*zoo_steps / 3, static_cast<std::uint32_t>(*n / 3), down},
+        {*zoo_steps / 2, static_cast<std::uint32_t>(2 * *n / 3), down}};
+    for (const std::string& pn : {std::string("none"),
+                                  std::string("stale-sq"),
+                                  std::string("local-search")}) {
+      if (!zoo_run("diurnal", pn, zoo_crashes, "crash." + pn)) return 1;
+    }
+    clb::bench::emit(zt, "rt_4");
   }
 
   if (*telemetry) {

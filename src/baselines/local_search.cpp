@@ -1,0 +1,71 @@
+#include "baselines/local_search.hpp"
+
+#include "rng/dist.hpp"
+#include "rng/philox.hpp"
+#include "util/check.hpp"
+
+namespace clb::baselines {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x6C6F63736561ULL;  // "locsea"
+}  // namespace
+
+std::vector<sim::Transfer> local_search_decisions(
+    std::uint64_t n, std::uint64_t seed, std::uint64_t step,
+    const std::vector<std::uint32_t>& fresh,
+    const std::vector<std::uint8_t>& alive, const LocalSearchConfig& cfg,
+    std::vector<std::uint32_t>* probed) {
+  CLB_DCHECK(fresh.size() == n && alive.size() == n,
+             "local-search: board sizes must match n");
+  std::vector<sim::Transfer> tentative;
+  if (probed != nullptr) probed->clear();
+  if (n < 2) return tentative;
+  for (std::uint64_t p = 0; p < n; ++p) {
+    if (!alive[p] || fresh[p] < cfg.min_load) continue;
+    rng::CounterRng rng(seed, rng::hash_combine(p, kSalt), step);
+    std::uint64_t q = rng::bounded(rng, n - 1);
+    if (q >= p) ++q;  // uniform over the other n-1 processors
+    if (probed != nullptr) probed->push_back(static_cast<std::uint32_t>(p));
+    if (!alive[q]) continue;  // probe into a dead processor: wasted
+    if (fresh[p] <= fresh[q] + 1) continue;
+    const std::uint32_t count = (fresh[p] - fresh[q]) / 2;
+    if (count == 0) continue;
+    tentative.push_back(sim::Transfer{static_cast<std::uint32_t>(p),
+                                      static_cast<std::uint32_t>(q), count});
+  }
+  // Suppress senders that are also receivers (see stale_sq_decisions).
+  std::vector<std::uint8_t> is_receiver(n, 0);
+  for (const sim::Transfer& t : tentative) is_receiver[t.to] = 1;
+  std::vector<sim::Transfer> out;
+  out.reserve(tentative.size());
+  for (const sim::Transfer& t : tentative) {
+    if (!is_receiver[t.from]) out.push_back(t);
+  }
+  return out;  // ascending `from` by construction
+}
+
+LocalSearchBalancer::LocalSearchBalancer(LocalSearchConfig cfg,
+                                         std::uint64_t n,
+                                         const core::LivenessSchedule* liveness)
+    : cfg_(cfg), n_(n), live_(liveness) {
+  CLB_CHECK(n_ >= 1, "local-search: n >= 1");
+  fresh_.resize(n_);
+  alive_.resize(n_);
+}
+
+void LocalSearchBalancer::on_step(sim::Engine& engine) {
+  const std::uint64_t step = engine.step();
+  for (std::uint64_t p = 0; p < n_; ++p) {
+    fresh_[p] = static_cast<std::uint32_t>(engine.load(p));
+    alive_[p] = live_ == nullptr || live_->alive(p, step) ? 1 : 0;
+  }
+  const std::vector<sim::Transfer> ds = local_search_decisions(
+      n_, engine.seed(), step, fresh_, alive_, cfg_, &probed_);
+  engine.mutable_messages().queries += probed_.size();
+  for (const sim::Transfer& d : ds) {
+    engine.schedule_transfer(d.from, d.to, d.count);
+    engine.note_balance_initiation(d.from);
+  }
+}
+
+}  // namespace clb::baselines

@@ -1,0 +1,64 @@
+// Randomized local-search baseline after Berenbrink, Kling et al.
+// (arXiv:1706.09997, "self-stabilizing" balls-into-bins by local search):
+// each step, every processor holding at least `min_load` tasks probes one
+// uniformly random other processor and, if the probe reveals a gap of more
+// than one task, moves half the difference across. No global coordination,
+// no load broadcasts — just pairwise diffusion, the natural successor
+// baseline to the SPAA'98 threshold protocol.
+//
+// Like the stale-SQ baseline, the decision rule is a pure function of
+// (seed, step, fresh loads, aliveness, config) shared verbatim by the
+// serial sim::Balancer and rt::RtPolicy::kLocalSearch, so engine↔rt
+// lockstep bit-identity is provable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/liveness.hpp"
+#include "sim/balancer.hpp"
+#include "sim/engine.hpp"
+
+namespace clb::baselines {
+
+struct LocalSearchConfig {
+  /// A processor probes only when its own load is at least this.
+  std::uint32_t min_load = 2;
+};
+
+/// The shared decision rule. Each alive processor p with
+/// fresh[p] >= min_load draws a partner q uniformly from the other n-1
+/// processors (counter-RNG on (seed, p, step): identical on every path and
+/// worker count); dead partners void the probe. When fresh[p] >
+/// fresh[q] + 1 the tentative move is (fresh[p] - fresh[q]) / 2 tasks.
+/// Tentative senders that are also receivers are suppressed, so the
+/// returned transfers (ascending by sender, one per sender, counts <=
+/// fresh[from]) apply identically in any order with no clamping.
+///
+/// `probed`, when non-null, receives the ids of processors that spent a
+/// probe this step (for message accounting: one query per probe).
+std::vector<sim::Transfer> local_search_decisions(
+    std::uint64_t n, std::uint64_t seed, std::uint64_t step,
+    const std::vector<std::uint32_t>& fresh,
+    const std::vector<std::uint8_t>& alive, const LocalSearchConfig& cfg,
+    std::vector<std::uint32_t>* probed = nullptr);
+
+/// Serial engine-side balancer wrapping the shared rule.
+class LocalSearchBalancer final : public sim::Balancer {
+ public:
+  LocalSearchBalancer(LocalSearchConfig cfg, std::uint64_t n,
+                      const core::LivenessSchedule* liveness = nullptr);
+
+  [[nodiscard]] std::string name() const override { return "local-search"; }
+  void on_step(sim::Engine& engine) override;
+
+ private:
+  LocalSearchConfig cfg_;
+  std::uint64_t n_;
+  const core::LivenessSchedule* live_;
+  std::vector<std::uint32_t> fresh_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<std::uint32_t> probed_;
+};
+
+}  // namespace clb::baselines

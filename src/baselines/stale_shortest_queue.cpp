@@ -1,0 +1,82 @@
+#include "baselines/stale_shortest_queue.hpp"
+
+#include "util/check.hpp"
+
+namespace clb::baselines {
+
+std::vector<sim::Transfer> stale_sq_decisions(
+    std::uint64_t n, const std::vector<std::uint32_t>& fresh,
+    const std::vector<std::uint32_t>& stale,
+    const std::vector<std::uint8_t>& alive, const StaleSqConfig& cfg) {
+  CLB_DCHECK(fresh.size() == n && stale.size() == n && alive.size() == n,
+             "stale-sq: board sizes must match n");
+  // Smallest and second-smallest stale loads among alive processors (the
+  // runner-up serves senders that are themselves the minimum).
+  std::uint64_t min1 = n, min2 = n;
+  for (std::uint64_t q = 0; q < n; ++q) {
+    if (!alive[q]) continue;
+    if (min1 == n || stale[q] < stale[min1]) {
+      min2 = min1;
+      min1 = q;
+    } else if (min2 == n || stale[q] < stale[min2]) {
+      min2 = q;
+    }
+  }
+  std::vector<sim::Transfer> tentative;
+  if (min1 == n) return tentative;  // nobody alive
+  for (std::uint64_t p = 0; p < n; ++p) {
+    if (!alive[p]) continue;
+    const std::uint64_t target = p == min1 ? min2 : min1;
+    if (target == n) continue;  // p is the only alive processor
+    const std::uint32_t own = fresh[p];
+    if (own < stale[target] + cfg.gap) continue;
+    const std::uint32_t count = (own - stale[target]) / 2;
+    if (count == 0) continue;
+    tentative.push_back(sim::Transfer{static_cast<std::uint32_t>(p),
+                                      static_cast<std::uint32_t>(target),
+                                      count});
+  }
+  // Suppress senders that are also receivers: application order must not
+  // matter, and a sender must never ship tasks it just received.
+  std::vector<std::uint8_t> is_receiver(n, 0);
+  for (const sim::Transfer& t : tentative) is_receiver[t.to] = 1;
+  std::vector<sim::Transfer> out;
+  out.reserve(tentative.size());
+  for (const sim::Transfer& t : tentative) {
+    if (!is_receiver[t.from]) out.push_back(t);
+  }
+  return out;  // ascending `from` by construction (p scans upward)
+}
+
+StaleShortestQueue::StaleShortestQueue(StaleSqConfig cfg, std::uint64_t n,
+                                       const core::LivenessSchedule* liveness)
+    : cfg_(cfg), n_(n), live_(liveness) {
+  CLB_CHECK(cfg_.staleness >= 1, "stale-sq: staleness >= 1");
+  CLB_CHECK(n_ >= 1, "stale-sq: n >= 1");
+  fresh_.resize(n_);
+  stale_.assign(n_, 0);
+  alive_.resize(n_);
+}
+
+void StaleShortestQueue::on_reset(sim::Engine&) { stale_.assign(n_, 0); }
+
+void StaleShortestQueue::on_step(sim::Engine& engine) {
+  const std::uint64_t step = engine.step();
+  for (std::uint64_t p = 0; p < n_; ++p) {
+    fresh_[p] = static_cast<std::uint32_t>(engine.load(p));
+    alive_[p] = live_ == nullptr || live_->alive(p, step) ? 1 : 0;
+  }
+  if (step % cfg_.staleness == 0) {
+    stale_ = fresh_;
+    // One load broadcast per processor per refresh.
+    engine.mutable_messages().control += n_;
+  }
+  const std::vector<sim::Transfer> ds =
+      stale_sq_decisions(n_, fresh_, stale_, alive_, cfg_);
+  for (const sim::Transfer& d : ds) {
+    engine.schedule_transfer(d.from, d.to, d.count);
+    engine.note_balance_initiation(d.from);
+  }
+}
+
+}  // namespace clb::baselines

@@ -1,0 +1,74 @@
+// Stale-information shortest-queue baseline (production workload zoo).
+//
+// The production pattern: every `staleness` steps all processors broadcast
+// their loads; between broadcasts everyone routes excess work to whichever
+// processor *looked* shortest at the last broadcast. With staleness 1 this
+// is classic shortest-queue; as staleness grows every overloaded processor
+// herds onto the same stale minimum — the canonical failure mode of
+// load-information balancing, and the foil the threshold protocol's
+// load-oblivious matching is measured against (EXP-25).
+//
+// The decision rule is a *pure function* of (fresh loads, stale loads,
+// aliveness, config), shared verbatim by the serial sim::Balancer below and
+// by rt::RtPolicy::kStaleSq — the property that makes engine↔rt lockstep
+// bit-identity provable for this baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/liveness.hpp"
+#include "sim/balancer.hpp"
+#include "sim/engine.hpp"
+
+namespace clb::baselines {
+
+struct StaleSqConfig {
+  /// Steps between load broadcasts (1 = always-fresh shortest queue).
+  std::uint64_t staleness = 8;
+  /// Minimum excess (own load - stale minimum) before a processor acts.
+  std::uint32_t gap = 2;
+};
+
+/// The shared decision rule. Every processor p (alive, with fresh load
+/// `fresh[p]` — a processor always knows its *own* load exactly) targets the
+/// alive processor with the smallest *stale* load (ties to the smallest
+/// index; self excluded) and, when fresh[p] >= stale[target] + gap, offers
+/// (fresh[p] - stale[target]) / 2 tasks.
+///
+/// Returned transfers are sorted ascending by sender with at most one per
+/// sender, no sender that is also a receiver, and counts <= fresh[from] —
+/// so engine-side application never clamps and rt-side send-time pops see
+/// exactly the loads the decision assumed, independent of application
+/// order.
+std::vector<sim::Transfer> stale_sq_decisions(
+    std::uint64_t n, const std::vector<std::uint32_t>& fresh,
+    const std::vector<std::uint32_t>& stale,
+    const std::vector<std::uint8_t>& alive, const StaleSqConfig& cfg);
+
+/// Serial engine-side balancer: keeps the stale board, refreshes it on
+/// broadcast steps (booking n control messages), and schedules the shared
+/// decisions.
+class StaleShortestQueue final : public sim::Balancer {
+ public:
+  StaleShortestQueue(StaleSqConfig cfg, std::uint64_t n,
+                     const core::LivenessSchedule* liveness = nullptr);
+
+  [[nodiscard]] std::string name() const override { return "stale-sq"; }
+  void on_step(sim::Engine& engine) override;
+  void on_reset(sim::Engine& engine) override;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& stale_board() const {
+    return stale_;
+  }
+
+ private:
+  StaleSqConfig cfg_;
+  std::uint64_t n_;
+  const core::LivenessSchedule* live_;
+  std::vector<std::uint32_t> fresh_;
+  std::vector<std::uint32_t> stale_;
+  std::vector<std::uint8_t> alive_;
+};
+
+}  // namespace clb::baselines

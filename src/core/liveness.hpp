@@ -1,0 +1,125 @@
+// Processor liveness: a crash/recovery schedule shared by the serial engine
+// and the concurrent runtime.
+//
+// Crashes are *configuration*, not randomness: the schedule is a pure
+// function of the event list, so the engine, the runtime (any worker
+// count), and the oracle's shadow all agree on which processors are down
+// at which steps and where an orphaned queue is re-homed — the property
+// that keeps lockstep bit-identity intact across a crash.
+//
+// Semantics: a processor crashed at `step` is dead for steps
+// [step, step + down_steps). At the *start* of the crash step — before any
+// generation or balancing that step — its entire queue is re-homed, in FIFO
+// order, onto the nearest alive processor scanning cyclically upward from
+// crashed+1. While dead it generates and consumes nothing and balancers
+// must neither pick it as a sender nor as a receiver. At step
+// step + down_steps it resumes with an empty queue.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace clb::core {
+
+/// One crash event. `down_steps` == 0 events are ignored.
+struct CrashEvent {
+  std::uint64_t step = 0;
+  std::uint32_t proc = 0;
+  std::uint64_t down_steps = 1;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+/// Normalised, validated crash schedule. Construction drops events that
+/// cannot be honoured (out-of-range processor, re-crash of an already-dead
+/// processor, or a crash that would leave zero alive processors at any
+/// covered step); what remains is sorted by (step, proc) and every query is
+/// a pure function of it.
+class LivenessSchedule {
+ public:
+  LivenessSchedule() = default;
+
+  LivenessSchedule(std::uint64_t n, std::vector<CrashEvent> events) : n_(n) {
+    CLB_CHECK(n_ >= 1, "liveness schedule needs at least one processor");
+    std::sort(events.begin(), events.end(),
+              [](const CrashEvent& a, const CrashEvent& b) {
+                if (a.step != b.step) return a.step < b.step;
+                return a.proc < b.proc;
+              });
+    for (const CrashEvent& ev : events) {
+      if (ev.proc >= n_ || ev.down_steps == 0) continue;
+      if (ev.down_steps > kMaxDownSteps) continue;
+      if (!alive(ev.proc, ev.step)) continue;  // already down: ignore
+      bool ok = true;
+      for (std::uint64_t s = ev.step; s < ev.step + ev.down_steps; ++s) {
+        std::uint64_t down = 1;  // ev itself
+        for (const CrashEvent& e : events_) {
+          if (s >= e.step && s < e.step + e.down_steps) ++down;
+        }
+        if (down >= n_) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) events_.push_back(ev);
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const std::vector<CrashEvent>& events() const {
+    return events_;
+  }
+
+  [[nodiscard]] bool alive(std::uint64_t p, std::uint64_t step) const {
+    for (const CrashEvent& ev : events_) {
+      if (ev.proc == p && step >= ev.step && step < ev.step + ev.down_steps) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True iff at least one accepted event fires exactly at `step`.
+  [[nodiscard]] bool crash_step(std::uint64_t step) const {
+    for (const CrashEvent& ev : events_) {
+      if (ev.step == step) return true;
+    }
+    return false;
+  }
+
+  /// Processors that crash exactly at `step`, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> crashes_at(
+      std::uint64_t step) const {
+    std::vector<std::uint32_t> out;
+    for (const CrashEvent& ev : events_) {
+      if (ev.step == step) out.push_back(ev.proc);
+    }
+    return out;  // events_ is (step, proc)-sorted, so this is ascending
+  }
+
+  /// Re-home target for a queue orphaned at `step`: the first processor
+  /// alive at `step`, scanning cyclically upward from crashed+1.
+  /// Construction guarantees one exists.
+  [[nodiscard]] std::uint32_t rehome_target(std::uint32_t crashed,
+                                            std::uint64_t step) const {
+    for (std::uint64_t k = 1; k < n_; ++k) {
+      const auto q = static_cast<std::uint32_t>((crashed + k) % n_);
+      if (alive(q, step)) return q;
+    }
+    CLB_CHECK(false, "no alive processor to re-home to");
+    return crashed;
+  }
+
+ private:
+  /// Cap on a single event's outage length; bounds construction cost and is
+  /// far beyond any scenario or bench schedule.
+  static constexpr std::uint64_t kMaxDownSteps = 1ULL << 16;
+
+  std::uint64_t n_ = 0;
+  std::vector<CrashEvent> events_;
+};
+
+}  // namespace clb::core

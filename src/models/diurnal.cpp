@@ -1,0 +1,49 @@
+#include "models/diurnal.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "rng/philox.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x646975726E6CULL;  // "diurnl"
+}  // namespace
+
+DiurnalModel::DiurnalModel(DiurnalConfig cfg)
+    : cfg_(cfg), consume_(cfg.p_consume) {
+  CLB_CHECK(cfg_.period >= 2, "diurnal: period >= 2");
+  CLB_CHECK(cfg_.p_trough >= 0.0 && cfg_.p_peak <= 1.0 &&
+                cfg_.p_trough <= cfg_.p_peak,
+            "diurnal: 0 <= p_trough <= p_peak <= 1");
+}
+
+double DiurnalModel::rate_at(std::uint64_t proc, std::uint64_t step) const {
+  const double pos =
+      static_cast<double>(step % cfg_.period) /
+          static_cast<double>(cfg_.period) +
+      cfg_.proc_skew * static_cast<double>(proc);
+  const double wave =
+      0.5 * (1.0 + std::sin(2.0 * std::numbers::pi * pos));
+  return cfg_.p_trough + (cfg_.p_peak - cfg_.p_trough) * wave;
+}
+
+sim::StepAction DiurnalModel::step_action(std::uint64_t seed,
+                                          std::uint64_t proc,
+                                          std::uint64_t step, std::uint64_t,
+                                          std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kSalt), step);
+  sim::StepAction act;
+  act.generate = rng::uniform01(rng) < rate_at(proc, step) ? 1 : 0;
+  act.consume = consume_(rng) ? 1 : 0;
+  return act;
+}
+
+double DiurnalModel::expected_load_per_processor() const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace clb::models

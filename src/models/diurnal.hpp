@@ -1,0 +1,45 @@
+// Diurnal arrival model (production workload zoo): generation probability
+// follows a sinusoidal day/night cycle — the load shape of user-facing
+// services. Optionally each processor's cycle is phase-shifted by its index
+// (time zones), so the "day" sweeps across the machine instead of hitting
+// every processor at once.
+#pragma once
+
+#include "rng/dist.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+struct DiurnalConfig {
+  double p_peak = 0.7;     // generation probability at the top of the cycle
+  double p_trough = 0.05;  // generation probability at the bottom
+  double p_consume = 0.4;  // consumption probability (flat)
+  std::uint64_t period = 64;  // cycle length in steps
+  /// Per-processor phase shift as a fraction of the period per processor
+  /// index (0 = every processor peaks together; 1.0/n = the peak sweeps the
+  /// machine exactly once per period).
+  double proc_skew = 0.0;
+};
+
+class DiurnalModel final : public sim::LoadModel {
+ public:
+  explicit DiurnalModel(DiurnalConfig cfg);
+
+  [[nodiscard]] std::string name() const override { return "diurnal"; }
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  /// Instantaneous generation probability (exposed for tests; periodic in
+  /// `step` with period cfg.period).
+  [[nodiscard]] double rate_at(std::uint64_t proc, std::uint64_t step) const;
+
+ private:
+  DiurnalConfig cfg_;
+  rng::BernoulliDraw consume_;
+};
+
+}  // namespace clb::models

@@ -1,0 +1,77 @@
+#include "models/flash_crowd.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "rng/philox.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x666C617368ULL;     // "flash" (per proc-step)
+constexpr std::uint64_t kEvtSalt = 0x666C657674ULL;  // "flevt" (per window)
+}  // namespace
+
+FlashCrowdModel::FlashCrowdModel(FlashCrowdConfig cfg, std::uint64_t n)
+    : cfg_(cfg), n_(n), base_(cfg.p_base), consume_(cfg.p_consume) {
+  CLB_CHECK(cfg_.flash_len >= 1 && cfg_.flash_len <= cfg_.interval,
+            "flash-crowd: 1 <= flash_len <= interval");
+  CLB_CHECK(cfg_.hot_fraction > 0.0 && cfg_.hot_fraction <= 1.0,
+            "flash-crowd: hot_fraction in (0,1]");
+  CLB_CHECK(cfg_.peak_rate >= 1, "flash-crowd: peak_rate >= 1");
+  hot_count_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(
+             cfg_.hot_fraction * static_cast<double>(n))));
+}
+
+std::pair<std::uint64_t, std::uint64_t> FlashCrowdModel::window_draws(
+    std::uint64_t seed, std::uint64_t window) const {
+  rng::CounterRng rng(seed, kEvtSalt, window);
+  const std::uint64_t offset =
+      rng::bounded(rng, cfg_.interval - cfg_.flash_len + 1);
+  const std::uint64_t start = rng::bounded(rng, n_);
+  return {offset, start};
+}
+
+std::int64_t FlashCrowdModel::flash_pos(std::uint64_t seed,
+                                        std::uint64_t step) const {
+  const auto [offset, start] = window_draws(seed, step / cfg_.interval);
+  (void)start;
+  const std::uint64_t in = step % cfg_.interval;
+  if (in < offset || in >= offset + cfg_.flash_len) return -1;
+  return static_cast<std::int64_t>(in - offset);
+}
+
+bool FlashCrowdModel::is_hot(std::uint64_t seed, std::uint64_t proc,
+                             std::uint64_t step) const {
+  if (flash_pos(seed, step) < 0) return false;
+  const auto [offset, start] = window_draws(seed, step / cfg_.interval);
+  (void)offset;
+  return (proc + n_ - start) % n_ < hot_count_;
+}
+
+sim::StepAction FlashCrowdModel::step_action(std::uint64_t seed,
+                                             std::uint64_t proc,
+                                             std::uint64_t step,
+                                             std::uint64_t, std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kSalt), step);
+  sim::StepAction act;
+  const std::int64_t pos = flash_pos(seed, step);
+  if (pos >= 0 && is_hot(seed, proc, step)) {
+    // Geometric decay over the event: peak, peak/2, peak/4, ... (min 1).
+    act.generate =
+        std::max<std::uint32_t>(1, cfg_.peak_rate >> static_cast<int>(pos));
+    (void)rng();  // keep the consume lane aligned with the cold path
+  } else {
+    act.generate = base_(rng) ? 1 : 0;
+  }
+  act.consume = consume_(rng) ? 1 : 0;
+  return act;
+}
+
+double FlashCrowdModel::expected_load_per_processor() const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace clb::models

@@ -1,0 +1,55 @@
+// Flash-crowd arrival model (production workload zoo): a baseline trickle
+// everywhere, plus seeded flash events — once per `interval`-step window, at
+// a random offset, a random contiguous group of processors generates a burst
+// whose rate decays geometrically over the event. Unlike BurstModel the
+// event timing and placement are random (counter-RNG on the window index),
+// so neither a balancer nor a band can anticipate the spike.
+#pragma once
+
+#include "rng/dist.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+struct FlashCrowdConfig {
+  double p_base = 0.15;        // baseline generation probability
+  double p_consume = 0.5;      // consumption probability
+  std::uint64_t interval = 48; // window length; one flash event per window
+  std::uint64_t flash_len = 6; // flash duration in steps
+  double hot_fraction = 0.15;  // fraction of processors hit by a flash
+  std::uint32_t peak_rate = 8; // generation at flash onset; halves each step
+};
+
+class FlashCrowdModel final : public sim::LoadModel {
+ public:
+  FlashCrowdModel(FlashCrowdConfig cfg, std::uint64_t n);
+
+  [[nodiscard]] std::string name() const override { return "flash-crowd"; }
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  /// Position of `step` within its window's flash event, or -1 when the
+  /// event is not active at `step` (exposed for tests).
+  [[nodiscard]] std::int64_t flash_pos(std::uint64_t seed,
+                                       std::uint64_t step) const;
+  /// True iff `proc` is in the flash group and the event is active.
+  [[nodiscard]] bool is_hot(std::uint64_t seed, std::uint64_t proc,
+                            std::uint64_t step) const;
+
+ private:
+  /// Window-level draws: (event offset within window, hot-group start).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> window_draws(
+      std::uint64_t seed, std::uint64_t window) const;
+
+  FlashCrowdConfig cfg_;
+  std::uint64_t n_;
+  std::uint64_t hot_count_;
+  rng::BernoulliDraw base_;
+  rng::BernoulliDraw consume_;
+};
+
+}  // namespace clb::models

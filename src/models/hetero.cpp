@@ -1,0 +1,48 @@
+#include "models/hetero.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "rng/philox.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x686574657267ULL;     // "heterg" (per step)
+constexpr std::uint64_t kClassSalt = 0x686574636CULL;  // "hetcl" (per proc)
+}  // namespace
+
+HeteroModel::HeteroModel(HeteroConfig cfg) : cfg_(cfg), gen_(cfg.p_gen) {
+  CLB_CHECK(cfg_.speed_classes >= 1 && cfg_.speed_classes <= 16,
+            "hetero: speed_classes in [1,16]");
+  CLB_CHECK(cfg_.base_consume > 0.0, "hetero: base_consume > 0");
+  consume_by_class_.reserve(cfg_.speed_classes);
+  for (std::uint32_t k = 0; k < cfg_.speed_classes; ++k) {
+    consume_by_class_.emplace_back(
+        std::min(1.0, cfg_.base_consume * static_cast<double>(k + 1)));
+  }
+}
+
+std::uint32_t HeteroModel::speed_class(std::uint64_t seed,
+                                       std::uint64_t proc) const {
+  rng::CounterRng rng(seed, kClassSalt, proc);
+  return static_cast<std::uint32_t>(rng::bounded(rng, cfg_.speed_classes));
+}
+
+sim::StepAction HeteroModel::step_action(std::uint64_t seed,
+                                         std::uint64_t proc,
+                                         std::uint64_t step, std::uint64_t,
+                                         std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kSalt), step);
+  sim::StepAction act;
+  act.generate = gen_(rng) ? 1 : 0;
+  act.consume = consume_by_class_[speed_class(seed, proc)](rng) ? 1 : 0;
+  return act;
+}
+
+double HeteroModel::expected_load_per_processor() const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace clb::models

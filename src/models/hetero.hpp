@@ -1,0 +1,45 @@
+// Heterogeneous processor speeds (production workload zoo): arrivals are
+// uniform but each processor belongs to a seeded speed class and consumes
+// at a class-scaled rate — slow machines in a mixed fleet accumulate load
+// even under balanced arrivals, which is exactly the imbalance a
+// load-oblivious protocol cannot see coming.
+#pragma once
+
+#include <vector>
+
+#include "rng/dist.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+struct HeteroConfig {
+  double p_gen = 0.35;           // generation probability (uniform)
+  std::uint32_t speed_classes = 3;  // classes 0..speed_classes-1
+  /// Class k consumes with probability min(1, base_consume * (k+1)): class 0
+  /// is the slowest, the top class the fastest.
+  double base_consume = 0.2;
+};
+
+class HeteroModel final : public sim::LoadModel {
+ public:
+  explicit HeteroModel(HeteroConfig cfg);
+
+  [[nodiscard]] std::string name() const override { return "hetero"; }
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  /// Seeded, step-invariant speed class of `proc` (exposed for tests).
+  [[nodiscard]] std::uint32_t speed_class(std::uint64_t seed,
+                                          std::uint64_t proc) const;
+
+ private:
+  HeteroConfig cfg_;
+  rng::BernoulliDraw gen_;
+  std::vector<rng::BernoulliDraw> consume_by_class_;
+};
+
+}  // namespace clb::models

@@ -1,0 +1,47 @@
+#include "models/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rng/philox.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x706172657464ULL;  // "paretd"
+}  // namespace
+
+ParetoModel::ParetoModel(ParetoConfig cfg)
+    : cfg_(cfg), arrival_(cfg.p_arrival), consume_(cfg.p_consume) {
+  CLB_CHECK(cfg_.alpha > 0.0, "pareto: alpha > 0");
+  CLB_CHECK(cfg_.xm >= 1.0, "pareto: xm >= 1");
+  CLB_CHECK(cfg_.cap >= 1, "pareto: cap >= 1");
+}
+
+std::uint32_t ParetoModel::job_size(double u) const {
+  const double x = cfg_.xm * std::pow(1.0 - u, -1.0 / cfg_.alpha);
+  if (!(x < static_cast<double>(cfg_.cap))) return cfg_.cap;
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(x));
+}
+
+sim::StepAction ParetoModel::step_action(std::uint64_t seed,
+                                         std::uint64_t proc,
+                                         std::uint64_t step, std::uint64_t,
+                                         std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kSalt), step);
+  sim::StepAction act;
+  const bool arrive = arrival_(rng);
+  const double u = rng::uniform01(rng);  // drawn on both paths: lane stays
+                                         // aligned whether a job arrives
+  if (arrive) act.generate = job_size(u);
+  act.consume = consume_(rng) ? 1 : 0;
+  return act;
+}
+
+double ParetoModel::expected_load_per_processor() const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace clb::models

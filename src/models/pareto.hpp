@@ -1,0 +1,45 @@
+// Heavy-tailed (Pareto) service-time model (production workload zoo): jobs
+// arrive as a Bernoulli process per processor-step, and each job is a batch
+// of `size` unit tasks with size drawn from a truncated Pareto(alpha, xm) —
+// a job of size S occupies roughly S consumption steps, so batch size *is*
+// service time in the unit-task machinery. alpha in (1, 2] gives the
+// finite-mean / infinite-variance regime production traces show ("elephants
+// and mice"): most jobs are minimal, rare jobs are `cap`-sized.
+#pragma once
+
+#include "rng/dist.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+struct ParetoConfig {
+  double p_arrival = 0.08;  // job arrival probability per processor-step
+  double alpha = 1.5;       // tail index (smaller = heavier tail)
+  double xm = 1.0;          // scale: minimum job size
+  std::uint32_t cap = 64;   // truncation: largest job size
+  double p_consume = 0.6;   // consumption probability
+};
+
+class ParetoModel final : public sim::LoadModel {
+ public:
+  explicit ParetoModel(ParetoConfig cfg);
+
+  [[nodiscard]] std::string name() const override { return "pareto"; }
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  /// Inverse-CDF job size for uniform u in [0,1) (exposed for tests:
+  /// x = xm * (1-u)^(-1/alpha), floored, clamped to [1, cap]).
+  [[nodiscard]] std::uint32_t job_size(double u) const;
+
+ private:
+  ParetoConfig cfg_;
+  rng::BernoulliDraw arrival_;
+  rng::BernoulliDraw consume_;
+};
+
+}  // namespace clb::models

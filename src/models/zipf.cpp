@@ -1,0 +1,58 @@
+#include "models/zipf.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "rng/philox.hpp"
+#include "util/check.hpp"
+
+namespace clb::models {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x7A697066676EULL;  // "zipfgn"
+}  // namespace
+
+ZipfModel::ZipfModel(ZipfConfig cfg, std::uint64_t n)
+    : cfg_(cfg), n_(n), consume_(cfg.p_consume) {
+  CLB_CHECK(n_ >= 1, "zipf: n >= 1");
+  CLB_CHECK(cfg_.s > 0.0, "zipf: s > 0");
+  CLB_CHECK(cfg_.mean_rate >= 0.0, "zipf: mean_rate >= 0");
+  weight_.resize(n_);
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < n_; ++r) {
+    weight_[r] = std::pow(static_cast<double>(r + 1), -cfg_.s);
+    total += weight_[r];
+  }
+  for (double& w : weight_) w /= total;
+}
+
+std::uint64_t ZipfModel::rank_of(std::uint64_t proc,
+                                 std::uint64_t step) const {
+  const std::uint64_t rot =
+      cfg_.rotate_period == 0 ? 0 : (step / cfg_.rotate_period) % n_;
+  return (proc + rot) % n_;
+}
+
+double ZipfModel::rate_for(std::uint64_t proc, std::uint64_t step) const {
+  return cfg_.mean_rate * static_cast<double>(n_) *
+         weight_[rank_of(proc, step)];
+}
+
+sim::StepAction ZipfModel::step_action(std::uint64_t seed, std::uint64_t proc,
+                                       std::uint64_t step, std::uint64_t,
+                                       std::uint64_t) {
+  rng::CounterRng rng(seed, rng::hash_combine(proc, kSalt), step);
+  sim::StepAction act;
+  const double rate = rate_for(proc, step);
+  const double whole = std::floor(rate);
+  act.generate = static_cast<std::uint32_t>(whole) +
+                 (rng::uniform01(rng) < rate - whole ? 1 : 0);
+  act.consume = consume_(rng) ? 1 : 0;
+  return act;
+}
+
+double ZipfModel::expected_load_per_processor() const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace clb::models

@@ -1,0 +1,48 @@
+// Zipfian-skewed placement model (production workload zoo): total arrival
+// volume is spread over processors proportionally to a Zipf(s) law over
+// ranks — rank 0 takes the lion's share, the tail almost nothing — the
+// skew of key-partitioned workloads (hot shards). Optionally the rank
+// assignment rotates every `rotate_period` steps (hot key migration).
+#pragma once
+
+#include <vector>
+
+#include "rng/dist.hpp"
+#include "sim/model.hpp"
+
+namespace clb::models {
+
+struct ZipfConfig {
+  double s = 1.2;           // Zipf exponent (larger = more skew)
+  double mean_rate = 0.3;   // average tasks per processor-step, machine-wide
+  double p_consume = 0.5;   // consumption probability
+  std::uint64_t rotate_period = 0;  // steps between rank rotations; 0 = static
+};
+
+class ZipfModel final : public sim::LoadModel {
+ public:
+  ZipfModel(ZipfConfig cfg, std::uint64_t n);
+
+  [[nodiscard]] std::string name() const override { return "zipf"; }
+
+  sim::StepAction step_action(std::uint64_t seed, std::uint64_t proc,
+                              std::uint64_t step, std::uint64_t load,
+                              std::uint64_t system_load) override;
+
+  [[nodiscard]] double expected_load_per_processor() const override;
+
+  /// Zipf rank of `proc` at `step` (0 = hottest).
+  [[nodiscard]] std::uint64_t rank_of(std::uint64_t proc,
+                                      std::uint64_t step) const;
+  /// Expected tasks per step for `proc` at `step` (exposed for tests; sums
+  /// to mean_rate * n over the machine).
+  [[nodiscard]] double rate_for(std::uint64_t proc, std::uint64_t step) const;
+
+ private:
+  ZipfConfig cfg_;
+  std::uint64_t n_;
+  std::vector<double> weight_;  // (rank+1)^-s, normalised to sum 1
+  rng::BernoulliDraw consume_;
+};
+
+}  // namespace clb::models

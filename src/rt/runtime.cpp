@@ -60,6 +60,8 @@ const char* policy_name(RtPolicy p) {
     case RtPolicy::kNone: return "none";
     case RtPolicy::kThreshold: return "threshold";
     case RtPolicy::kAllInAir: return "all-in-air";
+    case RtPolicy::kStaleSq: return "stale-sq";
+    case RtPolicy::kLocalSearch: return "local-search";
   }
   return "?";
 }
@@ -273,6 +275,31 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
               "link mutations require the latency fabric (latency >= 1)");
   }
 
+  const bool zoo = cfg_.policy == RtPolicy::kStaleSq ||
+                   cfg_.policy == RtPolicy::kLocalSearch;
+  if (zoo) {
+    CLB_CHECK(cfg_.latency == 0,
+              "workload-zoo policies run on the instant fabric only");
+    if (cfg_.policy == RtPolicy::kStaleSq) {
+      CLB_CHECK(cfg_.stale.staleness >= 1, "stale-sq: staleness must be >= 1");
+    }
+    board_.resize(cfg_.n, 0);
+    stale_board_.resize(cfg_.n, 0);
+    alive_board_.resize(cfg_.n, 1);
+  }
+  CLB_CHECK(!cfg_.stale_read_fresh || cfg_.policy == RtPolicy::kStaleSq,
+            "stale_read_fresh mutates the stale-sq policy only");
+  if (!cfg_.crashes.empty()) {
+    CLB_CHECK(cfg_.policy == RtPolicy::kNone || zoo,
+              "a crash schedule requires a liveness-aware policy "
+              "(none, stale-sq or local-search)");
+    CLB_CHECK(cfg_.latency == 0,
+              "crash/recovery runs on the instant fabric only");
+    liveness_ = core::LivenessSchedule(cfg_.n, cfg_.crashes);
+  }
+  CLB_CHECK(!cfg_.crash_lose_queue || !cfg_.crashes.empty(),
+            "crash_lose_queue needs a crash schedule");
+
   procs_.resize(cfg_.n);
   chunk_ = cfg_.n / w;
   extra_ = cfg_.n % w;
@@ -424,10 +451,56 @@ void Runtime::drain(Worker& w, std::vector<Message*>& out) {
 #endif
 }
 
+void Runtime::drain_collect(Worker& w, std::vector<Message*>& out) {
+  out.clear();
+  std::uint64_t batch = 0;
+  while (Message* m = w.inbox.pop()) {
+    ++batch;
+    out.push_back(m);
+  }
+#if CLB_TELEMETRY_ENABLED
+  if (telemetry_) {
+    ++w.telem.drains;
+    w.telem.deq += batch;
+    w.telem.drain_batch_hist.add(batch);
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kMailboxDrain, w.cur_step, 0, 0,
+                    batch);
+  }
+#endif
+}
+
+void Runtime::process_crashes(Worker& w, std::uint64_t step) {
+  if (liveness_.empty() || !liveness_.crash_step(step)) return;
+  // Without the entry barrier a fast worker could already be generating
+  // into this step's queues while the leader moves them; the exit barrier
+  // publishes the moves before anyone reads the re-homed queues.
+  barrier(w);
+  if (w.index == 0) {
+    for (const std::uint32_t c : liveness_.crashes_at(step)) {
+      RtProcessor& src = procs_[c];
+      if (cfg_.crash_lose_queue) {
+        // Mutation: the orphaned queue vanishes, booked nowhere — the
+        // conservation oracle's job to notice.
+        crash_lost_tasks_ += src.queue.size();
+        src.queue.clear();
+        continue;
+      }
+      RtProcessor& dst = procs_[liveness_.rehome_target(c, step)];
+      while (!src.queue.empty()) {
+        dst.queue.push_back(src.queue.front());
+        src.queue.pop_front();
+        ++rehomed_tasks_;
+      }
+      ++rehomed_events_;
+    }
+  }
+  barrier(w);
+}
+
 void Runtime::send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
-                            std::uint32_t partner, std::uint64_t ordinal) {
+                            std::uint32_t partner, std::uint64_t ordinal,
+                            std::uint64_t count) {
   RtProcessor& src = procs_[root];
-  std::uint64_t count = cfg_.params.transfer_amount;
   if (count == 0) return;
   if (count > src.queue.size()) {
     count = src.queue.size();
@@ -482,7 +555,8 @@ void Runtime::apply_staged_transfers(Worker& w, std::uint64_t step,
             });
   std::uint64_t k = 0;
   for (const StagedTransfer& st : w.staged) {
-    send_transfer(w, step, st.from, st.to, base + (++k));
+    send_transfer(w, step, st.from, st.to, base + (++k),
+                  cfg_.params.transfer_amount);
   }
   w.staged.clear();
   w.transfer_seen += total;
@@ -501,9 +575,13 @@ void Runtime::step_once(Worker& w, std::uint64_t step) {
   // the telemetry struct once per step below.
   std::uint64_t gen_total = 0, cons_total = 0;
 
+  // ---- crash re-home (mirrors Engine::process_crashes) ----
+  process_crashes(w, step);
+
   // ---- generate / consume (mirrors Engine::generate_consume_block) ----
   const std::uint64_t system_load = w.sys_load;
   for (std::uint64_t p = w.begin; p < w.end; ++p) {
+    if (!liveness_.empty() && !liveness_.alive(p, step)) continue;
     RtProcessor& proc = procs_[p];
     const sim::StepAction act = model_->step_action(
         cfg_.seed, p, step, proc.queue.size(), system_load);
@@ -542,6 +620,9 @@ void Runtime::step_once(Worker& w, std::uint64_t step) {
              step % air_interval_ == 0) {
     run_scatter(w, step);
     scattered = w.scatter_count;
+  } else if (cfg_.policy == RtPolicy::kStaleSq ||
+             cfg_.policy == RtPolicy::kLocalSearch) {
+    run_zoo(w, step);
   }
 
   // ---- end-of-step load reduction (the engine's refresh_load_aggregates) --
@@ -682,6 +763,82 @@ void Runtime::run_scatter(Worker& w, std::uint64_t step) {
   // step_once folds scatter_count into the end-of-step slot publication so
   // the leader can count the one global balancing action.
   w.scatter_count = scattered;
+}
+
+void Runtime::run_zoo(Worker& w, std::uint64_t step) {
+  // Publish the fresh shard board: post-generation loads and liveness,
+  // disjoint writes sealed by the barrier.
+  for (std::uint64_t p = w.begin; p < w.end; ++p) {
+    board_[p] = static_cast<std::uint32_t>(procs_[p].queue.size());
+    alive_board_[p] = liveness_.alive(p, step) ? 1 : 0;
+  }
+  barrier(w);
+  if (cfg_.policy == RtPolicy::kStaleSq &&
+      step % cfg_.stale.staleness == 0) {
+    // Broadcast step: refresh own shard of the stale board; the leader
+    // books the n control messages, as the serial balancer does. Every
+    // worker takes this branch or none does, so the barrier count matches.
+    std::copy(board_.begin() + static_cast<std::ptrdiff_t>(w.begin),
+              board_.begin() + static_cast<std::ptrdiff_t>(w.end),
+              stale_board_.begin() + static_cast<std::ptrdiff_t>(w.begin));
+    if (w.index == 0) w.msg.control += cfg_.n;
+    barrier(w);
+  }
+
+  // Replicated decisions: every worker evaluates the same pure rule on the
+  // same sealed boards, so the list — and the canonical ascending-sender
+  // transfer numbering derived from it — is identical everywhere with no
+  // leader scan.
+  std::vector<sim::Transfer> ds;
+  if (cfg_.policy == RtPolicy::kStaleSq) {
+    ds = baselines::stale_sq_decisions(
+        cfg_.n, board_, cfg_.stale_read_fresh ? board_ : stale_board_,
+        alive_board_, cfg_.stale);
+    if (cfg_.stale_read_fresh && w.index == 0) {
+      // Mutation probe: count the steps on which the free lunch actually
+      // changed the decisions (the fuzzer's mutation_applied witness).
+      const std::vector<sim::Transfer> honest = baselines::stale_sq_decisions(
+          cfg_.n, board_, stale_board_, alive_board_, cfg_.stale);
+      bool same = honest.size() == ds.size();
+      for (std::size_t i = 0; same && i < ds.size(); ++i) {
+        same = honest[i].from == ds[i].from && honest[i].to == ds[i].to &&
+               honest[i].count == ds[i].count;
+      }
+      if (!same) ++stale_cheat_divergence_;
+    }
+  } else {
+    std::vector<std::uint32_t> probed;
+    ds = baselines::local_search_decisions(cfg_.n, cfg_.seed, step, board_,
+                                           alive_board_, cfg_.ls, &probed);
+    if (w.index == 0) w.msg.queries += probed.size();
+  }
+
+  // Own-shard sends under the global numbering (list order == ascending
+  // sender; shards are contiguous, so filtering by ownership keeps it).
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const sim::Transfer& d = ds[i];
+    if (d.from < w.begin || d.from >= w.end) continue;
+    ++procs_[d.from].balance_initiations;
+    send_transfer(w, step, d.from, d.to, w.transfer_seen + i + 1, d.count);
+  }
+  w.transfer_seen += ds.size();
+  barrier(w);
+
+  // Arrivals: collect, order by sender, apply. Several senders may target
+  // one receiver, so arrival order is not canonical — unlike the threshold
+  // protocol's one-transfer-per-light, which is why drain()'s apply-on-
+  // arrival shortcut cannot be used here. The decision rule's suppression
+  // (no sender is also a receiver) makes send-time pops and sorted pushes
+  // reproduce the engine's schedule-order application exactly.
+  drain_collect(w, w.batch);
+  std::sort(w.batch.begin(), w.batch.end(),
+            [](const Message* x, const Message* y) { return x->a < y->a; });
+  for (Message* m : w.batch) {
+    CLB_DCHECK(m->kind == MsgKind::kTransfer, "unexpected message in zoo step");
+    apply_transfer(w, *m);
+    delete m;
+  }
+  w.batch.clear();
 }
 
 void Runtime::run_phase(Worker& w, std::uint64_t step) {

@@ -40,7 +40,10 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/local_search.hpp"
+#include "baselines/stale_shortest_queue.hpp"
 #include "collision/collision.hpp"
+#include "core/liveness.hpp"
 #include "core/params.hpp"
 #include "net/delivery.hpp"
 #include "net/fabric.hpp"
@@ -56,9 +59,11 @@
 namespace clb::rt {
 
 enum class RtPolicy {
-  kNone,       ///< no balancing; the scaling baseline
-  kThreshold,  ///< the paper's threshold balancer (atomic phases, defaults)
-  kAllInAir,   ///< periodic global scatter (Concluding Remarks baseline)
+  kNone,         ///< no balancing; the scaling baseline
+  kThreshold,    ///< the paper's threshold balancer (atomic phases, defaults)
+  kAllInAir,     ///< periodic global scatter (Concluding Remarks baseline)
+  kStaleSq,      ///< stale shortest-queue (periodic load broadcasts)
+  kLocalSearch,  ///< randomized pairwise local search (arXiv:1706.09997)
 };
 
 [[nodiscard]] const char* policy_name(RtPolicy p);
@@ -133,6 +138,30 @@ struct RtConfig {
   /// counting it — the transfer applies twice, diverging the ledger and the
   /// queues from the dist shadow (the dup-delivery mutation).
   bool dup_delivery = false;
+  /// Stale shortest-queue knobs (policy == kStaleSq). Instant fabric only.
+  baselines::StaleSqConfig stale{};
+  /// Local-search knobs (policy == kLocalSearch). Instant fabric only.
+  baselines::LocalSearchConfig ls{};
+  /// Crash/recovery schedule: at the start of each listed step the crashed
+  /// processor's queue is re-homed (FIFO order, nearest alive processor
+  /// scanning upward — see core::LivenessSchedule) by the leader worker
+  /// behind a pair of barriers, and while down the processor neither
+  /// generates, consumes, nor participates in balancing. Requires a
+  /// liveness-aware policy (kNone, kStaleSq or kLocalSearch) on the instant
+  /// fabric; the schedule is configuration, not randomness, so lockstep
+  /// bit-identity against sim::Engine survives the crash.
+  std::vector<core::CrashEvent> crashes;
+  /// Test-only fault injection: a crashed processor's queue is *cleared*
+  /// instead of re-homed, with no booking anywhere — the orphaned tasks
+  /// vanish from every account, exactly what the conservation oracle must
+  /// convict (the crash-lose-queue mutation).
+  bool crash_lose_queue = false;
+  /// Test-only fault injection (policy kStaleSq): the decision rule secretly
+  /// reads the *fresh* load board instead of the stale broadcast snapshot —
+  /// a baseline quietly enjoying information it should not have. Counters
+  /// stay self-consistent; only the engine lockstep shadow (which plays the
+  /// honest rule) can convict it (the stale-free-lunch mutation).
+  bool stale_read_fresh = false;
   /// Per-worker hot-path telemetry (obs::WorkerTelemetry): superstep and
   /// barrier timing, mailbox traffic, drain batch sizes. Observation only —
   /// deterministic outputs are bit-identical on or off. Ignored (forced
@@ -310,6 +339,24 @@ class Runtime {
   /// hook the fuzzer's load spikes use, mirroring sim::Engine::deposit.
   void deposit(std::uint32_t p, sim::Task t);
 
+  // ---- crash/recovery bookkeeping (RtConfig::crashes) ----
+  /// Tasks moved off crashed processors so far; mirrors
+  /// sim::Engine::rehomed_tasks (re-homes are queue moves, booked here and
+  /// nowhere else — not in the ledger or message counters).
+  [[nodiscard]] std::uint64_t rehomed_tasks() const { return rehomed_tasks_; }
+  [[nodiscard]] std::uint64_t rehomed_events() const {
+    return rehomed_events_;
+  }
+  /// Mutation bookkeeping: tasks destroyed by crash_lose_queue and steps on
+  /// which stale_read_fresh changed the decision list (the fuzzer's
+  /// mutation_applied probes).
+  [[nodiscard]] std::uint64_t crash_lost_tasks() const {
+    return crash_lost_tasks_;
+  }
+  [[nodiscard]] std::uint64_t stale_cheat_divergence() const {
+    return stale_cheat_divergence_;
+  }
+
  private:
   struct alignas(64) Slot {
     std::uint64_t v0 = 0;
@@ -330,12 +377,25 @@ class Runtime {
                           std::uint64_t phase_index, std::uint32_t level,
                           std::uint64_t node_count);
   void run_scatter(Worker& w, std::uint64_t step);
+  /// The workload-zoo policies (kStaleSq / kLocalSearch): publish the fresh
+  /// load board, replicate the shared pure decision rule on every worker,
+  /// ship own-shard transfers, and apply arrivals in ascending-sender order.
+  void run_zoo(Worker& w, std::uint64_t step);
+  /// Crash re-home at the start of a crash step: leader-serial queue moves
+  /// behind a pair of barriers (no-op on other steps).
+  void process_crashes(Worker& w, std::uint64_t step);
   void send(Worker& w, std::uint32_t dest_proc, Message* m);
   void send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
-                     std::uint32_t partner, std::uint64_t ordinal);
+                     std::uint32_t partner, std::uint64_t ordinal,
+                     std::uint64_t count);
   void apply_staged_transfers(Worker& w, std::uint64_t step,
                               std::uint64_t base, std::uint64_t total);
   void drain(Worker& w, std::vector<Message*>& out);
+  /// drain() variant that collects kTransfer messages into `out` instead of
+  /// applying them on arrival — the zoo policies sort arrivals by sender
+  /// before applying (several senders may target one receiver, so arrival
+  /// order is not canonical there).
+  void drain_collect(Worker& w, std::vector<Message*>& out);
   void apply_transfer(Worker& w, const Message& m);
   /// step_barrier_ arrival on the superstep path. With telemetry on it uses
   /// the timed variant and books the wait into the worker's stall accounts;
@@ -401,6 +461,19 @@ class Runtime {
   // Telemetry (RtConfig::telemetry, forced off when compiled out).
   bool telemetry_ = false;
   std::string telemetry_jsonl_;  // leader-written behind snapshot barriers
+
+  // Workload zoo (policies kStaleSq/kLocalSearch and RtConfig::crashes).
+  // The boards are published by shard owners behind barriers; the stale
+  // board is refreshed on broadcast steps only. Counters are leader-written
+  // between barriers, main-read between runs.
+  core::LivenessSchedule liveness_;
+  std::vector<std::uint32_t> board_;        // fresh loads, post-generation
+  std::vector<std::uint32_t> stale_board_;  // last broadcast (kStaleSq)
+  std::vector<std::uint8_t> alive_board_;   // liveness at the current step
+  std::uint64_t rehomed_tasks_ = 0;
+  std::uint64_t rehomed_events_ = 0;
+  std::uint64_t crash_lost_tasks_ = 0;
+  std::uint64_t stale_cheat_divergence_ = 0;
 
   std::uint64_t deposited_ = 0;
   double wall_seconds_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include "core/liveness.hpp"
 #include "util/check.hpp"
 
 namespace clb::sim {
@@ -32,6 +33,8 @@ void Engine::reset() {
   clamped_ = 0;
   deposited_ = 0;
   drained_ = 0;
+  rehomed_tasks_ = 0;
+  rehomed_events_ = 0;
   if (balancer_ != nullptr) balancer_->on_reset(*this);
 }
 
@@ -43,6 +46,7 @@ void Engine::generate_consume_block(std::uint64_t begin, std::uint64_t end,
                                     std::uint64_t step) {
   const std::uint64_t system_load = total_load_;  // start-of-step snapshot
   for (std::uint64_t p = begin; p < end; ++p) {
+    if (cfg_.liveness != nullptr && !cfg_.liveness->alive(p, step)) continue;
     Processor& proc = procs_[p];
     const StepAction act =
         model_->step_action(cfg_.seed, p, step, proc.load(), system_load);
@@ -66,8 +70,26 @@ void Engine::generate_consume_block(std::uint64_t begin, std::uint64_t end,
   }
 }
 
+void Engine::process_crashes(std::uint64_t step) {
+  if (cfg_.liveness == nullptr || !cfg_.liveness->crash_step(step)) return;
+  for (const std::uint32_t c : cfg_.liveness->crashes_at(step)) {
+    const std::uint32_t target = cfg_.liveness->rehome_target(c, step);
+    Processor& src = procs_[c];
+    Processor& dst = procs_[target];
+    while (!src.queue.empty()) {
+      const Task t = src.queue.pop_front();
+      src.weight_load -= t.weight;
+      dst.queue.push_back(t);
+      dst.weight_load += t.weight;
+      ++rehomed_tasks_;
+    }
+    ++rehomed_events_;
+  }
+}
+
 void Engine::step_once() {
   const std::uint64_t step = step_;
+  process_crashes(step);
   if (pool_) {
     pool_->parallel_for(cfg_.n, [this, step](std::uint64_t b, std::uint64_t e) {
       generate_consume_block(b, e, step);

@@ -27,6 +27,10 @@
 #include "stats/histogram.hpp"
 #include "util/thread_pool.hpp"
 
+namespace clb::core {
+class LivenessSchedule;
+}  // namespace clb::core
+
 namespace clb::sim {
 
 struct EngineConfig {
@@ -42,6 +46,12 @@ struct EngineConfig {
   /// Optional event-trace sink (borrowed; must outlive the engine). Null or
   /// disabled costs one pointer test per traced site; see obs/trace.hpp.
   obs::TraceSink* trace = nullptr;
+  /// Optional crash/recovery schedule (borrowed; must outlive the engine).
+  /// Null = every processor alive forever. At the start of a crash step the
+  /// crashed processor's queue is re-homed in FIFO order onto the schedule's
+  /// target; while dead it neither generates nor consumes. Liveness-aware
+  /// balancers must consult the same schedule.
+  const core::LivenessSchedule* liveness = nullptr;
 };
 
 struct Transfer {
@@ -180,9 +190,20 @@ class Engine {
   [[nodiscard]] std::uint64_t total_deposited() const { return deposited_; }
   [[nodiscard]] std::uint64_t total_drained() const { return drained_; }
 
+  // ---- Crash/recovery (EngineConfig::liveness) -------------------------
+  /// Tasks moved off crashed processors so far (conserved: re-homing is a
+  /// queue move, booked here and nowhere else — not in the transfer ledger,
+  /// which records only balancing decisions).
+  [[nodiscard]] std::uint64_t rehomed_tasks() const { return rehomed_tasks_; }
+  /// Crash events whose re-home actually ran (== accepted crashes seen).
+  [[nodiscard]] std::uint64_t rehomed_events() const {
+    return rehomed_events_;
+  }
+
  private:
   void generate_consume_block(std::uint64_t begin, std::uint64_t end,
                               std::uint64_t step);
+  void process_crashes(std::uint64_t step);
   void apply_transfers();
   void refresh_load_aggregates();
 
@@ -205,6 +226,8 @@ class Engine {
   std::uint64_t clamped_ = 0;
   std::uint64_t deposited_ = 0;
   std::uint64_t drained_ = 0;
+  std::uint64_t rehomed_tasks_ = 0;
+  std::uint64_t rehomed_events_ = 0;
 };
 
 }  // namespace clb::sim

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   const auto* mutate = cli.flag_str(
       "mutate", "none",
       "inject a broken behaviour: drop-task|dup-task|reorder|phantom-msg|"
-      "mailbox-drop|delay-skew|link-loss-no-retransmit|dup-delivery");
+      "mailbox-drop|delay-skew|link-loss-no-retransmit|dup-delivery|"
+      "crash-lose-queue|stale-free-lunch");
   const auto* expect_failure = cli.flag_bool(
       "expect-failure", false,
       "succeed iff the oracle catches at least one scenario (self-test)");
@@ -37,6 +38,11 @@ int main(int argc, char** argv) {
       "runtime-only", false,
       "clamp every scenario onto rt::Runtime worker threads (TSan sweeps); "
       "every other threshold scenario runs the latency fabric");
+  const auto* workload_zoo = cli.flag_bool(
+      "workload-zoo", false,
+      "drive every scenario through the production workload zoo on "
+      "rt::Runtime: zoo models + information baselines rotate by index, "
+      "every third baseline scenario crashes a processor mid-run");
   const auto* no_shrink =
       cli.flag_bool("no-shrink", false, "report failures without shrinking");
   const auto* verbose = cli.flag_bool("verbose", false, "per-scenario lines");
@@ -52,6 +58,7 @@ int main(int argc, char** argv) {
   opt.mutate = clb::testing::mutation_from_string(*mutate);
   opt.expect_failure = *expect_failure;
   opt.runtime_only = *runtime_only;
+  opt.workload_zoo = *workload_zoo;
   opt.shrink = !*no_shrink;
   opt.verbose = *verbose;
   return clb::testing::run_fuzz(opt);

@@ -49,6 +49,34 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
         s.threads = 1;
         s.threads_replay = 1;
       }
+    } else if (opt.mutate == MutationKind::kCrashLoseQueue) {
+      // The vanished queue lives in rt::Runtime's crash handler; an
+      // unbalanced run keeps conviction pure (count conservation alone must
+      // notice the lost tasks). Force a mid-run crash with a fresh spike on
+      // the doomed processor so its queue is guaranteed non-empty.
+      s.balancer = BalancerKind::kNone;
+      clamp_to_runtime(s);
+      s.rt_latency = false;
+      const std::uint64_t crash_step = s.steps > 2 ? s.steps / 2 : 1;
+      const std::uint32_t victim =
+          static_cast<std::uint32_t>(index % s.n);
+      s.crashes.clear();
+      s.crashes.push_back(core::CrashEvent{crash_step, victim, 8});
+      s.faults.push_back(FaultEvent{crash_step - 1, victim, 32});
+    } else if (opt.mutate == MutationKind::kStaleFreeLunch) {
+      // The cheat lives in the rt stale-SQ policy; the honest engine-side
+      // StaleShortestQueue shadow convicts it via queue identity / ledger
+      // divergence (totals agree — transfers conserve load either way).
+      // Staleness >= 4 guarantees stale and fresh boards actually differ;
+      // a spike makes imbalance (and therefore decisions) certain.
+      s.balancer = BalancerKind::kStaleSq;
+      clamp_to_runtime(s);
+      s.rt_latency = false;
+      s.stale_staleness = 8;
+      s.stale_gap = 2;
+      s.crashes.clear();
+      s.faults.push_back(FaultEvent{1, static_cast<std::uint32_t>(index % s.n),
+                                    64});
     } else {
       // The remaining mutations inject through sim::Engine's test hooks,
       // which the runtime path never calls.
@@ -92,9 +120,45 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
     }
   }
 
+  if (opt.workload_zoo) {
+    // The workload-zoo tier: every scenario drives a production model on
+    // rt::Runtime worker threads, rotating the information baselines (and
+    // the threshold protocol as control) deterministically by index; every
+    // third baseline scenario additionally carries a mid-run crash.
+    s.collision_only = false;
+    const ModelKind zoo_models[] = {
+        ModelKind::kDiurnal, ModelKind::kFlashCrowd, ModelKind::kPareto,
+        ModelKind::kZipf,    ModelKind::kHetero,
+    };
+    s.model = zoo_models[index % 5];
+    s.weight_based = false;
+    const BalancerKind rotation[] = {
+        BalancerKind::kStaleSq, BalancerKind::kLocalSearch,
+        BalancerKind::kNone,    BalancerKind::kStaleSq,
+        BalancerKind::kLocalSearch, BalancerKind::kThreshold,
+    };
+    s.balancer = rotation[index % 6];
+    s.rt_latency = false;
+    s.link_jitter = 0;
+    s.link_bandwidth = 0;
+    s.link_loss = 0;
+    clamp_to_runtime(s);
+    s.crashes.clear();
+    if (index % 3 == 0 && s.balancer != BalancerKind::kThreshold) {
+      core::CrashEvent ev;
+      ev.step = s.steps > 2 ? s.steps / 2 : 1;
+      ev.proc = static_cast<std::uint32_t>(index % s.n);
+      ev.down_steps = 4 + index % 12;
+      s.crashes.push_back(ev);
+    }
+  }
+
   if (opt.n != kNoOverride) {
     s.n = opt.n < 16 ? 16 : opt.n;
     for (FaultEvent& ev : s.faults) ev.proc %= static_cast<std::uint32_t>(s.n);
+    for (core::CrashEvent& ev : s.crashes) {
+      ev.proc %= static_cast<std::uint32_t>(s.n);
+    }
   }
   if (opt.steps != kNoOverride) {
     s.steps = opt.steps < 1 ? 1 : opt.steps;
@@ -103,6 +167,20 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
       if (ev.step < s.steps) kept.push_back(ev);
     }
     s.faults = std::move(kept);
+    std::vector<core::CrashEvent> crashes_kept;
+    for (const core::CrashEvent& ev : s.crashes) {
+      if (ev.step < s.steps) crashes_kept.push_back(ev);
+    }
+    s.crashes = std::move(crashes_kept);
+    if (opt.mutate == MutationKind::kCrashLoseQueue && s.crashes.empty()) {
+      // Shrinking the horizon must not disarm the mutation: re-pin the
+      // doomed crash (and the spike that fills its queue) inside the new
+      // range instead of leaving crash_lose_queue armed with no schedule.
+      const std::uint64_t crash_step = s.steps > 2 ? s.steps / 2 : 1;
+      const std::uint32_t victim = static_cast<std::uint32_t>(index % s.n);
+      s.crashes.push_back(core::CrashEvent{crash_step, victim, 8});
+      s.faults.push_back(FaultEvent{crash_step - 1, victim, 32});
+    }
     if (s.mutation_step >= s.steps) s.mutation_step = s.steps - 1;
   }
   if (opt.max_faults != kNoOverride && s.faults.size() > opt.max_faults) {

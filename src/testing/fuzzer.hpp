@@ -40,6 +40,10 @@ struct FuzzOptions {
   /// sweep uses this): engine scenarios are clamped into the runtime
   /// envelope and every other threshold scenario runs the latency fabric.
   bool runtime_only = false;
+  /// Force every scenario into the workload zoo on rt::Runtime: zoo models
+  /// and the information baselines rotate deterministically by index, and
+  /// every third eligible scenario carries a crash/recovery schedule.
+  bool workload_zoo = false;
 };
 
 /// Samples scenario (seed, index) and applies the option overrides plus the

@@ -131,8 +131,11 @@ void arm_mutation(const Scenario& s, CaptureBalancer& cap, bool* applied) {
         *applied = true;
         break;
       case MutationKind::kMailboxDrop:
-        // Runtime-only fault; the fuzzer routes it through run_rt_scenario
-        // (rt_oracle.cpp), so the engine hook never sees it.
+      case MutationKind::kCrashLoseQueue:
+      case MutationKind::kStaleFreeLunch:
+        // Runtime-only faults; the fuzzer routes them through
+        // run_rt_scenario (rt_oracle.cpp), so the engine hook never sees
+        // them.
         break;
     }
   });
@@ -146,6 +149,7 @@ std::string replay_fingerprint(const Scenario& s, unsigned threads) {
   ec.n = s.n;
   ec.seed = s.engine_seed;
   ec.threads = threads;
+  ec.liveness = rt.liveness.get();
   sim::Engine engine(ec, rt.model.get(), rt.balancer.get());
   for (std::uint64_t step = 0; step < s.steps; ++step) {
     apply_faults(s, engine, step, nullptr);
@@ -166,6 +170,7 @@ OracleReport run_engine_scenario(const Scenario& s) {
   ec.n = s.n;
   ec.seed = s.engine_seed;
   ec.threads = s.threads;
+  ec.liveness = rt.liveness.get();
   sim::Engine engine(ec, rt.model.get(), &cap);
 
   // AllInAir redistributes through drain_all/deposit, outside the transfer
@@ -190,6 +195,18 @@ OracleReport run_engine_scenario(const Scenario& s) {
     }
 
     engine.step_once();
+
+    // Crash re-home runs at the top of the engine step, before generation
+    // and consumption: the crashed queue moves FIFO-whole onto the re-home
+    // target's back. Mirror that into the shadow first.
+    if (rt.liveness != nullptr && rt.liveness->crash_step(step)) {
+      for (const std::uint32_t c : rt.liveness->crashes_at(step)) {
+        auto& src = shadow[c];
+        auto& dst = shadow[rt.liveness->rehome_target(c, step)];
+        dst.insert(dst.end(), src.begin(), src.end());
+        src.clear();
+      }
+    }
 
     // Predict generation and consumption from the lifetime-counter deltas
     // (stateful models — Adversarial, OnOff — cannot be re-queried).

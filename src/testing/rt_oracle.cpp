@@ -36,6 +36,8 @@ rt::RtPolicy policy_of(const Scenario& s) {
   switch (s.balancer) {
     case BalancerKind::kNone: return rt::RtPolicy::kNone;
     case BalancerKind::kAllInAir: return rt::RtPolicy::kAllInAir;
+    case BalancerKind::kStaleSq: return rt::RtPolicy::kStaleSq;
+    case BalancerKind::kLocalSearch: return rt::RtPolicy::kLocalSearch;
     default: return rt::RtPolicy::kThreshold;
   }
 }
@@ -91,10 +93,26 @@ RtRun build_rt(const Scenario& s, unsigned workers) {
       }
     }
   }
+  cfg.stale = baselines::StaleSqConfig{s.stale_staleness, s.stale_gap};
+  cfg.ls = baselines::LocalSearchConfig{s.ls_min_load};
+  cfg.crashes = s.crashes;
   if (s.mutation == MutationKind::kMailboxDrop) {
     // Drop the very first transfer the runtime sends; later ordinals risk
     // never firing on lightly loaded scenarios.
     cfg.drop_transfer_message = 1;
+  }
+  if (s.mutation == MutationKind::kCrashLoseQueue && !cfg.crashes.empty()) {
+    // Crashed queues vanish instead of re-homing; runtime conservation
+    // convicts it (the lost tasks are booked nowhere). Guarded on a
+    // non-empty schedule: a crash-free scenario has nothing to lose, and
+    // arming the flag without crashes trips the runtime's config check.
+    cfg.crash_lose_queue = true;
+  }
+  if (s.mutation == MutationKind::kStaleFreeLunch) {
+    // Stale-SQ decisions secretly read fresh loads; the honest engine
+    // shadow's queues and ledger diverge (totals alone cannot convict —
+    // transfers conserve load either way).
+    cfg.stale_read_fresh = true;
   }
   r.run = std::make_unique<rt::Runtime>(cfg, r.model.get());
   return r;
@@ -195,7 +213,9 @@ OracleReport run_against_engine(const Scenario& s) {
     inner = dist_shadow.get();
   }
   CaptureBalancer cap(inner);
-  sim::Engine eng({.n = s.n, .seed = s.engine_seed}, shadow.model.get(), &cap);
+  sim::Engine eng({.n = s.n, .seed = s.engine_seed,
+                   .liveness = shadow.liveness.get()},
+                  shadow.model.get(), &cap);
 
   std::vector<rt::LedgerEntry> engine_ledger;
   cap.set_post_capture_hook([&](sim::Engine& e) {
@@ -255,6 +275,15 @@ OracleReport run_against_engine(const Scenario& s) {
   }
   if (eng.clamped_transfers() != main.run->clamped_transfers()) {
     return OracleReport::failure(s.steps, "clamped-transfer counts diverge");
+  }
+  if (eng.rehomed_tasks() != main.run->rehomed_tasks() ||
+      eng.rehomed_events() != main.run->rehomed_events()) {
+    return OracleReport::failure(
+        s.steps, "crash re-home accounting diverges from engine (" +
+                     std::to_string(main.run->rehomed_tasks()) + "/" +
+                     std::to_string(main.run->rehomed_events()) + " vs " +
+                     std::to_string(eng.rehomed_tasks()) + "/" +
+                     std::to_string(eng.rehomed_events()) + ")");
   }
 
   // Ledger comparison, both sides canonically sorted (per-step sources are
@@ -390,6 +419,25 @@ OracleReport run_rt_scenario(const Scenario& in) {
       probe.run->run(1);
     }
     r.mutation_applied = probe.run->dup_delivered() > 0;
+  }
+  if (s.mutation == MutationKind::kCrashLoseQueue) {
+    // Fired iff some crashed queue actually held tasks when it vanished.
+    RtRun probe = build_rt(s, 1);
+    for (std::uint64_t step = 0; step < s.steps; ++step) {
+      apply_rt_faults(s, *probe.run, step);
+      probe.run->run(1);
+    }
+    r.mutation_applied = probe.run->crash_lost_tasks() > 0;
+  }
+  if (s.mutation == MutationKind::kStaleFreeLunch) {
+    // Fired iff a cheating decision ever differed from the honest stale
+    // rule (the runtime counts divergent transfer lists per step).
+    RtRun probe = build_rt(s, 1);
+    for (std::uint64_t step = 0; step < s.steps; ++step) {
+      apply_rt_faults(s, *probe.run, step);
+      probe.run->run(1);
+    }
+    r.mutation_applied = probe.run->stale_cheat_divergence() > 0;
   }
   return r;
 }

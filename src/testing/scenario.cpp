@@ -9,14 +9,21 @@
 #include "core/params.hpp"
 #include "core/threshold_balancer.hpp"
 #include "dist/dist_balancer.hpp"
+#include "baselines/local_search.hpp"
+#include "baselines/stale_shortest_queue.hpp"
 #include "models/adversarial.hpp"
 #include "models/burst.hpp"
+#include "models/diurnal.hpp"
+#include "models/flash_crowd.hpp"
 #include "models/geometric.hpp"
+#include "models/hetero.hpp"
 #include "models/multi.hpp"
 #include "models/onoff.hpp"
+#include "models/pareto.hpp"
 #include "models/poisson_batch.hpp"
 #include "models/single.hpp"
 #include "models/weighted.hpp"
+#include "models/zipf.hpp"
 #include "rng/dist.hpp"
 #include "rng/philox.hpp"
 #include "rng/splitmix64.hpp"
@@ -42,6 +49,11 @@ const char* to_string(ModelKind m) {
     case ModelKind::kOnOff: return "on-off";
     case ModelKind::kWeighted: return "weighted";
     case ModelKind::kBurst: return "burst";
+    case ModelKind::kDiurnal: return "diurnal";
+    case ModelKind::kFlashCrowd: return "flash-crowd";
+    case ModelKind::kPareto: return "pareto";
+    case ModelKind::kZipf: return "zipf";
+    case ModelKind::kHetero: return "hetero";
   }
   return "?";
 }
@@ -55,6 +67,8 @@ const char* to_string(BalancerKind b) {
     case BalancerKind::kLm: return "lm93";
     case BalancerKind::kRandomSeeking: return "random-seeking";
     case BalancerKind::kAllInAir: return "all-in-air";
+    case BalancerKind::kStaleSq: return "stale-sq";
+    case BalancerKind::kLocalSearch: return "local-search";
   }
   return "?";
 }
@@ -70,6 +84,8 @@ const char* to_string(MutationKind m) {
     case MutationKind::kDelaySkew: return "delay-skew";
     case MutationKind::kLinkLossNoRetransmit: return "link-loss-no-retransmit";
     case MutationKind::kDupDelivery: return "dup-delivery";
+    case MutationKind::kCrashLoseQueue: return "crash-lose-queue";
+    case MutationKind::kStaleFreeLunch: return "stale-free-lunch";
   }
   return "?";
 }
@@ -85,6 +101,8 @@ MutationKind mutation_from_string(const std::string& name) {
     return MutationKind::kLinkLossNoRetransmit;
   }
   if (name == "dup-delivery") return MutationKind::kDupDelivery;
+  if (name == "crash-lose-queue") return MutationKind::kCrashLoseQueue;
+  if (name == "stale-free-lunch") return MutationKind::kStaleFreeLunch;
   return MutationKind::kNone;
 }
 
@@ -109,6 +127,8 @@ void clamp_to_runtime(Scenario& s) {
     case BalancerKind::kNone:
     case BalancerKind::kThreshold:
     case BalancerKind::kAllInAir:
+    case BalancerKind::kStaleSq:
+    case BalancerKind::kLocalSearch:
       break;
     default:
       s.balancer = BalancerKind::kThreshold;
@@ -132,6 +152,13 @@ void clamp_to_runtime(Scenario& s) {
     kept.push_back(ev);
   }
   s.faults = std::move(kept);
+  std::vector<core::CrashEvent> crashes_kept;
+  for (core::CrashEvent ev : s.crashes) {
+    if (ev.step >= s.steps) continue;
+    ev.proc %= static_cast<std::uint32_t>(s.n);
+    crashes_kept.push_back(ev);
+  }
+  s.crashes = std::move(crashes_kept);
   // Protocol constants within the runtime's query-width limit (a <= 16)
   // and the binary-tree envelope, mirroring the engine-mutation clamps.
   if (s.a < 4) s.a = 5;
@@ -240,6 +267,40 @@ Scenario Scenario::sample(std::uint64_t scenario_seed, std::uint64_t index) {
       s.link_loss = 8192u * static_cast<std::uint32_t>(pick(rng, 1, 4));
     }
   }
+
+  // Workload zoo (appended after every earlier draw, so pre-zoo scenarios
+  // keep their exact streams). A quarter of scenarios swap in one of the
+  // five production models; non-latency scenarios may additionally swap in
+  // an information-based baseline, and liveness-aware scenarios may draw a
+  // crash schedule.
+  if (pick(rng, 0, 3) == 0) {
+    const ModelKind zoo_models[] = {
+        ModelKind::kDiurnal, ModelKind::kFlashCrowd, ModelKind::kPareto,
+        ModelKind::kZipf,    ModelKind::kHetero,
+    };
+    s.model = zoo_models[pick(rng, 0, 4)];
+    s.weight_based = false;  // zoo models generate unit weights
+  }
+  s.stale_staleness = 1ULL << pick(rng, 0, 4);  // 1 .. 16
+  s.stale_gap = static_cast<std::uint32_t>(pick(rng, 2, 4));
+  s.ls_min_load = static_cast<std::uint32_t>(pick(rng, 2, 4));
+  if (!s.rt_latency && pick(rng, 0, 4) == 0) {
+    s.balancer = pick(rng, 0, 1) == 0 ? BalancerKind::kStaleSq
+                                      : BalancerKind::kLocalSearch;
+  }
+  const bool liveness_aware = s.balancer == BalancerKind::kNone ||
+                              s.balancer == BalancerKind::kStaleSq ||
+                              s.balancer == BalancerKind::kLocalSearch;
+  if (liveness_aware && !s.rt_latency && pick(rng, 0, 2) == 0) {
+    const std::uint64_t crash_count = pick(rng, 1, 2);
+    for (std::uint64_t i = 0; i < crash_count; ++i) {
+      core::CrashEvent ev;
+      ev.step = pick(rng, 1, s.steps > 4 ? s.steps - 2 : s.steps);
+      ev.proc = static_cast<std::uint32_t>(rng::bounded(rng, s.n));
+      ev.down_steps = pick(rng, 2, 16);
+      s.crashes.push_back(ev);
+    }
+  }
   return s;
 }
 
@@ -260,6 +321,7 @@ std::string Scenario::describe() const {
     if (link_bandwidth != 0) lat += " bw=" + std::to_string(link_bandwidth);
     if (link_loss != 0) lat += " loss=" + std::to_string(link_loss);
   }
+  if (!crashes.empty()) lat += " crashes=" + std::to_string(crashes.size());
   std::snprintf(
       buf, sizeof buf,
       "%s n=%llu steps=%llu model=%s balancer=%s threads=%u/%u "
@@ -333,6 +395,33 @@ ScenarioRuntime build_runtime(const Scenario& s) {
       rt.model = std::make_unique<models::BurstModel>(bc, s.n);
       break;
     }
+    case ModelKind::kDiurnal: {
+      models::DiurnalConfig dc;
+      dc.period = 32;
+      dc.proc_skew = 1.0 / static_cast<double>(s.n);
+      rt.model = std::make_unique<models::DiurnalModel>(dc);
+      break;
+    }
+    case ModelKind::kFlashCrowd:
+      rt.model = std::make_unique<models::FlashCrowdModel>(
+          models::FlashCrowdConfig{}, s.n);
+      break;
+    case ModelKind::kPareto:
+      rt.model = std::make_unique<models::ParetoModel>(models::ParetoConfig{});
+      break;
+    case ModelKind::kZipf: {
+      models::ZipfConfig zc;
+      zc.rotate_period = 24;
+      rt.model = std::make_unique<models::ZipfModel>(zc, s.n);
+      break;
+    }
+    case ModelKind::kHetero:
+      rt.model = std::make_unique<models::HeteroModel>(models::HeteroConfig{});
+      break;
+  }
+
+  if (!s.crashes.empty()) {
+    rt.liveness = std::make_unique<core::LivenessSchedule>(s.n, s.crashes);
   }
 
   switch (s.balancer) {
@@ -371,6 +460,16 @@ ScenarioRuntime build_runtime(const Scenario& s) {
       break;
     case BalancerKind::kAllInAir:
       rt.balancer = std::make_unique<baselines::AllInAirBalancer>();
+      break;
+    case BalancerKind::kStaleSq:
+      rt.balancer = std::make_unique<baselines::StaleShortestQueue>(
+          baselines::StaleSqConfig{s.stale_staleness, s.stale_gap}, s.n,
+          rt.liveness.get());
+      break;
+    case BalancerKind::kLocalSearch:
+      rt.balancer = std::make_unique<baselines::LocalSearchBalancer>(
+          baselines::LocalSearchConfig{s.ls_min_load}, s.n,
+          rt.liveness.get());
       break;
   }
   return rt;

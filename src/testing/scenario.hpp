@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/liveness.hpp"
 #include "sim/balancer.hpp"
 #include "sim/model.hpp"
 
@@ -32,8 +33,13 @@ enum class ModelKind {
   kAdversarial,
   kPoissonBatch,
   kOnOff,
-  kWeighted,  // weighted extension; pairs with weight_based balancing
-  kBurst,     // bursty hot-spot model (runtime scenarios)
+  kWeighted,    // weighted extension; pairs with weight_based balancing
+  kBurst,       // bursty hot-spot model (runtime scenarios)
+  kDiurnal,     // workload zoo: sinusoidal day/night arrival rate
+  kFlashCrowd,  // workload zoo: episodic correlated hot groups
+  kPareto,      // workload zoo: heavy-tailed (Pareto) batch sizes
+  kZipf,        // workload zoo: zipfian placement skew
+  kHetero,      // workload zoo: heterogeneous processor speeds
 };
 
 enum class BalancerKind {
@@ -44,6 +50,8 @@ enum class BalancerKind {
   kLm,
   kRandomSeeking,
   kAllInAir,  // immediate-mode redistribution: oracle runs in multiset mode
+  kStaleSq,       // workload zoo: stale shortest-queue baseline
+  kLocalSearch,   // workload zoo: randomized pairwise local search
 };
 
 /// Deliberately broken behaviours, injected through the engine's test hooks
@@ -59,6 +67,8 @@ enum class MutationKind {
   kDelaySkew,       // rt latency fabric: deliver one message a step early
   kLinkLossNoRetransmit,  // lossy link: drop a first attempt, never resend
   kDupDelivery,           // lossy link: replay a transfer cmd on ack loss
+  kCrashLoseQueue,        // rt runtime: a crashed queue vanishes un-rehomed
+  kStaleFreeLunch,        // rt stale-sq: decisions secretly read fresh loads
 };
 
 /// A load spike deposited onto one processor before `step` executes.
@@ -124,6 +134,15 @@ struct Scenario {
   MutationKind mutation = MutationKind::kNone;
   std::uint64_t mutation_step = 0;  // applied at first opportunity >= this
 
+  // Workload-zoo knobs (sampled after every older field, so pre-existing
+  // (seed, index) pairs keep their exact scenarios).
+  std::uint64_t stale_staleness = 8;  // kStaleSq: steps between broadcasts
+  std::uint32_t stale_gap = 2;        // kStaleSq: minimum excess to act
+  std::uint32_t ls_min_load = 2;      // kLocalSearch: probe threshold
+  /// Crash/recovery schedule; only drawn for liveness-aware balancers
+  /// (none / stale-sq / local-search) on the instant fabric.
+  std::vector<core::CrashEvent> crashes;
+
   /// Pure function of (seed, index): every field above is derived with
   /// counter RNG, so the same pair always yields the same scenario.
   static Scenario sample(std::uint64_t scenario_seed, std::uint64_t index);
@@ -157,6 +176,9 @@ void clamp_to_runtime(Scenario& s);
 struct ScenarioRuntime {
   std::unique_ptr<sim::LoadModel> model;
   std::unique_ptr<sim::Balancer> balancer;  // null for BalancerKind::kNone
+  /// Built from Scenario::crashes (null when empty); the engine config and
+  /// any liveness-aware balancer borrow it, so it must outlive both.
+  std::unique_ptr<core::LivenessSchedule> liveness;
 };
 
 /// Instantiates fresh model/balancer objects for `s` (stateful models make

@@ -31,11 +31,18 @@ Document schema (clb.bench_rt.v1):
     "exp24": [{"loss": .., "bw": .., "phase_duration_mean": ..,
                "phases": .., "match_pct": .., "forced": ..,
                "retransmits": .., "dup_suppressed": ..,
-               "queued_delay": ..}, ...]
+               "queued_delay": ..}, ...],
+    # with --exp25: the EXP-25 workload-zoo grid (model x policy, plus the
+    # crash/recovery pass under model "crash"; crash rows also carry the
+    # rehomed_tasks / rehomed_events gauges)
+    "exp25": [{"model": .., "policy": .., "max_load": ..,
+               "final_mean_load": .., "tasks_moved": ..,
+               "msgs_per_task": .., "consumed": ..}, ...]
   }
 
-The exp24 section is optional (schema stays clb.bench_rt.v1); baselines
-recorded without it keep comparing cleanly — --compare only reads "runs".
+The exp24/exp25 sections are optional (schema stays clb.bench_rt.v1);
+baselines recorded without them keep comparing cleanly — --compare only
+reads "runs".
 
 The >1.5x speedup gate (threshold policy, max vs 1 worker) only arms when
 the host has at least --min-cores-for-gate real cores: worker threads on a
@@ -99,6 +106,15 @@ EXP24_FIELDS = [
     "queued_delay",
 ]
 
+# Per-grid-point gauges of the EXP-25 workload-zoo grid (--exp25).
+EXP25_FIELDS = [
+    "max_load",
+    "final_mean_load",
+    "tasks_moved",
+    "msgs_per_task",
+    "consumed",
+]
+
 
 def fail(msg: str) -> "sys.NoReturn":
     print(f"perfbench: FAIL: {msg}", file=sys.stderr)
@@ -123,6 +139,8 @@ def run_bench(bench: str, args: argparse.Namespace, metrics_path: str) -> None:
         pass
     else:
         cmd.append("--link-loss-grid=")  # skip the EXP-24 sweep
+    if args.exp25:
+        cmd.append("--workload-grid")
     if args.telemetry:
         cmd.append("--telemetry")
     proc = subprocess.run(cmd, stdout=subprocess.PIPE,
@@ -199,6 +217,23 @@ def assemble(gauges: dict, args: argparse.Namespace) -> dict:
                 point[field] = gauges[prefix + field]
             exp24.append(point)
         doc["exp24"] = exp24
+    if args.exp25:
+        rx = re.compile(r"^exp25\.([a-z-]+)\.([a-z-]+)\.max_load$")
+        points = sorted((m.group(1), m.group(2))
+                        for name in gauges if (m := rx.match(name)))
+        if not points:
+            fail("--exp25 requested but bench_rt emitted no exp25.* gauges")
+        exp25 = []
+        for model, policy in points:
+            prefix = f"exp25.{model}.{policy}."
+            point = {"model": model, "policy": policy}
+            for field in EXP25_FIELDS:
+                point[field] = gauges[prefix + field]
+            for field in ("rehomed_tasks", "rehomed_events"):
+                if prefix + field in gauges:
+                    point[field] = gauges[prefix + field]
+            exp25.append(point)
+        doc["exp25"] = exp25
     return doc
 
 
@@ -230,6 +265,21 @@ def validate(doc: dict) -> None:
             for key in ("loss", "bw", *EXP24_FIELDS):
                 if not isinstance(point.get(key), (int, float)):
                     fail(f"exp24[{i}].{key} missing or not numeric")
+    if "exp25" in doc:
+        points = doc["exp25"]
+        if not isinstance(points, list) or not points:
+            fail("exp25 present but not a non-empty list")
+        for i, point in enumerate(points):
+            for key in ("model", "policy"):
+                if not isinstance(point.get(key), str):
+                    fail(f"exp25[{i}].{key} missing or not a string")
+            for key in EXP25_FIELDS:
+                if not isinstance(point.get(key), (int, float)):
+                    fail(f"exp25[{i}].{key} missing or not numeric")
+            if point["model"] == "crash":
+                for key in ("rehomed_tasks", "rehomed_events"):
+                    if not isinstance(point.get(key), (int, float)):
+                        fail(f"exp25[{i}].{key} missing on a crash row")
 
 
 def gate(doc: dict, args: argparse.Namespace) -> None:
@@ -322,6 +372,10 @@ def main() -> int:
     ap.add_argument("--exp24", action="store_true",
                     help="also run the EXP-24 link-model sweep (loss x "
                          "bandwidth grid) and record it under 'exp24'")
+    ap.add_argument("--exp25", action="store_true",
+                    help="also run the EXP-25 workload-zoo grid (zoo model "
+                         "x policy + crash pass) and record it under "
+                         "'exp25'")
     ap.add_argument("--n", type=int, default=4096)
     ap.add_argument("--steps", type=int, default=2000)
     ap.add_argument("--spin", type=int, default=64)

@@ -19,12 +19,18 @@ evaluated against the gauges a bench harness exported:
                        retransmit RTOs and bandwidth caps pay per-link
                        queueing — both stretch phase durations while the
                        match rate holds; lossless uncapped rows pay neither.
+  EXP-25 (extension)   the production workload zoo: on every zoo model the
+                       load-oblivious threshold protocol and local search
+                       beat the unbalanced control on max load, the
+                       stale-information shortest-queue baseline herds onto
+                       stale minima (max load blows up past the control),
+                       and crashed processors re-home every queued task.
 
 Usage (ctest runs this against fixture-generated metrics):
 
   statcheck.py --exp03 exp03.metrics.json --exp07 exp07.metrics.json \\
                --exp13 exp13.metrics.json --exp22 exp22.metrics.json \\
-               --exp24 exp24.metrics.json
+               --exp24 exp24.metrics.json --exp25 exp25.metrics.json
 
 Every band's limit can be perturbed with --override BAND=VALUE; the
 statcheck_selftest ctest entry uses an absurd override to prove a violated
@@ -97,6 +103,27 @@ DEFAULT_LIMITS = {
     "exp24.loss_duration_ratio_lo": 1.3,
     # duration(capped) / duration(uncapped), same loss  (measured 1.05-1.24)
     "exp24.bw_duration_ratio_lo": 1.0,
+    # EXP-25 (fixture: n=256, zoo-steps=192, staleness 8; deterministic, so
+    # the measured values are exact constants, not noisy samples):
+    # local-search max load / unbalanced max load  (measured 0.01-0.56)
+    "exp25.ls_improves_max_load": 0.8,
+    # threshold max load / unbalanced max load     (measured 0.12-0.80)
+    "exp25.threshold_improves_max_load": 0.95,
+    # stale-SQ max load / unbalanced max load: herding onto the stale
+    # minimum must blow the max load UP            (measured 3.5-233)
+    "exp25.stale_herds_min": 2.0,
+    # every balancing policy actually moves tasks  (measured 1340-113261)
+    "exp25.balancer_moved_min": 1.0,
+    # the unbalanced control moves none            (measured 0)
+    "exp25.none_moved_hi": 0.0,
+    # threshold protocol messages per task         (measured 0.46-2.94)
+    "exp25.threshold_msgs_hi": 6.0,
+    # crash pass: both scheduled crash events re-home (measured 2 exactly)
+    "exp25.crash_rehomed_events": 2.0,
+    # crash pass: re-homed queues carry tasks      (measured 2-9)
+    "exp25.crash_rehomed_tasks_min": 1.0,
+    # every zoo run consumes work                  (measured 5249-17936)
+    "exp25.consumed_min": 1.0,
 }
 
 RESULTS = []
@@ -305,6 +332,67 @@ def check_exp24(g, limit):
               f"{ratio:.2f} >= {lim:g} (link queueing stretches phases)")
 
 
+def check_exp25(g, limit):
+    rx = re.compile(r"^exp25\.([a-z-]+)\.([a-z-]+)\.max_load$")
+    models = sorted({m.group(1) for name in g
+                     if (m := rx.match(name)) and m.group(1) != "crash"})
+    crash_policies = sorted({m.group(2) for name in g
+                             if (m := rx.match(name))
+                             and m.group(1) == "crash"})
+    if not models:
+        check("exp25.present", False, "no exp25.<model>.<policy>.* gauges")
+        return
+    for model in models:
+        p = f"exp25.{model}."
+        none_max = g[p + "none.max_load"]
+        for policy in ("none", "stale-sq", "local-search", "threshold"):
+            lim = limit("exp25.consumed_min")
+            consumed = g[p + policy + ".consumed"]
+            check("exp25.consumed_min", consumed >= lim,
+                  f"{model}/{policy}: consumed {consumed:g} >= {lim:g}")
+            moved = g[p + policy + ".tasks_moved"]
+            if policy == "none":
+                lim = limit("exp25.none_moved_hi")
+                check("exp25.none_moved_hi", moved <= lim,
+                      f"{model}/none: moved {moved:g} <= {lim:g}")
+            else:
+                lim = limit("exp25.balancer_moved_min")
+                check("exp25.balancer_moved_min", moved >= lim,
+                      f"{model}/{policy}: moved {moved:g} >= {lim:g}")
+        lim = limit("exp25.ls_improves_max_load")
+        ls = g[p + "local-search.max_load"]
+        check("exp25.ls_improves_max_load", ls <= lim * none_max,
+              f"{model}: local-search max {ls:g} <= {lim:g} * "
+              f"unbalanced {none_max:g}")
+        lim = limit("exp25.threshold_improves_max_load")
+        thr = g[p + "threshold.max_load"]
+        check("exp25.threshold_improves_max_load", thr <= lim * none_max,
+              f"{model}: threshold max {thr:g} <= {lim:g} * "
+              f"unbalanced {none_max:g}")
+        lim = limit("exp25.stale_herds_min")
+        stale = g[p + "stale-sq.max_load"]
+        check("exp25.stale_herds_min", stale >= lim * none_max,
+              f"{model}: stale-SQ max {stale:g} >= {lim:g} * unbalanced "
+              f"{none_max:g} (herding onto the stale minimum)")
+        lim = limit("exp25.threshold_msgs_hi")
+        msgs = g[p + "threshold.msgs_per_task"]
+        check("exp25.threshold_msgs_hi", msgs <= lim,
+              f"{model}: threshold {msgs:.4f} msgs/task <= {lim:g}")
+    if not crash_policies:
+        check("exp25.crash_present", False, "no exp25.crash.* gauges")
+        return
+    for policy in crash_policies:
+        p = f"exp25.crash.{policy}."
+        lim = limit("exp25.crash_rehomed_events")
+        events = g[p + "rehomed_events"]
+        check("exp25.crash_rehomed_events", events == lim,
+              f"crash/{policy}: {events:g} re-home events == {lim:g}")
+        lim = limit("exp25.crash_rehomed_tasks_min")
+        tasks = g[p + "rehomed_tasks"]
+        check("exp25.crash_rehomed_tasks_min", tasks >= lim,
+              f"crash/{policy}: {tasks:g} re-homed tasks >= {lim:g}")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Evaluate EXPERIMENTS.md tolerance bands against bench "
@@ -314,6 +402,7 @@ def main():
     ap.add_argument("--exp13", help="bench_baselines metrics JSON")
     ap.add_argument("--exp22", help="bench_rt latency-sweep metrics JSON")
     ap.add_argument("--exp24", help="bench_rt link-model-sweep metrics JSON")
+    ap.add_argument("--exp25", help="bench_rt workload-grid metrics JSON")
     ap.add_argument("--override", action="append", default=[],
                     metavar="BAND=VALUE",
                     help="perturb a band limit (self-test hook)")
@@ -332,9 +421,9 @@ def main():
         return limits[band]
 
     if not (args.exp03 or args.exp07 or args.exp13 or args.exp22 or
-            args.exp24):
-        ap.error("at least one of --exp03/--exp07/--exp13/--exp22/--exp24 "
-                 "is required")
+            args.exp24 or args.exp25):
+        ap.error("at least one of --exp03/--exp07/--exp13/--exp22/--exp24/"
+                 "--exp25 is required")
 
     if args.exp03:
         print(f"exp03 bands ({args.exp03}):")
@@ -351,6 +440,9 @@ def main():
     if args.exp24:
         print(f"exp24 bands ({args.exp24}):")
         check_exp24(gauges(args.exp24), limit)
+    if args.exp25:
+        print(f"exp25 bands ({args.exp25}):")
+        check_exp25(gauges(args.exp25), limit)
 
     passed = sum(RESULTS)
     failed = len(RESULTS) - passed
