@@ -7,20 +7,48 @@
 // until the maximum load first drops to 2T, per policy. The threshold
 // algorithm drains the spike at ~transfer_amount per phase; the unbalanced
 // system only at the consumption surplus eps per step.
+//
+// --recovery-time (second section, ROADMAP open edge) — recovery from a
+// CRASH burst instead of a deposit spike: a block of adjacent processors is
+// pre-loaded and then crashed simultaneously; core::LivenessSchedule
+// re-homes every orphaned queue onto the nearest alive processor scanning
+// upward, so the whole burst piles onto one survivor. Measured, for each
+// liveness-aware policy (local-search, stale-sq, unbalanced control): the
+// steady-state max-load band held before the crash, the re-homing peak, and
+// the number of steps until step_max_load first re-enters that band.
+// Deterministic; tools/statcheck.py --recovery gates the recovery.* gauges.
+#include <algorithm>
 #include <memory>
+#include <string>
 
 #include "common.hpp"
 
 namespace {
 
+using namespace clb;
+
 // Pre-loads `spike` tasks onto processor 0, then runs until recovered.
-std::uint64_t steps_to_recover(clb::sim::Engine& eng, std::uint64_t target,
+std::uint64_t steps_to_recover(sim::Engine& eng, std::uint64_t target,
                                std::uint64_t max_steps) {
   for (std::uint64_t s = 0; s < max_steps; ++s) {
     eng.step_once();
     if (eng.step_max_load() <= target) return s + 1;
   }
   return max_steps;  // did not recover within budget
+}
+
+std::unique_ptr<sim::Balancer> liveness_policy(
+    const std::string& name, std::uint64_t n,
+    const core::LivenessSchedule* sched) {
+  if (name == "local-search") {
+    return std::make_unique<baselines::LocalSearchBalancer>(
+        baselines::LocalSearchConfig{}, n, sched);
+  }
+  if (name == "stale-sq") {
+    return std::make_unique<baselines::StaleShortestQueue>(
+        baselines::StaleSqConfig{}, n, sched);
+  }
+  return nullptr;  // unbalanced control
 }
 
 }  // namespace
@@ -39,9 +67,32 @@ int main(int argc, char** argv) {
       "link-bw", 0, "dist column: per-link bandwidth cap (0 = uncapped)");
   const auto link_loss = cli.flag_u64(
       "link-loss", 0, "dist column: loss numerator over 65536 (0 = lossless)");
+  const auto recovery_time = cli.flag_bool(
+      "recovery-time", false,
+      "crash-burst recovery: crash a pre-loaded block of processors, report "
+      "steps until max load re-enters the pre-crash band (statcheck "
+      "--recovery gates the recovery.* gauges)");
+  const auto crash_procs = cli.flag_u64(
+      "crash-procs", 8, "processors crashed simultaneously in the burst");
+  const auto crash_step =
+      cli.flag_u64("crash-step", 64, "step the burst fires at");
+  const auto crash_down =
+      cli.flag_u64("crash-down", 128, "steps each crashed processor is dead");
+  const auto crash_load = cli.flag_u64(
+      "crash-load", 48,
+      "tasks pre-loaded onto each crashing processor just before the burst");
   bench::SmokeFlag smoke(cli);
+  bench::ObsFlags obs_flags(cli);
   cli.parse(argc, argv);
   smoke.apply();
+  if (smoke.on()) {
+    cli.override_u64("crash-step", 32);
+    cli.override_u64("crash-down", 64);
+  }
+
+  obs::Recorder rec(obs_flags.config("bench_recovery", argc, argv));
+  rec.manifest().set_seed(*seed);
+  rec.manifest().set_param("n", *n);
 
   // The dist column recovers over the full net:: fabric, so the spike drain
   // can be re-measured on degraded links (lossy, shaped, jittery).
@@ -51,6 +102,90 @@ int main(int argc, char** argv) {
   link.loss_per_64k = static_cast<std::uint32_t>(*link_loss);
 
   const auto params = core::PhaseParams::from_n(*n);
+
+  // ---- --recovery-time: crash-burst recovery (ROADMAP open edge) --------
+  // A standalone mode: the deposit-spike table below measures a different
+  // scenario on different policies and would dominate the fixture's budget.
+  if (*recovery_time) {
+    const std::uint64_t k = std::min(*crash_procs, *n - 1);
+    util::print_banner(
+        "EXP-20b  crash burst: steps until max load re-enters the band");
+    util::print_note("expect: the burst re-homes every pre-loaded queue onto "
+                     "one survivor (peak ~= crash-procs * crash-load); "
+                     "local-search drains it in a few steps, the unbalanced "
+                     "control only at the consumption surplus");
+
+    util::Table rt_table({"policy", "band", "peak", "recovery steps",
+                          "rehomed tasks", "rehomed events"});
+    for (const std::string& policy :
+         {std::string("local-search"), std::string("stale-sq"),
+          std::string("none")}) {
+      // The burst: k adjacent processors die at crash-step, all at once.
+      std::vector<core::CrashEvent> events;
+      for (std::uint64_t p = 0; p < k; ++p) {
+        events.push_back({*crash_step, static_cast<std::uint32_t>(p),
+                          *crash_down});
+      }
+      core::LivenessSchedule sched(*n, std::move(events));
+
+      models::SingleModel model(0.4, 0.1);
+      auto balancer = liveness_policy(policy, *n, &sched);
+      sim::Engine eng({.n = *n, .seed = *seed, .liveness = &sched},
+                      &model, balancer.get());
+
+      // Pre-crash: run to the burst, recording the steady-state band as the
+      // max of step_max_load over the second half of the warmup (the first
+      // half washes out the empty start).
+      std::uint64_t band = 0;
+      for (std::uint64_t s = 0; s < *crash_step; ++s) {
+        eng.step_once();
+        if (s >= *crash_step / 2) band = std::max(band, eng.step_max_load());
+      }
+      // Load the victims moments before they die: these queues exist only
+      // to be orphaned, so the burst's re-homing is the spike.
+      for (std::uint64_t p = 0; p < k; ++p) {
+        for (std::uint64_t i = 0; i < *crash_load; ++i) {
+          eng.deposit(p, sim::Task{static_cast<std::uint32_t>(*crash_step),
+                                   static_cast<std::uint32_t>(p), 1});
+        }
+      }
+      // The crash step itself: re-homing happens at its start.
+      eng.step_once();
+      const std::uint64_t peak = eng.step_max_load();
+      const std::uint64_t steps =
+          peak <= band ? 0 : steps_to_recover(eng, band, *max_steps);
+
+      rt_table.row()
+          .cell(policy)
+          .cell(band)
+          .cell(peak)
+          .cell(steps)
+          .cell(eng.rehomed_tasks())
+          .cell(eng.rehomed_events());
+
+      const std::string prefix = "recovery." + policy + ".";
+      auto& m = rec.metrics();
+      m.gauge(prefix + "band") = static_cast<double>(band);
+      m.gauge(prefix + "peak") = static_cast<double>(peak);
+      m.gauge(prefix + "steps") = static_cast<double>(steps);
+      m.gauge(prefix + "rehomed_tasks") =
+          static_cast<double>(eng.rehomed_tasks());
+      m.gauge(prefix + "rehomed_events") =
+          static_cast<double>(eng.rehomed_events());
+      if (!eng.conservation_holds()) {
+        std::fprintf(stderr, "FATAL: conservation violated (%s)\n",
+                     policy.c_str());
+        return 1;
+      }
+    }
+    clb::bench::emit(rt_table, "recovery_2");
+    util::print_note("gauges: recovery.<policy>.{band, peak, steps, "
+                     "rehomed_tasks, rehomed_events}; tools/statcheck.py "
+                     "--recovery gates them");
+    rec.finish();
+    return 0;
+  }
+
   util::print_banner("EXP-20  steps until max load <= 2T after a spike");
   util::print_note("expect: threshold drains ~transfer/phase (linear, "
                    "fast); unbalanced drains at eps/step (~10x slower); "
@@ -107,5 +242,7 @@ int main(int argc, char** argv) {
   util::print_note("threshold recovery is linear in the spike at slope "
                    "~phase_len/transfer_amount; 'none' tracks the eps-drain "
                    "prediction.");
+
+  rec.finish();
   return 0;
 }

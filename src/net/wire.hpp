@@ -1,0 +1,101 @@
+// Byte-level wire helpers shared by everything that serialises protocol
+// state onto a real transport: little-endian integer packing, a CRC-32
+// (reflected, polynomial 0xEDB88320 — the zlib/PNG one) computed with a
+// compile-time table, and the canonical encoding of net::SeqKey so framed
+// messages carry the exact sequencing vocabulary the in-memory fabric
+// orders by. Header-only on purpose: the transport codec and its tests use
+// these from both sides of a fork.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/delivery.hpp"
+
+namespace clb::net::wire {
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+[[nodiscard]] inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+[[nodiscard]] inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+}  // namespace detail
+
+/// CRC-32 over `len` bytes; `seed` chains partial computations (pass the
+/// previous return value to continue a running checksum).
+[[nodiscard]] inline std::uint32_t crc32(const std::uint8_t* data,
+                                         std::size_t len,
+                                         std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = detail::kCrcTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// Canonical SeqKey wire layout: send_step u64, stage u8, major u64,
+/// minor u32 (21 bytes). The transport's message serialiser writes every
+/// message's fabric sequence with this, so a framed message round-trips the
+/// exact key net::sort_due_batch orders by.
+inline void put_seq_key(std::vector<std::uint8_t>& out, const SeqKey& k) {
+  put_u64(out, k.send_step);
+  out.push_back(static_cast<std::uint8_t>(k.stage));
+  put_u64(out, k.major);
+  put_u32(out, k.minor);
+}
+
+inline constexpr std::size_t kSeqKeyWireSize = 8 + 1 + 8 + 4;
+
+[[nodiscard]] inline SeqKey get_seq_key(const std::uint8_t* p) {
+  SeqKey k;
+  k.send_step = get_u64(p);
+  k.stage = static_cast<SendStage>(p[8]);
+  k.major = get_u64(p + 9);
+  k.minor = get_u32(p + 17);
+  return k;
+}
+
+}  // namespace clb::net::wire

@@ -55,6 +55,15 @@ unsigned resolve_workers(const RtConfig& cfg) {
 
 }  // namespace
 
+const char* transport_name(Transport t) {
+  switch (t) {
+    case Transport::kInProc: return "inproc";
+    case Transport::kUds: return "uds";
+    case Transport::kTcp: return "tcp";
+  }
+  return "?";
+}
+
 const char* policy_name(RtPolicy p) {
   switch (p) {
     case RtPolicy::kNone: return "none";
@@ -219,6 +228,9 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
             "runtime requires a parallel-safe (counter-RNG) model");
   CLB_CHECK(cfg_.n >= 1 && cfg_.n <= (1ULL << 31),
             "runtime processor ids must fit comfortably in 32 bits");
+  CLB_CHECK(cfg_.transport == Transport::kInProc,
+            "rt::Runtime executes the in-proc substrate only; for kUds/kTcp "
+            "construct a transport::ProcessRuntime from this config");
   const unsigned w = resolve_workers(cfg_);
   cfg_.workers = w;
   telemetry_ = cfg_.telemetry && obs::kTelemetryCompiled;

@@ -68,6 +68,16 @@ enum class RtPolicy {
 
 [[nodiscard]] const char* policy_name(RtPolicy p);
 
+/// Message substrate selection. kInProc is this runtime's native mode
+/// (threads + mailboxes in one address space). kUds/kTcp request the
+/// cross-process transport: rt::Runtime itself refuses them — construct a
+/// transport::ProcessRuntime from the same RtConfig instead (it forks one
+/// process per shard and speaks the frame codec over Unix-domain or
+/// loopback-TCP sockets; see src/transport/).
+enum class Transport : std::uint8_t { kInProc, kUds, kTcp };
+
+[[nodiscard]] const char* transport_name(Transport t);
+
 struct RtConfig {
   std::uint64_t n = 1024;
   std::uint64_t seed = 1;
@@ -75,6 +85,10 @@ struct RtConfig {
   unsigned workers = 1;
   /// Sequenced message delivery + canonical tie-breaks (see file header).
   bool deterministic = true;
+  /// Which substrate carries the protocol (see Transport). This runtime
+  /// only executes kInProc; the socket transports are selected through
+  /// transport::ProcessRuntime, which consumes the same config.
+  Transport transport = Transport::kInProc;
   RtPolicy policy = RtPolicy::kThreshold;
   /// Realised phase parameters; required (from_n) when policy==kThreshold.
   core::PhaseParams params{};

@@ -1,0 +1,127 @@
+#include "transport/frame.hpp"
+
+#include <cstring>
+
+#include "net/wire.hpp"
+#include "util/check.hpp"
+
+namespace clb::transport {
+
+const char* decode_status_name(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+    case DecodeStatus::kTooLong: return "too-long";
+    default: break;
+  }
+  if (s == kDupSeq) return "dup-seq";
+  if (s == kGapSeq) return "gap-seq";
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
+                                       const std::uint8_t* payload,
+                                       std::size_t payload_len) {
+  CLB_CHECK(payload_len <= kMaxFramePayload, "frame payload too large");
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderSize + payload_len);
+  net::wire::put_u32(out, kFrameMagic);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  net::wire::put_u16(out, 0);  // channel (reserved)
+  net::wire::put_u64(out, seq);
+  net::wire::put_u32(out, static_cast<std::uint32_t>(payload_len));
+  net::wire::put_u32(out, 0);  // CRC placeholder
+  if (payload_len != 0) {
+    out.insert(out.end(), payload, payload + payload_len);
+  }
+  std::uint32_t crc = net::wire::crc32(out.data(), kFrameHeaderSize);
+  if (payload_len != 0) {
+    crc = net::wire::crc32(payload, payload_len, crc);
+  }
+  // Patch the CRC field in place (offset 20).
+  out[20] = static_cast<std::uint8_t>(crc);
+  out[21] = static_cast<std::uint8_t>(crc >> 8);
+  out[22] = static_cast<std::uint8_t>(crc >> 16);
+  out[23] = static_cast<std::uint8_t>(crc >> 24);
+  return out;
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len) {
+  DecodeResult r;
+  if (len < kFrameHeaderSize) return r;  // kNeedMore
+  if (net::wire::get_u32(data) != kFrameMagic) {
+    r.status = DecodeStatus::kBadMagic;
+    return r;
+  }
+  if (data[4] != kWireVersion) {
+    r.status = DecodeStatus::kBadVersion;
+    return r;
+  }
+  const std::uint32_t payload_len = net::wire::get_u32(data + 16);
+  if (payload_len > kMaxFramePayload) {
+    r.status = DecodeStatus::kTooLong;
+    return r;
+  }
+  if (len < kFrameHeaderSize + payload_len) return r;  // kNeedMore
+  const std::uint32_t wire_crc = net::wire::get_u32(data + 20);
+  // Recompute with the CRC field zeroed, exactly as the encoder signed it.
+  std::uint8_t header[kFrameHeaderSize];
+  std::memcpy(header, data, kFrameHeaderSize);
+  header[20] = header[21] = header[22] = header[23] = 0;
+  std::uint32_t crc = net::wire::crc32(header, kFrameHeaderSize);
+  crc = net::wire::crc32(data + kFrameHeaderSize, payload_len, crc);
+  if (crc != wire_crc) {
+    r.status = DecodeStatus::kBadCrc;
+    return r;
+  }
+  r.status = DecodeStatus::kOk;
+  r.consumed = kFrameHeaderSize + payload_len;
+  r.frame.type = static_cast<FrameType>(data[5]);
+  r.frame.seq = net::wire::get_u64(data + 8);
+  r.frame.payload.assign(data + kFrameHeaderSize,
+                         data + kFrameHeaderSize + payload_len);
+  return r;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
+  // Compact once the consumed prefix dominates, so the buffer cannot grow
+  // without bound on a long-lived connection.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+DecodeStatus FrameReader::next(Frame& out) {
+  if (!error_.empty()) return DecodeStatus::kBadMagic;  // stream is poisoned
+  DecodeResult r = decode_frame(buf_.data() + pos_, buf_.size() - pos_);
+  if (r.status != DecodeStatus::kOk) {
+    if (r.status != DecodeStatus::kNeedMore) {
+      error_ = std::string("frame decode failed: ") +
+               decode_status_name(r.status);
+    }
+    return r.status;
+  }
+  if (r.frame.seq == last_seq_ ||
+      (last_seq_ != 0 && r.frame.seq < last_seq_)) {
+    error_ = "duplicate frame sequence " + std::to_string(r.frame.seq) +
+             " (last " + std::to_string(last_seq_) + ")";
+    return kDupSeq;
+  }
+  if (r.frame.seq != last_seq_ + 1) {
+    error_ = "frame sequence gap: got " + std::to_string(r.frame.seq) +
+             ", expected " + std::to_string(last_seq_ + 1);
+    return kGapSeq;
+  }
+  last_seq_ = r.frame.seq;
+  pos_ += r.consumed;
+  out = std::move(r.frame);
+  return DecodeStatus::kOk;
+}
+
+}  // namespace clb::transport

@@ -1,0 +1,33 @@
+// The shadow-fabric cross-check: every deterministic cross-process run is
+// re-executed on the in-memory rt::Runtime (same config, same worker count,
+// same command log of run()/deposit() calls) and the two outcomes are
+// compared field by field — transfer ledger, message counters, phase log
+// (heavy lists included), per-queue TASK IDENTITY (birth step, origin,
+// weight — not just counts), clamp counter, running max load and the
+// step-counted sojourn histogram.
+//
+// This is the conviction layer the wire CRC cannot provide: a frame whose
+// payload was corrupted BEFORE signing carries a valid CRC and keeps every
+// count self-consistent, but the shadow sees a task that was never born
+// with that identity and names the first divergence (the frame-corrupt
+// mutation test drives exactly this path).
+#pragma once
+
+#include <string>
+
+#include "transport/process_runtime.hpp"
+
+namespace clb::transport {
+
+struct ShadowReport {
+  bool ok = true;
+  /// Human-readable description of the FIRST divergence ("" when ok).
+  std::string divergence;
+};
+
+/// Replays `pr`'s command log on an in-proc rt::Runtime and compares.
+/// Requires a deterministic config (bit-identity is only promised there).
+/// Calls pr.collect() — no further run()/deposit() on pr afterwards.
+[[nodiscard]] ShadowReport shadow_check(ProcessRuntime& pr);
+
+}  // namespace clb::transport

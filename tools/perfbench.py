@@ -37,10 +37,25 @@ Document schema (clb.bench_rt.v1):
     # rehomed_tasks / rehomed_events gauges)
     "exp25": [{"model": .., "policy": .., "max_load": ..,
                "final_mean_load": .., "tasks_moved": ..,
-               "msgs_per_task": .., "consumed": ..}, ...]
+               "msgs_per_task": .., "consumed": ..}, ...],
+    # with --exp26: the cross-process transport sweep (bench_transport:
+    # in-proc vs UDS/TCP at each shard count). Only recorded when the
+    # bench's shadow cross-check proved the socket run bit-identical to
+    # the in-memory runtime (exp26.shadow_ok); wire_* fields appear on
+    # socket substrates only.
+    "exp26": [{"substrate": "inproc"|"uds"|"tcp", "workers": ..,
+               "tasks_per_sec": .., "wall_seconds": .., "vs_inproc": ..,
+               "sojourn_p50_us": .., "sojourn_p95_us": ..,
+               "sojourn_p99_us": .., "consumed": ..,
+               "running_max_load": ..,
+               # socket substrates only:
+               "wire_bytes_sent": .., "wire_frames_sent": ..,
+               "wire_barriers": .., "wire_barrier_rtt_mean_us": ..,
+               "wire_barrier_rtt_p99_us": .., "wire_kb_per_step": ..},
+              ...]
   }
 
-The exp24/exp25 sections are optional (schema stays clb.bench_rt.v1);
+The exp24/exp25/exp26 sections are optional (schema stays clb.bench_rt.v1);
 baselines recorded without them keep comparing cleanly — --compare only
 reads "runs".
 
@@ -115,6 +130,29 @@ EXP25_FIELDS = [
     "consumed",
 ]
 
+# Per-run gauges of the EXP-26 cross-process transport sweep (--exp26,
+# driven by bench_transport rather than bench_rt).
+EXP26_FIELDS = [
+    "tasks_per_sec",
+    "wall_seconds",
+    "vs_inproc",
+    "sojourn_p50_us",
+    "sojourn_p95_us",
+    "sojourn_p99_us",
+    "consumed",
+    "running_max_load",
+]
+
+# Wire accounting, present only on socket-backed substrates (uds/tcp).
+EXP26_WIRE_FIELDS = [
+    "wire.bytes_sent",
+    "wire.frames_sent",
+    "wire.barriers",
+    "wire.barrier_rtt_mean_us",
+    "wire.barrier_rtt_p99_us",
+    "wire.kb_per_step",
+]
+
 
 def fail(msg: str) -> "sys.NoReturn":
     print(f"perfbench: FAIL: {msg}", file=sys.stderr)
@@ -148,6 +186,50 @@ def run_bench(bench: str, args: argparse.Namespace, metrics_path: str) -> None:
     if proc.returncode != 0:
         print(proc.stdout, file=sys.stderr)
         fail(f"bench_rt exited {proc.returncode}")
+
+
+def run_bench_transport(args: argparse.Namespace, metrics_path: str) -> dict:
+    cmd = [
+        args.bench_transport,
+        f"--seed={args.seed}",
+        f"--workers={args.exp26_workers}",
+        f"--metrics-json={metrics_path}",
+    ]
+    if args.smoke:
+        cmd.append("--smoke")
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout, file=sys.stderr)
+        fail(f"bench_transport exited {proc.returncode}")
+    try:
+        with open(metrics_path, encoding="utf-8") as f:
+            return json.load(f).get("gauges", {})
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read bench_transport metrics: {e}")
+
+
+def assemble_exp26(gauges: dict) -> list:
+    if gauges.get("exp26.shadow_ok") != 1.0:
+        fail("bench_transport's shadow cross-check gauge is missing or not "
+             "1.0 — the transport run was not proven bit-identical")
+    rx = re.compile(r"^exp26\.([a-z]+)\.w(\d+)\.tasks_per_sec$")
+    points = sorted((m.group(1), int(m.group(2)))
+                    for name in gauges if (m := rx.match(name)))
+    if not points:
+        fail("--exp26 requested but bench_transport emitted no exp26.* "
+             "run gauges")
+    exp26 = []
+    for substrate, w in points:
+        prefix = f"exp26.{substrate}.w{w}."
+        point = {"substrate": substrate, "workers": w}
+        for field in EXP26_FIELDS:
+            point[field] = gauges[prefix + field]
+        for field in EXP26_WIRE_FIELDS:
+            if prefix + field in gauges:
+                point[field.replace(".", "_")] = gauges[prefix + field]
+        exp26.append(point)
+    return exp26
 
 
 def assemble(gauges: dict, args: argparse.Namespace) -> dict:
@@ -280,6 +362,21 @@ def validate(doc: dict) -> None:
                 for key in ("rehomed_tasks", "rehomed_events"):
                     if not isinstance(point.get(key), (int, float)):
                         fail(f"exp25[{i}].{key} missing on a crash row")
+    if "exp26" in doc:
+        points = doc["exp26"]
+        if not isinstance(points, list) or not points:
+            fail("exp26 present but not a non-empty list")
+        for i, point in enumerate(points):
+            if not isinstance(point.get("substrate"), str):
+                fail(f"exp26[{i}].substrate missing or not a string")
+            for key in ("workers", *EXP26_FIELDS):
+                if not isinstance(point.get(key), (int, float)):
+                    fail(f"exp26[{i}].{key} missing or not numeric")
+            if point["substrate"] != "inproc":
+                for key in EXP26_WIRE_FIELDS:
+                    flat = key.replace(".", "_")
+                    if not isinstance(point.get(flat), (int, float)):
+                        fail(f"exp26[{i}].{flat} missing on a socket row")
 
 
 def gate(doc: dict, args: argparse.Namespace) -> None:
@@ -309,13 +406,21 @@ def compare(doc: dict, args: argparse.Namespace) -> None:
 
     hw_now = doc["host"]["hardware_concurrency"]
     hw_base = base.get("host", {}).get("hardware_concurrency")
+    refresh = (f"python3 tools/perfbench.py --bench {args.bench} "
+               f"--out {args.compare}")
     if hw_now != hw_base:
-        print(f"perfbench: compare disarmed (baseline recorded on "
-              f"{hw_base} cores, this host has {hw_now})")
+        print(f"perfbench: compare disarmed — baseline {args.compare!r} was "
+              f"recorded on a {hw_base}-core host, this host has {hw_now} "
+              f"cores; comparing throughput across machine shapes gates the "
+              f"hardware, not the code. Refresh the baseline on a "
+              f">= {args.min_cores_for_gate}-core runner with: {refresh}")
         return
     if hw_now < args.min_cores_for_gate:
-        print(f"perfbench: compare disarmed ({hw_now} cores < "
-              f"{args.min_cores_for_gate} required)")
+        print(f"perfbench: compare disarmed — this host has {hw_now} cores, "
+              f"below the {args.min_cores_for_gate}-core floor (worker "
+              f"threads there are concurrency, not parallelism). Record and "
+              f"compare baselines on a >= {args.min_cores_for_gate}-core "
+              f"runner with: {refresh}")
         return
 
     tol = args.compare_tolerance
@@ -376,6 +481,14 @@ def main() -> int:
                     help="also run the EXP-25 workload-zoo grid (zoo model "
                          "x policy + crash pass) and record it under "
                          "'exp25'")
+    ap.add_argument("--exp26", action="store_true",
+                    help="also run the EXP-26 cross-process transport sweep "
+                         "(bench_transport: in-proc vs UDS, shadow-checked) "
+                         "and record it under 'exp26'")
+    ap.add_argument("--bench-transport", default="build/bench/bench_transport",
+                    help="path to the bench_transport binary (--exp26)")
+    ap.add_argument("--exp26-workers", default="2,4",
+                    help="shard counts for the EXP-26 sweep")
     ap.add_argument("--n", type=int, default=4096)
     ap.add_argument("--steps", type=int, default=2000)
     ap.add_argument("--spin", type=int, default=64)
@@ -430,8 +543,14 @@ def main() -> int:
                 gauges = json.load(f).get("gauges", {})
         except (OSError, json.JSONDecodeError) as e:
             fail(f"cannot read bench metrics: {e}")
+        transport_gauges = None
+        if args.exp26:
+            transport_gauges = run_bench_transport(
+                args, os.path.join(tmp, "bench_transport.metrics.json"))
 
     doc = assemble(gauges, args)
+    if transport_gauges is not None:
+        doc["exp26"] = assemble_exp26(transport_gauges)
     validate(doc)
     if not args.smoke:
         gate(doc, args)

@@ -124,6 +124,22 @@ DEFAULT_LIMITS = {
     "exp25.crash_rehomed_tasks_min": 1.0,
     # every zoo run consumes work                  (measured 5249-17936)
     "exp25.consumed_min": 1.0,
+    # EXP-20b --recovery-time (fixture: n=1024, crash-step 64, crash-down
+    # 128, 8 crashed procs x 48 pre-loaded tasks; deterministic):
+    # every crashed processor re-homes exactly once (measured 8)
+    "recovery.rehomed_events": 8.0,
+    # re-homed queues carry at least the pre-loaded tasks (measured 390-5396)
+    "recovery.rehomed_tasks_min": 384.0,
+    # the burst actually spikes: peak >= this multiple of the pre-crash band
+    # for the non-herding policies              (measured 197/4 and 397/16)
+    "recovery.peak_over_band_min": 2.0,
+    # local-search re-enters its band fast         (measured 9 steps)
+    "recovery.ls_steps_hi": 64.0,
+    # the unbalanced control drains only at eps/step (measured 3734 steps)
+    "recovery.none_steps_min": 500.0,
+    # local-search beats the control by an order of magnitude
+    # (measured 9/3734 ~= 0.0024)
+    "recovery.ls_vs_none_hi": 0.1,
 }
 
 RESULTS = []
@@ -393,6 +409,45 @@ def check_exp25(g, limit):
               f"crash/{policy}: {tasks:g} re-homed tasks >= {lim:g}")
 
 
+def check_recovery(g, limit):
+    policies = sorted({m.group(1) for name in g
+                       if (m := re.match(r"^recovery\.([a-z-]+)\.steps$",
+                                         name))})
+    if not policies:
+        check("recovery.present", False, "no recovery.<policy>.* gauges")
+        return
+    for policy in policies:
+        p = f"recovery.{policy}."
+        lim = limit("recovery.rehomed_events")
+        events = g[p + "rehomed_events"]
+        check("recovery.rehomed_events", events == lim,
+              f"{policy}: {events:g} re-home events == {lim:g}")
+        lim = limit("recovery.rehomed_tasks_min")
+        tasks = g[p + "rehomed_tasks"]
+        check("recovery.rehomed_tasks_min", tasks >= lim,
+              f"{policy}: {tasks:g} re-homed tasks >= {lim:g}")
+        if policy != "stale-sq":  # herding inflates the pre-crash band
+            lim = limit("recovery.peak_over_band_min")
+            peak, band = g[p + "peak"], g[p + "band"]
+            check("recovery.peak_over_band_min", peak >= lim * band,
+                  f"{policy}: peak {peak:g} >= {lim:g} * band {band:g}")
+    if "local-search" in policies:
+        lim = limit("recovery.ls_steps_hi")
+        ls = g["recovery.local-search.steps"]
+        check("recovery.ls_steps_hi", ls <= lim,
+              f"local-search recovers in {ls:g} steps <= {lim:g}")
+    if "none" in policies:
+        lim = limit("recovery.none_steps_min")
+        none = g["recovery.none.steps"]
+        check("recovery.none_steps_min", none >= lim,
+              f"unbalanced control needs {none:g} steps >= {lim:g}")
+        if "local-search" in policies:
+            lim = limit("recovery.ls_vs_none_hi")
+            ls = g["recovery.local-search.steps"]
+            check("recovery.ls_vs_none_hi", ls <= lim * none,
+                  f"local-search {ls:g} <= {lim:g} * control {none:g} steps")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Evaluate EXPERIMENTS.md tolerance bands against bench "
@@ -403,6 +458,8 @@ def main():
     ap.add_argument("--exp22", help="bench_rt latency-sweep metrics JSON")
     ap.add_argument("--exp24", help="bench_rt link-model-sweep metrics JSON")
     ap.add_argument("--exp25", help="bench_rt workload-grid metrics JSON")
+    ap.add_argument("--recovery",
+                    help="bench_recovery --recovery-time metrics JSON")
     ap.add_argument("--override", action="append", default=[],
                     metavar="BAND=VALUE",
                     help="perturb a band limit (self-test hook)")
@@ -421,9 +478,9 @@ def main():
         return limits[band]
 
     if not (args.exp03 or args.exp07 or args.exp13 or args.exp22 or
-            args.exp24 or args.exp25):
+            args.exp24 or args.exp25 or args.recovery):
         ap.error("at least one of --exp03/--exp07/--exp13/--exp22/--exp24/"
-                 "--exp25 is required")
+                 "--exp25/--recovery is required")
 
     if args.exp03:
         print(f"exp03 bands ({args.exp03}):")
@@ -443,6 +500,9 @@ def main():
     if args.exp25:
         print(f"exp25 bands ({args.exp25}):")
         check_exp25(gauges(args.exp25), limit)
+    if args.recovery:
+        print(f"recovery bands ({args.recovery}):")
+        check_recovery(gauges(args.recovery), limit)
 
     passed = sum(RESULTS)
     failed = len(RESULTS) - passed
