@@ -49,6 +49,8 @@ void WorkerTelemetry::merge(const WorkerTelemetry& other) {
   generated += other.generated;
   consumed += other.consumed;
   phases += other.phases;
+  steals += other.steals;
+  stolen_tasks += other.stolen_tasks;
   if (other.fabric_max_in_flight > fabric_max_in_flight) {
     fabric_max_in_flight = other.fabric_max_in_flight;
   }
@@ -74,6 +76,8 @@ void merge_worker_telemetry(MetricsRegistry& m, const WorkerTelemetry& t,
   m.counter(prefix + "generated") = t.generated;
   m.counter(prefix + "consumed") = t.consumed;
   m.counter(prefix + "phases") = t.phases;
+  m.counter(prefix + "steals") = t.steals;
+  m.counter(prefix + "stolen_tasks") = t.stolen_tasks;
   m.gauge(prefix + "utilization") = t.utilization();
   m.gauge(prefix + "stall_fraction") = t.stall_fraction();
   m.gauge(prefix + "drain_batch_mean") = t.drain_batch_hist.mean();

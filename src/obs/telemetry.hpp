@@ -107,6 +107,10 @@ struct WorkerTelemetry {
   std::uint64_t consumed = 0;
   std::uint64_t phases = 0;  ///< balancing phases observed (lockstep)
 
+  // ---- work stealing (RtConfig::steal; zero with stealing off) ----
+  std::uint64_t steals = 0;        ///< own-victim steal batches shipped
+  std::uint64_t stolen_tasks = 0;  ///< tasks those batches carried
+
   // ---- latency fabric (leader-recorded; zero in instant mode) ----
   std::uint64_t fabric_max_in_flight = 0;
   std::uint64_t fabric_flight_sum = 0;      ///< sum of per-step in-flight

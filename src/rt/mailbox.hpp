@@ -126,6 +126,40 @@ class Mailbox {
     return nullptr;
   }
 
+  /// Batched drain: detaches the entire pending chain and invokes `f` on
+  /// every message in FIFO order (identical to the order a pop() loop would
+  /// deliver — the bit-identity of batched vs per-message draining is by
+  /// construction). Returns the batch size.
+  ///
+  /// Owner thread only, and ONLY at a quiescent point: all producers must
+  /// have passed a barrier since their last push. That is exactly when the
+  /// runtime drains (see the file header), and it is what lets this replace
+  /// a pop() loop's per-message acquire/stub-cycling with one head read and
+  /// a plain pointer walk — the batched-drain amortisation of the scaling
+  /// work. `f` may delete the message; the next link is read first.
+  template <typename F>
+  std::uint64_t drain_all(F&& f) {
+    Message* const last = head_.load(std::memory_order_acquire);
+    if (last == &stub_ && tail_ == &stub_) return 0;
+    Message* cur = tail_;
+    if (cur == &stub_) cur = stub_.next.load(std::memory_order_acquire);
+    // Reset to the empty state before processing; at a quiescent point no
+    // producer can observe the intermediate states.
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+    tail_ = &stub_;
+    head_.store(&stub_, std::memory_order_release);
+    std::uint64_t count = 0;
+    while (cur != nullptr) {
+      Message* const next = cur->next.load(std::memory_order_acquire);
+      const bool done = cur == last;
+      f(cur);
+      ++count;
+      if (done) break;
+      cur = next;
+    }
+    return count;
+  }
+
  private:
   alignas(64) std::atomic<Message*> head_;  // producers XCHG here
   alignas(64) Message* tail_;               // consumer-private cursor

@@ -210,6 +210,9 @@ struct alignas(64) Runtime::Worker {
   std::vector<LedgerEntry> dropped;  // drop_transfer_message victims
   std::uint64_t dropped_msgs = 0;
   std::uint64_t dropped_task_count = 0;
+  std::uint64_t steal_sends = 0;  // own-victim steal batches shipped
+  std::uint64_t stolen = 0;       // tasks those batches carried
+  std::uint64_t steal_dups = 0;   // steal_duplicate_task clones left behind
   stats::IntHistogram sojourn_steps, sojourn_us;
   std::uint64_t remote_pushes = 0;
   std::uint64_t self_pushes = 0;
@@ -312,6 +315,16 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
   CLB_CHECK(!cfg_.crash_lose_queue || !cfg_.crashes.empty(),
             "crash_lose_queue needs a crash schedule");
 
+  if (cfg_.steal.enabled) {
+    CLB_CHECK(cfg_.latency == 0,
+              "work stealing runs on the instant fabric only");
+    steal_board_.resize(cfg_.n, 0);
+    steal_dry_board_.resize(cfg_.n, 0);
+    steal_alive_board_.resize(cfg_.n, 1);
+  }
+  CLB_CHECK(!cfg_.steal_duplicate_task || cfg_.steal.enabled,
+            "steal_duplicate_task mutates the steal pass only");
+
   procs_.resize(cfg_.n);
   chunk_ = cfg_.n / w;
   extra_ = cfg_.n % w;
@@ -336,6 +349,15 @@ Runtime::Runtime(RtConfig cfg, sim::LoadModel* model)
     if (lat_) {
       worker->fabric.init(lat_->policy.max_delay());
       worker->links.configure(cfg_.link, cfg_.seed, lat_->policy.max_delay());
+    }
+    if (cfg_.arena) {
+      // One bump arena per shard: consecutive processors' rings come from
+      // consecutive arena bytes, so the owner's sequential step loop walks
+      // its queue storage almost linearly (see rt/arena.hpp).
+      arenas_.push_back(std::make_unique<TaskArena>());
+      for (std::uint64_t p = b; p < e; ++p) {
+        procs_[p].queue.use_arena(arenas_.back().get());
+      }
     }
     workers_.push_back(std::move(worker));
   }
@@ -440,18 +462,19 @@ void Runtime::apply_transfer([[maybe_unused]] Worker& w, const Message& m) {
 
 void Runtime::drain(Worker& w, std::vector<Message*>& out) {
   out.clear();
-  std::uint64_t batch = 0;
-  while (Message* m = w.inbox.pop()) {
-    ++batch;
+  // Batched drain: one detach of the whole pending chain (drain_all) instead
+  // of a per-message stub-cycling pop — FIFO order is identical, so the
+  // outputs are bit-identical to the pop() loop this replaces.
+  const std::uint64_t batch = w.inbox.drain_all([&](Message* m) {
     if (m->kind == MsgKind::kTransfer) {
       // Order-insensitive: at most one transfer reaches a given light per
       // phase (the assigned flag), so applying on drain keeps determinism.
       apply_transfer(w, *m);
       delete m;
-      continue;
+      return;
     }
     out.push_back(m);
-  }
+  });
 #if CLB_TELEMETRY_ENABLED
   if (telemetry_) {
     ++w.telem.drains;
@@ -465,11 +488,8 @@ void Runtime::drain(Worker& w, std::vector<Message*>& out) {
 
 void Runtime::drain_collect(Worker& w, std::vector<Message*>& out) {
   out.clear();
-  std::uint64_t batch = 0;
-  while (Message* m = w.inbox.pop()) {
-    ++batch;
-    out.push_back(m);
-  }
+  const std::uint64_t batch =
+      w.inbox.drain_all([&](Message* m) { out.push_back(m); });
 #if CLB_TELEMETRY_ENABLED
   if (telemetry_) {
     ++w.telem.drains;
@@ -524,10 +544,7 @@ void Runtime::send_transfer(Worker& w, std::uint64_t step, std::uint32_t root,
   m->a = root;
   m->b = partner;
   m->due = step;  // latency mode: payload hops mature the same step
-  m->payload.assign(src.queue.end() - static_cast<std::ptrdiff_t>(count),
-                    src.queue.end());
-  src.queue.erase(src.queue.end() - static_cast<std::ptrdiff_t>(count),
-                  src.queue.end());
+  src.queue.extract_back(count, m->payload);
   src.tasks_sent += count;
   ++w.msg.transfers;
   w.msg.tasks_moved += count;
@@ -592,7 +609,9 @@ void Runtime::step_once(Worker& w, std::uint64_t step) {
 
   // ---- generate / consume (mirrors Engine::generate_consume_block) ----
   const std::uint64_t system_load = w.sys_load;
+  const bool steal_on = cfg_.steal.enabled;
   for (std::uint64_t p = w.begin; p < w.end; ++p) {
+    if (steal_on) steal_dry_board_[p] = 0;  // dead procs are never dry
     if (!liveness_.empty() && !liveness_.alive(p, step)) continue;
     RtProcessor& proc = procs_[p];
     const sim::StepAction act = model_->step_action(
@@ -617,7 +636,13 @@ void Runtime::step_once(Worker& w, std::uint64_t step) {
       if (cfg_.spin_work != 0) spin(cfg_.spin_work);
       --c;
     }
+    // Dry = leftover consume budget (the loop invariant makes c > 0 imply
+    // an emptied queue): this processor is a steal thief this step.
+    if (steal_on && c > 0) steal_dry_board_[p] = 1;
   }
+
+  // ---- work stealing (mirrors Engine::apply_steals) ----
+  if (steal_on) run_steal(w, step);
 
   // ---- balancing policy ----
   bool phase_step = false;
@@ -847,6 +872,68 @@ void Runtime::run_zoo(Worker& w, std::uint64_t step) {
             [](const Message* x, const Message* y) { return x->a < y->a; });
   for (Message* m : w.batch) {
     CLB_DCHECK(m->kind == MsgKind::kTransfer, "unexpected message in zoo step");
+    apply_transfer(w, *m);
+    delete m;
+  }
+  w.batch.clear();
+}
+
+void Runtime::run_steal(Worker& w, std::uint64_t step) {
+  // Publish the post-consume load and liveness boards; the dry board was
+  // already written in place by this worker's consume loop. The barrier
+  // seals all three before anyone evaluates the rule.
+  for (std::uint64_t p = w.begin; p < w.end; ++p) {
+    steal_board_[p] = static_cast<std::uint32_t>(procs_[p].queue.size());
+    steal_alive_board_[p] = liveness_.alive(p, step) ? 1 : 0;
+  }
+  barrier(w);
+
+  // Replicated decisions over sealed boards — the run_zoo discipline. The
+  // list, and therefore the canonical transfer numbering derived from its
+  // order, is identical on every worker for every worker count (the same
+  // ordinal stream drop_transfer_message victims are chosen from).
+  const std::vector<sim::Transfer> ds = sim::steal_decisions(
+      cfg_.n, steal_board_, steal_dry_board_, steal_alive_board_, cfg_.steal);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const sim::Transfer& d = ds[i];
+    // The thief initiated this move (mirrors the engine's booking).
+    if (d.to >= w.begin && d.to < w.end) ++procs_[d.to].balance_initiations;
+    if (d.from < w.begin || d.from >= w.end) continue;
+    RtProcessor& src = procs_[d.from];
+    RtTask dup{};
+    if (cfg_.steal_duplicate_task) {
+      // Mutation: remember the newest task about to ship...
+      dup = src.queue[src.queue.size() - 1];
+    }
+    send_transfer(w, step, d.from, d.to, w.transfer_seen + i + 1, d.count);
+    if (cfg_.steal_duplicate_task) {
+      // ... and clone it back onto the victim — the steal that copies
+      // instead of moving. Conservation breaks by one task per steal;
+      // nothing books it. The oracle's job to convict.
+      src.queue.push_back(dup);
+      ++w.steal_dups;
+    }
+    ++w.steal_sends;
+    w.stolen += d.count;
+#if CLB_TELEMETRY_ENABLED
+    if (telemetry_) {
+      ++w.telem.steals;
+      w.telem.stolen_tasks += d.count;
+    }
+#endif
+  }
+  w.transfer_seen += ds.size();
+  barrier(w);
+
+  // Arrivals in ascending-victim order, exactly like the zoo policies (a
+  // thief receives at most one batch, but sorting keeps the application
+  // order canonical regardless).
+  drain_collect(w, w.batch);
+  std::sort(w.batch.begin(), w.batch.end(),
+            [](const Message* x, const Message* y) { return x->a < y->a; });
+  for (Message* m : w.batch) {
+    CLB_DCHECK(m->kind == MsgKind::kTransfer,
+               "unexpected message in steal step");
     apply_transfer(w, *m);
     delete m;
   }
@@ -1820,6 +1907,30 @@ std::uint64_t Runtime::dup_delivered() const {
   return s;
 }
 
+std::uint64_t Runtime::steal_events() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->steal_sends;
+  return s;
+}
+
+std::uint64_t Runtime::stolen_tasks() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->stolen;
+  return s;
+}
+
+std::uint64_t Runtime::steal_dup_tasks() const {
+  std::uint64_t s = 0;
+  for (const auto& w : workers_) s += w->steal_dups;
+  return s;
+}
+
+std::uint64_t Runtime::arena_bytes_used() const {
+  std::uint64_t s = 0;
+  for (const auto& a : arenas_) s += a->bytes_used();
+  return s;
+}
+
 void Runtime::append_snapshots(std::uint64_t step) {
   for (const auto& worker : workers_) {
     obs::append_telemetry_snapshot(telemetry_jsonl_, cfg_.telemetry_tag, step,
@@ -1901,7 +2012,10 @@ std::vector<LedgerEntry> Runtime::ledger() const {
             [](const LedgerEntry& a, const LedgerEntry& b) {
               if (a.step != b.step) return a.step < b.step;
               if (a.from != b.from) return a.from < b.from;
-              return a.to < b.to;
+              if (a.to != b.to) return a.to < b.to;
+              // A steal and a phase transfer may share (step, from, to);
+              // count keeps the canonical order total.
+              return a.count < b.count;
             });
   return all;
 }

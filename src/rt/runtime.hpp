@@ -34,7 +34,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
@@ -50,9 +49,11 @@
 #include "net/topology.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "rt/arena.hpp"
 #include "rt/mailbox.hpp"
 #include "sim/counters.hpp"
 #include "sim/model.hpp"
+#include "sim/steal.hpp"
 #include "stats/histogram.hpp"
 #include "util/thread_pool.hpp"
 
@@ -176,6 +177,26 @@ struct RtConfig {
   /// stay self-consistent; only the engine lockstep shadow (which plays the
   /// honest rule) can convict it (the stale-free-lunch mutation).
   bool stale_read_fresh = false;
+  /// Cache-conscious queue layout (see rt/arena.hpp): per-worker bump
+  /// arenas holding each shard's queues as SoA rings, replacing the
+  /// pointer-chasing per-queue std::deque. Pure layout change — ledgers,
+  /// counters and phase logs are bit-identical on or off (asserted by
+  /// test_rt_equivalence's arena grid).
+  bool arena = false;
+  /// Deterministic work stealing (see sim/steal.hpp): when a processor's
+  /// consume budget outlives its queue inside a step, it steals a batch
+  /// from the most-loaded processor via the pure shared decision rule,
+  /// replicated from sealed load/dry boards on every worker — the same
+  /// worker-count-invariant ordinal discipline as drop_transfer_message.
+  /// Instant fabric only; off by default so all lockstep tiers that predate
+  /// it are untouched.
+  sim::StealConfig steal{};
+  /// Test-only fault injection (steal.enabled): the steal *clones* one task
+  /// of every stolen batch instead of moving it — the task runs on the
+  /// thief while a copy stays on the victim, breaking conservation exactly
+  /// the way a buggy steal would (the steal-duplicate-task mutation; the
+  /// conservation/ledger oracle must convict it).
+  bool steal_duplicate_task = false;
   /// Per-worker hot-path telemetry (obs::WorkerTelemetry): superstep and
   /// barrier timing, mailbox traffic, drain batch sizes. Observation only —
   /// deterministic outputs are bit-identical on or off. Ignored (forced
@@ -222,7 +243,7 @@ struct RtPhaseSummary {
 /// run() is in flight; the main thread may inspect between runs (the
 /// command barrier orders the accesses).
 struct RtProcessor {
-  std::deque<RtTask> queue;
+  TaskQueue queue;
   std::uint64_t generated = 0;
   std::uint64_t consumed = 0;
   std::uint64_t consumed_on_origin = 0;
@@ -371,6 +392,20 @@ class Runtime {
     return stale_cheat_divergence_;
   }
 
+  // ---- work stealing (RtConfig::steal) ---------------------------------
+  /// Thief/victim pairs executed and tasks moved by the steal pass (steals
+  /// ship as regular kTransfer messages, so they also appear in ledger(),
+  /// messages().transfers and tasks_moved — same attribution as the engine).
+  [[nodiscard]] std::uint64_t steal_events() const;
+  [[nodiscard]] std::uint64_t stolen_tasks() const;
+  /// Mutation bookkeeping: tasks cloned by steal_duplicate_task (the
+  /// fuzzer's mutation_applied probe).
+  [[nodiscard]] std::uint64_t steal_dup_tasks() const;
+
+  // ---- arena bookkeeping (RtConfig::arena) -----------------------------
+  /// Bytes bump-allocated across all per-worker arenas (0 in fifo mode).
+  [[nodiscard]] std::uint64_t arena_bytes_used() const;
+
  private:
   struct alignas(64) Slot {
     std::uint64_t v0 = 0;
@@ -395,6 +430,12 @@ class Runtime {
   /// load board, replicate the shared pure decision rule on every worker,
   /// ship own-shard transfers, and apply arrivals in ascending-sender order.
   void run_zoo(Worker& w, std::uint64_t step);
+  /// The steal superstep (RtConfig::steal, instant fabric): publish the
+  /// post-consume load + dry boards, replicate sim::steal_decisions on
+  /// every worker, ship own-victim batches as kTransfer messages with
+  /// canonical ordinals, and apply arrivals in ascending-sender order —
+  /// the run_zoo discipline applied to stealing.
+  void run_steal(Worker& w, std::uint64_t step);
   /// Crash re-home at the start of a crash step: leader-serial queue moves
   /// behind a pair of barriers (no-op on other steps).
   void process_crashes(Worker& w, std::uint64_t step);
@@ -488,6 +529,17 @@ class Runtime {
   std::uint64_t rehomed_events_ = 0;
   std::uint64_t crash_lost_tasks_ = 0;
   std::uint64_t stale_cheat_divergence_ = 0;
+
+  // Work stealing (RtConfig::steal). Boards published by shard owners
+  // behind barriers, exactly like the zoo boards above; the dry board is
+  // written during each worker's own consume loop.
+  std::vector<std::uint32_t> steal_board_;      // post-consume loads
+  std::vector<std::uint8_t> steal_dry_board_;   // consume budget left over
+  std::vector<std::uint8_t> steal_alive_board_;
+
+  // Cache-conscious storage (RtConfig::arena): one bump arena per worker
+  // shard, so consecutive processors' rings are consecutive in memory.
+  std::vector<std::unique_ptr<TaskArena>> arenas_;
 
   std::uint64_t deposited_ = 0;
   double wall_seconds_ = 0;

@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 #include "core/liveness.hpp"
 #include "util/check.hpp"
 
@@ -11,6 +13,11 @@ Engine::Engine(EngineConfig cfg, LoadModel* model, Balancer* balancer)
   CLB_CHECK(cfg_.n <= (1ULL << 32), "processor ids must fit in 32 bits");
   CLB_CHECK(model_ != nullptr, "engine needs a load model");
   procs_.resize(cfg_.n);
+  if (cfg_.steal.enabled) {
+    dry_.resize(cfg_.n, 0);
+    steal_load_.resize(cfg_.n, 0);
+    steal_alive_.resize(cfg_.n, 1);
+  }
   const bool must_be_serial = cfg_.track_sojourn || model_->serial_generation();
   if (!must_be_serial && cfg_.threads != 1) {
     pool_ = std::make_unique<util::ThreadPool>(cfg_.threads);
@@ -35,6 +42,9 @@ void Engine::reset() {
   drained_ = 0;
   rehomed_tasks_ = 0;
   rehomed_events_ = 0;
+  std::fill(dry_.begin(), dry_.end(), std::uint8_t{0});
+  steal_log_.clear();
+  stolen_tasks_ = 0;
   if (balancer_ != nullptr) balancer_->on_reset(*this);
 }
 
@@ -45,7 +55,9 @@ void Engine::run(std::uint64_t steps) {
 void Engine::generate_consume_block(std::uint64_t begin, std::uint64_t end,
                                     std::uint64_t step) {
   const std::uint64_t system_load = total_load_;  // start-of-step snapshot
+  const bool steal_on = cfg_.steal.enabled;
   for (std::uint64_t p = begin; p < end; ++p) {
+    if (steal_on) dry_[p] = 0;  // dead processors are never dry
     if (cfg_.liveness != nullptr && !cfg_.liveness->alive(p, step)) continue;
     Processor& proc = procs_[p];
     const StepAction act =
@@ -67,6 +79,9 @@ void Engine::generate_consume_block(std::uint64_t begin, std::uint64_t end,
       }
       --c;
     }
+    // Dry = consume budget outlived the queue (the loop invariant makes
+    // c > 0 imply the queue emptied): this processor is a steal thief.
+    if (steal_on && c > 0) dry_[p] = 1;
   }
 }
 
@@ -87,6 +102,37 @@ void Engine::process_crashes(std::uint64_t step) {
   }
 }
 
+void Engine::apply_steals(std::uint64_t step) {
+  if (!cfg_.steal.enabled) return;
+  for (std::uint64_t p = 0; p < cfg_.n; ++p) {
+    steal_load_[p] = static_cast<std::uint32_t>(procs_[p].load());
+    steal_alive_[p] = cfg_.liveness == nullptr ||
+                              cfg_.liveness->alive(p, step)
+                          ? 1
+                          : 0;
+  }
+  const std::vector<Transfer> ds =
+      steal_decisions(cfg_.n, steal_load_, dry_, steal_alive_, cfg_.steal);
+  for (const Transfer& t : ds) {
+    Processor& src = procs_[t.from];
+    Processor& dst = procs_[t.to];
+    // The rule guarantees count <= load/2, so this never clamps.
+    const std::uint64_t weight =
+        dst.queue.append_from_back_of(src.queue, t.count);
+    src.weight_load -= weight;
+    dst.weight_load += weight;
+    src.tasks_sent += t.count;
+    dst.tasks_received += t.count;
+    ++dst.balance_initiations;  // the thief initiated this move
+    ++msg_.transfers;
+    msg_.tasks_moved += t.count;
+    stolen_tasks_ += t.count;
+    steal_log_.push_back(StealRecord{step, t.from, t.to, t.count});
+    CLB_TRACE_EVENT(cfg_.trace, obs::EventKind::kTransfer, step_, t.from, t.to,
+                    t.count);
+  }
+}
+
 void Engine::step_once() {
   const std::uint64_t step = step_;
   process_crashes(step);
@@ -97,6 +143,7 @@ void Engine::step_once() {
   } else {
     generate_consume_block(0, cfg_.n, step);
   }
+  apply_steals(step);
   if (balancer_ != nullptr) balancer_->on_step(*this);
   apply_transfers();
   refresh_load_aggregates();

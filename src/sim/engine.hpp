@@ -24,6 +24,7 @@
 #include "sim/counters.hpp"
 #include "sim/model.hpp"
 #include "sim/processor.hpp"
+#include "sim/steal.hpp"
 #include "stats/histogram.hpp"
 #include "util/thread_pool.hpp"
 
@@ -52,9 +53,24 @@ struct EngineConfig {
   /// target; while dead it neither generates nor consumes. Liveness-aware
   /// balancers must consult the same schedule.
   const core::LivenessSchedule* liveness = nullptr;
+  /// Deterministic work stealing (see sim/steal.hpp): after the
+  /// generate/consume pass, processors whose consume budget outlived their
+  /// queue steal from the most-loaded processors via the pure shared rule.
+  /// Off by default; the runtime's RtConfig::steal mirrors this knob.
+  StealConfig steal{};
 };
 
 struct Transfer {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t count = 0;
+};
+
+/// One applied steal (EngineConfig::steal), stamped with its step so
+/// equivalence tests can merge the steal log into the balancer-transfer
+/// ledger for cross-validation against the runtime's ledger().
+struct StealRecord {
+  std::uint64_t step = 0;
   std::uint32_t from = 0;
   std::uint32_t to = 0;
   std::uint32_t count = 0;
@@ -190,6 +206,17 @@ class Engine {
   [[nodiscard]] std::uint64_t total_deposited() const { return deposited_; }
   [[nodiscard]] std::uint64_t total_drained() const { return drained_; }
 
+  // ---- Work stealing (EngineConfig::steal) -----------------------------
+  /// Every steal applied so far, in application order (within a step that
+  /// is ascending victim id, by the decision rule's contract).
+  [[nodiscard]] const std::vector<StealRecord>& steal_log() const {
+    return steal_log_;
+  }
+  [[nodiscard]] std::uint64_t steal_events() const {
+    return steal_log_.size();
+  }
+  [[nodiscard]] std::uint64_t stolen_tasks() const { return stolen_tasks_; }
+
   // ---- Crash/recovery (EngineConfig::liveness) -------------------------
   /// Tasks moved off crashed processors so far (conserved: re-homing is a
   /// queue move, booked here and nowhere else — not in the transfer ledger,
@@ -204,6 +231,10 @@ class Engine {
   void generate_consume_block(std::uint64_t begin, std::uint64_t end,
                               std::uint64_t step);
   void process_crashes(std::uint64_t step);
+  /// Replays the pure steal rule over the post-generation loads and applies
+  /// the batches immediately (before the balancer sees the loads), exactly
+  /// where the runtime's run_steal superstep sits.
+  void apply_steals(std::uint64_t step);
   void apply_transfers();
   void refresh_load_aggregates();
 
@@ -228,6 +259,15 @@ class Engine {
   std::uint64_t drained_ = 0;
   std::uint64_t rehomed_tasks_ = 0;
   std::uint64_t rehomed_events_ = 0;
+
+  // Work stealing (EngineConfig::steal). dry_ is written by the
+  // generate/consume pass (disjoint ranges under the pool, so no races) and
+  // consumed serially by apply_steals.
+  std::vector<std::uint8_t> dry_;
+  std::vector<std::uint32_t> steal_load_;
+  std::vector<std::uint8_t> steal_alive_;
+  std::vector<StealRecord> steal_log_;
+  std::uint64_t stolen_tasks_ = 0;
 };
 
 }  // namespace clb::sim

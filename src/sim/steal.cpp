@@ -1,0 +1,63 @@
+#include "sim/steal.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace clb::sim {
+
+std::vector<Transfer> steal_decisions(std::uint64_t n,
+                                      const std::vector<std::uint32_t>& load,
+                                      const std::vector<std::uint8_t>& dry,
+                                      const std::vector<std::uint8_t>& alive,
+                                      const StealConfig& cfg) {
+  std::vector<Transfer> out;
+  if (!cfg.enabled) return out;
+  CLB_CHECK(cfg.min_victim_load >= 2, "min_victim_load must be >= 2");
+
+  // Thieves: dry alive processors, ascending id.
+  std::vector<std::uint32_t> thieves;
+  for (std::uint64_t p = 0; p < n; ++p) {
+    if (dry[p] && alive[p]) {
+      thieves.push_back(static_cast<std::uint32_t>(p));
+      if (thieves.size() >= cfg.max_steals_per_step) break;
+    }
+  }
+  if (thieves.empty()) return out;
+
+  // Victims: top-K loaded alive processors (load descending, id ascending on
+  // ties). K is tiny (<= max_steals_per_step), so an O(n * K) insertion
+  // selection beats sorting all n loads.
+  std::vector<std::uint32_t> victims;
+  victims.reserve(thieves.size());
+  for (std::uint64_t p = 0; p < n; ++p) {
+    if (!alive[p] || load[p] < cfg.min_victim_load) continue;
+    const std::uint32_t id = static_cast<std::uint32_t>(p);
+    // Find the insertion point among the current candidates. Scanning p in
+    // ascending order makes "id ascending" the natural tie-break: an equal
+    // load never displaces an earlier candidate.
+    std::size_t i = victims.size();
+    while (i > 0 && load[victims[i - 1]] < load[id]) --i;
+    if (i >= thieves.size()) continue;
+    victims.insert(victims.begin() + static_cast<std::ptrdiff_t>(i), id);
+    if (victims.size() > thieves.size()) victims.pop_back();
+  }
+  if (victims.empty()) return out;
+
+  // Pair by rank: the lowest-id thief takes the most-loaded victim. Emit
+  // sorted ascending by sender so the runtime's canonical send ordinals
+  // (list position) match the engine's application order.
+  const std::size_t pairs = std::min(thieves.size(), victims.size());
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const std::uint32_t count =
+        std::min<std::uint32_t>(cfg.max_batch, load[victims[i]] / 2);
+    if (count == 0) continue;
+    out.push_back(Transfer{victims[i], thieves[i], count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Transfer& a, const Transfer& b) { return a.from < b.from; });
+  return out;
+}
+
+}  // namespace clb::sim

@@ -1,0 +1,50 @@
+// Deterministic work stealing: the pure decision rule shared by the serial
+// engine and the concurrent runtime (the same engine<->rt sharing discipline
+// as baselines::stale_sq_decisions / local_search_decisions).
+//
+// A processor is "dry" when its consume budget outlived its queue inside the
+// current step — it had cycles to burn and nothing to run. Stealing pairs
+// each dry processor with a canonically-ordered victim (most-loaded alive
+// processor, ties broken by ascending id) and moves a small batch from the
+// back of the victim's FIFO, exactly like a balancer transfer. The rule is a
+// function of (loads, dry flags, liveness) only — never of worker count,
+// arrival order, or wall clock — so a runtime shard can replicate it from
+// sealed boards and stay bit-identical to the engine for any partition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clb::sim {
+
+struct Transfer;  // sim/engine.hpp
+
+/// Knobs for the steal pass (RtConfig::steal / EngineConfig::steal).
+struct StealConfig {
+  /// Master switch; default off so every existing lockstep tier is
+  /// untouched byte-for-byte.
+  bool enabled = false;
+  /// Victims must hold at least this many tasks (stealing a 1-task queue
+  /// just moves the imbalance). Must be >= 2 so count >= 1 below.
+  std::uint32_t min_victim_load = 4;
+  /// At most this many thief/victim pairs per step.
+  std::uint32_t max_steals_per_step = 8;
+  /// Per-steal batch cap; the actual count is min(max_batch, load/2).
+  std::uint32_t max_batch = 4;
+};
+
+/// The pure rule. Thieves are the dry alive processors in ascending id
+/// order (capped at max_steals_per_step); victims are the top-loaded alive
+/// processors with load >= min_victim_load (descending load, ascending id on
+/// ties), paired one-to-one by rank. Returned transfers are sorted ascending
+/// by sender with at most one per sender, no sender that is also a receiver
+/// (a dry processor has load 0 and can never qualify as a victim), and
+/// counts <= load[from] / 2 — so engine-side application never clamps and
+/// rt-side send-time pops see exactly the loads the decision assumed,
+/// independent of application order.
+[[nodiscard]] std::vector<Transfer> steal_decisions(
+    std::uint64_t n, const std::vector<std::uint32_t>& load,
+    const std::vector<std::uint8_t>& dry, const std::vector<std::uint8_t>& alive,
+    const StealConfig& cfg);
+
+}  // namespace clb::sim

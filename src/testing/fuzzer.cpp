@@ -77,6 +77,19 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
       s.crashes.clear();
       s.faults.push_back(FaultEvent{1, static_cast<std::uint32_t>(index % s.n),
                                     64});
+    } else if (opt.mutate == MutationKind::kStealDuplicateTask) {
+      // The clone lives in rt::Runtime's steal path; an unbalanced run keeps
+      // conviction pure (count conservation and queue identity against the
+      // engine shadow both notice the extra copies). A spike on one
+      // processor guarantees a loaded victim while its neighbours run dry,
+      // so steals are certain to fire.
+      s.balancer = BalancerKind::kNone;
+      clamp_to_runtime(s);
+      s.rt_latency = false;
+      s.rt_steal = true;
+      s.crashes.clear();
+      s.faults.push_back(FaultEvent{1, static_cast<std::uint32_t>(index % s.n),
+                                    64});
     } else {
       // The remaining mutations inject through sim::Engine's test hooks,
       // which the runtime path never calls.
@@ -118,6 +131,12 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
         default: break;
       }
     }
+    // Rotate the scale knobs on top of the organic draws so this tier keeps
+    // the arena queue layout and the steal path under sanitizer pressure
+    // regardless of what the organic draws picked (stealing is instant-
+    // fabric only; the sanitizer below drops it from latency scenarios).
+    if ((index / 4) % 2 == 0) s.rt_arena = true;
+    if (index % 4 == 2) s.rt_steal = true;
   }
 
   if (opt.workload_zoo) {
@@ -152,6 +171,11 @@ Scenario materialize(const FuzzOptions& opt, std::uint64_t index) {
       s.crashes.push_back(ev);
     }
   }
+
+  // Work stealing runs on the instant fabric only; any tier or mutation
+  // branch that forced the latency fabric (or dropped back to sim::Engine)
+  // on an organically steal-enabled scenario sheds the knob here.
+  if (s.rt_latency || !s.runtime) s.rt_steal = false;
 
   if (opt.n != kNoOverride) {
     s.n = opt.n < 16 ? 16 : opt.n;

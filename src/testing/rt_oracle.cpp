@@ -96,6 +96,16 @@ RtRun build_rt(const Scenario& s, unsigned workers) {
   cfg.stale = baselines::StaleSqConfig{s.stale_staleness, s.stale_gap};
   cfg.ls = baselines::LocalSearchConfig{s.ls_min_load};
   cfg.crashes = s.crashes;
+  cfg.arena = s.rt_arena;
+  if (s.rt_steal || s.mutation == MutationKind::kStealDuplicateTask) {
+    cfg.steal.enabled = true;
+  }
+  if (s.mutation == MutationKind::kStealDuplicateTask) {
+    // Stolen batches clone instead of move; conservation convicts (the
+    // extra copies are booked nowhere) and the engine shadow's queues
+    // diverge task-by-task.
+    cfg.steal_duplicate_task = true;
+  }
   if (s.mutation == MutationKind::kMailboxDrop) {
     // Drop the very first transfer the runtime sends; later ordinals risk
     // never firing on lightly loaded scenarios.
@@ -213,9 +223,14 @@ OracleReport run_against_engine(const Scenario& s) {
     inner = dist_shadow.get();
   }
   CaptureBalancer cap(inner);
-  sim::Engine eng({.n = s.n, .seed = s.engine_seed,
-                   .liveness = shadow.liveness.get()},
-                  shadow.model.get(), &cap);
+  sim::EngineConfig ec{.n = s.n, .seed = s.engine_seed,
+                       .liveness = shadow.liveness.get()};
+  // The shadow steals with the same pure rule (the mutation, if any, only
+  // ever reaches the rt side).
+  if (s.rt_steal || s.mutation == MutationKind::kStealDuplicateTask) {
+    ec.steal.enabled = true;
+  }
+  sim::Engine eng(ec, shadow.model.get(), &cap);
 
   std::vector<rt::LedgerEntry> engine_ledger;
   cap.set_post_capture_hook([&](sim::Engine& e) {
@@ -286,13 +301,20 @@ OracleReport run_against_engine(const Scenario& s) {
                      std::to_string(eng.rehomed_events()) + ")");
   }
 
-  // Ledger comparison, both sides canonically sorted (per-step sources are
-  // unique, so (step, from, to) is a total order on real runs).
+  // Ledger comparison, both sides canonically sorted. The runtime books
+  // steals into its ledger alongside balancer transfers; merge the engine's
+  // steal log in before sorting so both sides carry the same event set.
+  // A steal and a phase transfer may share (step, from, to), so `count`
+  // joins the sort key to keep the order total.
+  for (const sim::StealRecord& t : eng.steal_log()) {
+    engine_ledger.push_back({t.step, t.from, t.to, t.count});
+  }
   std::sort(engine_ledger.begin(), engine_ledger.end(),
             [](const rt::LedgerEntry& a, const rt::LedgerEntry& b) {
               if (a.step != b.step) return a.step < b.step;
               if (a.from != b.from) return a.from < b.from;
-              return a.to < b.to;
+              if (a.to != b.to) return a.to < b.to;
+              return a.count < b.count;
             });
   const std::vector<rt::LedgerEntry> rt_ledger = main.run->ledger();
   if (engine_ledger.size() != rt_ledger.size()) {
@@ -438,6 +460,16 @@ OracleReport run_rt_scenario(const Scenario& in) {
       probe.run->run(1);
     }
     r.mutation_applied = probe.run->stale_cheat_divergence() > 0;
+  }
+  if (s.mutation == MutationKind::kStealDuplicateTask) {
+    // Fired iff a steal batch actually shipped — each one clones its newest
+    // task back onto the victim, and the runtime counts the clones.
+    RtRun probe = build_rt(s, 1);
+    for (std::uint64_t step = 0; step < s.steps; ++step) {
+      apply_rt_faults(s, *probe.run, step);
+      probe.run->run(1);
+    }
+    r.mutation_applied = probe.run->steal_dup_tasks() > 0;
   }
   return r;
 }

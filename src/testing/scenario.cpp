@@ -86,6 +86,7 @@ const char* to_string(MutationKind m) {
     case MutationKind::kDupDelivery: return "dup-delivery";
     case MutationKind::kCrashLoseQueue: return "crash-lose-queue";
     case MutationKind::kStaleFreeLunch: return "stale-free-lunch";
+    case MutationKind::kStealDuplicateTask: return "steal-duplicate-task";
   }
   return "?";
 }
@@ -103,6 +104,7 @@ MutationKind mutation_from_string(const std::string& name) {
   if (name == "dup-delivery") return MutationKind::kDupDelivery;
   if (name == "crash-lose-queue") return MutationKind::kCrashLoseQueue;
   if (name == "stale-free-lunch") return MutationKind::kStaleFreeLunch;
+  if (name == "steal-duplicate-task") return MutationKind::kStealDuplicateTask;
   return MutationKind::kNone;
 }
 
@@ -301,6 +303,15 @@ Scenario Scenario::sample(std::uint64_t scenario_seed, std::uint64_t index) {
       s.crashes.push_back(ev);
     }
   }
+
+  // Scale knobs (arena-backed queues, deterministic work stealing): drawn
+  // after every older field so pre-existing (seed, index) pairs keep their
+  // exact scenarios. Stealing needs the instant fabric, so it is never
+  // combined with the latency dimension.
+  if (s.runtime) {
+    s.rt_arena = pick(rng, 0, 1) == 0;
+    if (!s.rt_latency && pick(rng, 0, 2) == 0) s.rt_steal = true;
+  }
   return s;
 }
 
@@ -322,6 +333,8 @@ std::string Scenario::describe() const {
     if (link_loss != 0) lat += " loss=" + std::to_string(link_loss);
   }
   if (!crashes.empty()) lat += " crashes=" + std::to_string(crashes.size());
+  if (rt_arena) lat += " arena";
+  if (rt_steal) lat += " steal";
   std::snprintf(
       buf, sizeof buf,
       "%s n=%llu steps=%llu model=%s balancer=%s threads=%u/%u "

@@ -69,6 +69,7 @@ enum class MutationKind {
   kDupDelivery,           // lossy link: replay a transfer cmd on ack loss
   kCrashLoseQueue,        // rt runtime: a crashed queue vanishes un-rehomed
   kStaleFreeLunch,        // rt stale-sq: decisions secretly read fresh loads
+  kStealDuplicateTask,    // rt stealing: a stolen batch clones, not moves
 };
 
 /// A load spike deposited onto one processor before `step` executes.
@@ -142,6 +143,15 @@ struct Scenario {
   /// Crash/recovery schedule; only drawn for liveness-aware balancers
   /// (none / stale-sq / local-search) on the instant fabric.
   std::vector<core::CrashEvent> crashes;
+
+  // Scale knobs (sampled after every older field, same stream-stability
+  // contract as the zoo knobs). Runtime scenarios only.
+  /// Arena-backed SoA shard queues instead of pointer-chasing FIFOs
+  /// (RtConfig::arena); outputs must be bit-identical either way.
+  bool rt_arena = false;
+  /// Deterministic work stealing (RtConfig::steal); instant fabric only,
+  /// so never drawn together with rt_latency.
+  bool rt_steal = false;
 
   /// Pure function of (seed, index): every field above is derived with
   /// counter RNG, so the same pair always yields the same scenario.

@@ -34,6 +34,8 @@ ProcessRuntime::ProcessRuntime(const rt::RtConfig& cfg, const ModelSpec& model)
                       "rt fault hooks are not carried by this transport");
             CLB_CHECK(cfg.trace == nullptr && !cfg.telemetry,
                       "tracing/telemetry are in-proc runtime features");
+            CLB_CHECK(!cfg.steal.enabled,
+                      "work stealing is not carried by this transport yet");
             ShardRunConfig sc;
             sc.n = cfg.n;
             sc.seed = cfg.seed;

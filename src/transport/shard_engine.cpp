@@ -943,10 +943,7 @@ void ShardEngine::send_transfer(std::uint64_t step, std::uint32_t root,
   m.key = root;
   m.a = root;
   m.b = partner;
-  m.payload.assign(src.queue.end() - static_cast<std::ptrdiff_t>(count),
-                   src.queue.end());
-  src.queue.erase(src.queue.end() - static_cast<std::ptrdiff_t>(count),
-                  src.queue.end());
+  src.queue.extract_back(count, m.payload);
   src.tasks_sent += count;
   ++msg_.transfers;
   msg_.tasks_moved += count;

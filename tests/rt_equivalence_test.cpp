@@ -79,16 +79,19 @@ struct RunRecord {
   std::uint64_t clamped = 0;
   std::uint64_t running_max = 0;
   std::uint64_t total_load = 0;
+  std::uint64_t steal_events = 0;
+  std::uint64_t stolen = 0;
   std::vector<rt::LedgerEntry> ledger;
   std::vector<PhaseRecord> phases;
 };
 
 RunRecord run_sim(std::uint64_t n, std::uint64_t seed, std::uint64_t steps,
-                  WhichModel which, const core::PhaseParams& params) {
+                  WhichModel which, const core::PhaseParams& params,
+                  const sim::StealConfig& steal = {}) {
   auto model = make_model(which, n);
   core::ThresholdBalancer inner({.params = params});
   clb::testing::CaptureBalancer cap(&inner);
-  sim::Engine eng({.n = n, .seed = seed}, model.get(), &cap);
+  sim::Engine eng({.n = n, .seed = seed, .steal = steal}, model.get(), &cap);
 
   RunRecord r;
   cap.set_post_capture_hook([&](sim::Engine& e) {
@@ -149,15 +152,24 @@ RunRecord run_sim(std::uint64_t n, std::uint64_t seed, std::uint64_t steps,
   r.clamped = eng.clamped_transfers();
   r.running_max = eng.running_max_load();
   r.total_load = eng.total_load();
+  r.steal_events = eng.steal_events();
+  r.stolen = eng.stolen_tasks();
+  // The engine books steals into a separate log (the runtime folds them
+  // into its ledger alongside balancer transfers); merge before sorting so
+  // the two event sets match.
+  for (const sim::StealRecord& t : eng.steal_log()) {
+    r.ledger.push_back({t.step, t.from, t.to, t.count});
+  }
   // The engine schedules transfers in id-delivery order, which leaves root
   // order once trees deepen; rt::Runtime::ledger() is canonically sorted by
-  // (step, from, to) — per-step sources are unique, so the sort loses
-  // nothing and makes the two directly comparable.
+  // (step, from, to, count) — count joins the key because a steal and a
+  // phase transfer may share the same (step, from, to).
   std::sort(r.ledger.begin(), r.ledger.end(),
             [](const rt::LedgerEntry& a, const rt::LedgerEntry& b) {
               if (a.step != b.step) return a.step < b.step;
               if (a.from != b.from) return a.from < b.from;
-              return a.to < b.to;
+              if (a.to != b.to) return a.to < b.to;
+              return a.count < b.count;
             });
   EXPECT_TRUE(eng.conservation_holds());
   return r;
@@ -165,7 +177,8 @@ RunRecord run_sim(std::uint64_t n, std::uint64_t seed, std::uint64_t steps,
 
 RunRecord run_rt(std::uint64_t n, std::uint64_t seed, std::uint64_t steps,
                  WhichModel which, const core::PhaseParams& params,
-                 unsigned workers) {
+                 unsigned workers, bool arena = false,
+                 const sim::StealConfig& steal = {}) {
   auto model = make_model(which, n);
   rt::RtConfig cfg;
   cfg.n = n;
@@ -174,6 +187,8 @@ RunRecord run_rt(std::uint64_t n, std::uint64_t seed, std::uint64_t steps,
   cfg.deterministic = true;
   cfg.policy = rt::RtPolicy::kThreshold;
   cfg.params = params;
+  cfg.arena = arena;
+  cfg.steal = steal;
   rt::Runtime run(cfg, model.get());
 
   const std::vector<Spike> spikes = spikes_for(seed, n);
@@ -205,6 +220,8 @@ RunRecord run_rt(std::uint64_t n, std::uint64_t seed, std::uint64_t steps,
   r.clamped = run.clamped_transfers();
   r.running_max = run.running_max_load();
   r.total_load = run.total_load();
+  r.steal_events = run.steal_events();
+  r.stolen = run.stolen_tasks();
   r.ledger = run.ledger();
   for (const rt::RtPhaseSummary& ps : run.phases()) {
     PhaseRecord pr;
@@ -253,6 +270,8 @@ void expect_equal(const RunRecord& sim_r, const RunRecord& rt_r,
   EXPECT_EQ(sim_r.clamped, rt_r.clamped);
   EXPECT_EQ(sim_r.running_max, rt_r.running_max);
   EXPECT_EQ(sim_r.total_load, rt_r.total_load);
+  EXPECT_EQ(sim_r.steal_events, rt_r.steal_events);
+  EXPECT_EQ(sim_r.stolen, rt_r.stolen);
 
   ASSERT_EQ(sim_r.ledger.size(), rt_r.ledger.size());
   for (std::size_t i = 0; i < sim_r.ledger.size(); ++i) {
@@ -389,6 +408,71 @@ TEST(RtEquivalenceAir, ScatterDeterministicAcrossWorkers) {
   const auto base = fingerprint(1);
   EXPECT_EQ(base, fingerprint(2));
   EXPECT_EQ(base, fingerprint(8));
+}
+
+// Scale knobs (the million-processor tentpole): the arena-backed SoA queue
+// layout must be invisible to every observable, and deterministic work
+// stealing must match a shadow engine running the same pure rule — both
+// for any worker count, in every on/off combination.
+class RtEquivalenceScale
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(RtEquivalenceScale, ArenaAndStealMatchEngine) {
+  const bool arena = std::get<0>(GetParam());
+  const bool steal_on = std::get<1>(GetParam());
+  const std::uint64_t n = 192;
+  const std::uint64_t steps = 48;
+  core::Fractions f;
+  f.t_min = 64;  // phase_len 4: phases interleave with steal-active steps
+  const core::PhaseParams params = core::PhaseParams::from_n(n, f);
+  sim::StealConfig steal;
+  steal.enabled = steal_on;
+
+  const RunRecord sim_r = run_sim(n, 2, steps, WhichModel::kBurst, params,
+                                  steal);
+  if (steal_on) {
+    // The burst spikes guarantee loaded victims while quiet processors run
+    // dry, so an all-green run with zero steals would be vacuous.
+    EXPECT_GT(sim_r.steal_events, 0u);
+  }
+  for (unsigned workers : {1u, 2u, 8u}) {
+    const RunRecord rt_r = run_rt(n, 2, steps, WhichModel::kBurst, params,
+                                  workers, arena, steal);
+    expect_equal(sim_r, rt_r,
+                 std::string("scale arena=") + (arena ? "on" : "off") +
+                     " steal=" + (steal_on ? "on" : "off") +
+                     " workers=" + std::to_string(workers));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArenaSteal, RtEquivalenceScale,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const auto& param_info) {
+      return std::string("arena_") +
+             (std::get<0>(param_info.param) ? "on" : "off") + "_steal_" +
+             (std::get<1>(param_info.param) ? "on" : "off");
+    });
+
+// One 2^16-processor point: the tentpole's target regime (scaled down in
+// steps) with arena and stealing both on stays bit-identical to the engine.
+TEST(RtEquivalenceScale64k, ArenaStealMatchesEngine) {
+  const std::uint64_t n = 1ULL << 16;
+  const std::uint64_t steps = 24;
+  core::Fractions f;
+  f.t_min = 64;
+  const core::PhaseParams params = core::PhaseParams::from_n(n, f);
+  sim::StealConfig steal;
+  steal.enabled = true;
+
+  const RunRecord sim_r = run_sim(n, 3, steps, WhichModel::kBurst, params,
+                                  steal);
+  EXPECT_GT(sim_r.steal_events, 0u);
+  for (unsigned workers : {1u, 4u}) {
+    const RunRecord rt_r = run_rt(n, 3, steps, WhichModel::kBurst, params,
+                                  workers, true, steal);
+    expect_equal(sim_r, rt_r, "n64k workers=" + std::to_string(workers));
+  }
 }
 
 }  // namespace

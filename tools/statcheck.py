@@ -25,12 +25,20 @@ evaluated against the gauges a bench harness exported:
                        stale-information shortest-queue baseline herds onto
                        stale minima (max load blows up past the control),
                        and crashed processors re-home every queued task.
+  EXP-27 (extension)   the million-processor scaling grid: the arena and
+                       fifo queue layouts of every (n, workers) point agree
+                       exactly on all counters (deterministic and
+                       worker-count invariant), steal rows actually steal,
+                       and the arena layout is not catastrophically slower
+                       than the fifo baseline (the real >= 1.05x speedup
+                       gate lives in perfbench --exp27).
 
 Usage (ctest runs this against fixture-generated metrics):
 
   statcheck.py --exp03 exp03.metrics.json --exp07 exp07.metrics.json \\
                --exp13 exp13.metrics.json --exp22 exp22.metrics.json \\
-               --exp24 exp24.metrics.json --exp25 exp25.metrics.json
+               --exp24 exp24.metrics.json --exp25 exp25.metrics.json \\
+               --exp27 exp27.metrics.json
 
 Every band's limit can be perturbed with --override BAND=VALUE; the
 statcheck_selftest ctest entry uses an absurd override to prove a violated
@@ -124,6 +132,23 @@ DEFAULT_LIMITS = {
     "exp25.crash_rehomed_tasks_min": 1.0,
     # every zoo run consumes work                  (measured 5249-17936)
     "exp25.consumed_min": 1.0,
+    # EXP-27 (fixture: bench_rt --scaling-grid --smoke, so the grid runs
+    # n=16384 at workers 1,2 for 32 steps; deterministic, so every counter
+    # is an exact constant — only the throughput ratio is timing-noisy):
+    # fifo and arena rows of one point agree on consumed + max load exactly
+    "exp27.layout_divergence_hi": 0.0,
+    # every grid run consumes work                 (measured 107500-108279)
+    "exp27.consumed_min": 1.0,
+    # steal rows actually steal                    (measured 256 events)
+    "exp27.steal_events_min": 1.0,
+    # each steal event carries at least this many tasks (measured 4.0)
+    "exp27.stolen_per_event_min": 1.0,
+    # arena rows report a non-zero arena footprint (measured ~5.2 MB)
+    "exp27.arena_bytes_min": 1.0,
+    # loose floor on the arena/fifo throughput ratio: the real >= 1.05x
+    # speedup gate lives in perfbench --exp27; this band only trips a
+    # catastrophic inversion               (measured 1.5-1.9 on one core)
+    "exp27.arena_over_fifo_lo": 0.5,
     # EXP-20b --recovery-time (fixture: n=1024, crash-step 64, crash-down
     # 128, 8 crashed procs x 48 pre-loaded tasks; deterministic):
     # every crashed processor re-homes exactly once (measured 8)
@@ -409,6 +434,66 @@ def check_exp25(g, limit):
               f"crash/{policy}: {tasks:g} re-homed tasks >= {lim:g}")
 
 
+def check_exp27(g, limit):
+    rx = re.compile(
+        r"^exp27\.n(\d+)\.w(\d+)\.(fifo|arena|arena_steal)\.tasks_per_sec$")
+    points = sorted((int(m.group(1)), int(m.group(2)), m.group(3))
+                    for name in g if (m := rx.match(name)))
+    if not points:
+        check("exp27.present", False, "no exp27.* gauges found")
+        return
+    for gn, w, layout in points:
+        p = f"exp27.n{gn}.w{w}.{layout}."
+        tag = f"n={gn}/w={w}/{layout}"
+        lim = limit("exp27.consumed_min")
+        consumed = g[p + "consumed"]
+        check("exp27.consumed_min", consumed >= lim,
+              f"{tag}: consumed {consumed:g} >= {lim:g}")
+        if layout != "fifo":
+            lim = limit("exp27.arena_bytes_min")
+            ab = g[p + "arena_bytes"]
+            check("exp27.arena_bytes_min", ab >= lim,
+                  f"{tag}: arena bytes {ab:g} >= {lim:g}")
+        if layout == "arena":
+            fifo = f"exp27.n{gn}.w{w}.fifo."
+            lim = limit("exp27.layout_divergence_hi")
+            div = (abs(consumed - g[fifo + "consumed"]) +
+                   abs(g[p + "max_load"] - g[fifo + "max_load"]))
+            check("exp27.layout_divergence_hi", div <= lim,
+                  f"{tag}: |arena - fifo| counter divergence {div:g} <= "
+                  f"{lim:g} (layouts are bit-equivalent)")
+            lim = limit("exp27.arena_over_fifo_lo")
+            ratio = g[f"exp27.n{gn}.w{w}.arena_over_fifo"]
+            check("exp27.arena_over_fifo_lo", ratio >= lim,
+                  f"{tag}: arena/fifo throughput {ratio:.2f} >= {lim:g} "
+                  "(real speedup gate: perfbench --exp27)")
+        if layout == "arena_steal":
+            lim = limit("exp27.steal_events_min")
+            events = g[p + "steal_events"]
+            check("exp27.steal_events_min", events >= lim,
+                  f"{tag}: {events:g} steal events >= {lim:g}")
+            lim = limit("exp27.stolen_per_event_min")
+            stolen = g[p + "stolen_tasks"]
+            check("exp27.stolen_per_event_min", stolen >= lim * events,
+                  f"{tag}: {stolen:g} stolen tasks >= {lim:g} * "
+                  f"{events:g} events")
+    # Deterministic worker-count invariance: every layout's counters are
+    # identical at each worker count of the same n.
+    for gn in sorted({p[0] for p in points}):
+        for layout in ("fifo", "arena", "arena_steal"):
+            vals = sorted({g[f"exp27.n{gn}.w{w}.{layout}.consumed"]
+                           for pn, w, pl in points
+                           if pn == gn and pl == layout})
+            if len(vals) > 1:
+                check("exp27.worker_invariant", False,
+                      f"n={gn}/{layout}: consumed varies with workers "
+                      f"{vals}")
+            elif vals:
+                check("exp27.worker_invariant", True,
+                      f"n={gn}/{layout}: consumed {vals[0]:g} at every "
+                      "worker count")
+
+
 def check_recovery(g, limit):
     policies = sorted({m.group(1) for name in g
                        if (m := re.match(r"^recovery\.([a-z-]+)\.steps$",
@@ -458,6 +543,7 @@ def main():
     ap.add_argument("--exp22", help="bench_rt latency-sweep metrics JSON")
     ap.add_argument("--exp24", help="bench_rt link-model-sweep metrics JSON")
     ap.add_argument("--exp25", help="bench_rt workload-grid metrics JSON")
+    ap.add_argument("--exp27", help="bench_rt scaling-grid metrics JSON")
     ap.add_argument("--recovery",
                     help="bench_recovery --recovery-time metrics JSON")
     ap.add_argument("--override", action="append", default=[],
@@ -478,9 +564,9 @@ def main():
         return limits[band]
 
     if not (args.exp03 or args.exp07 or args.exp13 or args.exp22 or
-            args.exp24 or args.exp25 or args.recovery):
+            args.exp24 or args.exp25 or args.exp27 or args.recovery):
         ap.error("at least one of --exp03/--exp07/--exp13/--exp22/--exp24/"
-                 "--exp25/--recovery is required")
+                 "--exp25/--exp27/--recovery is required")
 
     if args.exp03:
         print(f"exp03 bands ({args.exp03}):")
@@ -500,6 +586,9 @@ def main():
     if args.exp25:
         print(f"exp25 bands ({args.exp25}):")
         check_exp25(gauges(args.exp25), limit)
+    if args.exp27:
+        print(f"exp27 bands ({args.exp27}):")
+        check_exp27(gauges(args.exp27), limit)
     if args.recovery:
         print(f"recovery bands ({args.recovery}):")
         check_recovery(gauges(args.recovery), limit)
